@@ -1,0 +1,33 @@
+//! Prints the coalescing/L2 report for the paper's Figure 9 GEMM shapes.
+//!
+//! ```sh
+//! cargo run -p echo-cachesim --example coalescing_report --release
+//! ```
+
+fn main() {
+    use echo_cachesim::*;
+    for (name, b, h, o) in [
+        ("LSTM", 64usize, 512usize, 2048usize),
+        ("GRU", 64, 1024, 3072),
+    ] {
+        let rm = simulate_gemm(
+            &TiledGemmSpec::fc_row_major(b, h, o),
+            &CacheConfig::titan_xp_l2(),
+        );
+        let cm = simulate_gemm(
+            &TiledGemmSpec::fc_col_major(b, h, o),
+            &CacheConfig::titan_xp_l2(),
+        );
+        for (v, r) in [("Y=XW^T", rm), ("Y^T=WX^T", cm)] {
+            println!(
+                "{name} {v}: loadtx={} storetx={} l1hit={:.3} l2hit={:.3} dram={}KB coal={:.3}",
+                r.load_transactions,
+                r.store_transactions,
+                r.l1.hit_rate(),
+                r.l2_hit_rate(),
+                r.total_dram_bytes() / 1024,
+                r.coalescing_efficiency()
+            );
+        }
+    }
+}

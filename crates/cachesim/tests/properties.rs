@@ -1,0 +1,101 @@
+//! Property tests for the cache and coalescing simulators.
+
+use echo_cachesim::{simulate_gemm, Cache, CacheConfig, Coalescer, TiledGemmSpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// A warp of 32 f32 lane accesses always produces between 1 and 64
+    /// transactions (up to 2 per lane when straddling), and repeating the
+    /// same addresses is idempotent in count.
+    #[test]
+    fn coalescer_bounds(addrs in proptest::collection::vec(0u64..1_000_000, 1..=32)) {
+        let mut c = Coalescer::new();
+        let n1 = c.warp_access(&addrs).len();
+        prop_assert!(n1 >= 1);
+        prop_assert!(n1 <= 2 * addrs.len());
+        let n2 = c.warp_access(&addrs).len();
+        prop_assert_eq!(n1, n2);
+    }
+
+    /// Coalescer efficiency stays within [0, 1] for any address pattern.
+    #[test]
+    fn coalescer_efficiency_is_normalized(
+        stride in 1u64..600, base in 0u64..10_000, lanes in 1usize..=32,
+    ) {
+        let mut c = Coalescer::new();
+        let addrs: Vec<u64> = (0..lanes as u64).map(|i| base + i * stride).collect();
+        c.warp_access(&addrs);
+        let eff = c.stats().efficiency();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&eff), "eff {}", eff);
+    }
+
+    /// Cache invariants: hits + misses = accesses; a second pass over a
+    /// working set within capacity is all hits.
+    #[test]
+    fn cache_counters_are_consistent(
+        addrs in proptest::collection::vec(0u64..100_000, 1..200),
+        ways in 1usize..8,
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            capacity_bytes: 64 * 64 * ways,
+            line_bytes: 64,
+            ways,
+        });
+        for &a in &addrs {
+            cache.access(a);
+        }
+        let s = *cache.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+    }
+
+    /// Second pass over a small working set hits fully (true LRU, within
+    /// capacity).
+    #[test]
+    fn resident_set_hits_on_second_pass(lines in 1usize..16) {
+        let mut cache = Cache::new(CacheConfig {
+            capacity_bytes: 16 * 64 * 4,
+            line_bytes: 64,
+            ways: 4,
+        });
+        let addrs: Vec<u64> = (0..lines as u64).map(|i| i * 64).collect();
+        for &a in &addrs {
+            cache.access(a);
+        }
+        for &a in &addrs {
+            prop_assert!(cache.access(a));
+        }
+    }
+
+    /// GEMM trace reports behave monotonically: more work → at least as
+    /// many transactions; flops are exact; DRAM traffic at least covers
+    /// the output write once.
+    #[test]
+    fn gemm_report_sanity(m in 1usize..96, n in 1usize..96, k in 1usize..96) {
+        let l2 = CacheConfig::titan_xp_l2();
+        let small = simulate_gemm(&TiledGemmSpec::new(m, n, k), &l2);
+        prop_assert_eq!(small.flops, 2 * (m * n * k) as u64);
+        prop_assert!(small.dram_write_bytes >= (m * n * 4) as u64 / 2);
+        let bigger = simulate_gemm(&TiledGemmSpec::new(m, n, k * 2), &l2);
+        prop_assert!(bigger.load_transactions >= small.load_transactions);
+    }
+
+    /// The row-major FC formulation never beats the column-major one in
+    /// load transactions for the paper's skewed shapes (H ≥ 4B).
+    #[test]
+    fn skewed_shapes_always_favor_col_major(
+        b in 1usize..3, h_mult in 2usize..8, o_mult in 2usize..6,
+    ) {
+        let batch = b * 32;
+        let hidden = batch * h_mult;
+        let out = hidden * o_mult;
+        let l2 = CacheConfig::titan_xp_l2();
+        let rm = simulate_gemm(&TiledGemmSpec::fc_row_major(batch, hidden, out), &l2);
+        let cm = simulate_gemm(&TiledGemmSpec::fc_col_major(batch, hidden, out), &l2);
+        prop_assert!(
+            rm.load_transactions >= cm.load_transactions,
+            "B={} H={} O={}: rm {} < cm {}",
+            batch, hidden, out, rm.load_transactions, cm.load_transactions
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! The Echo compiler front-end.
+
+use crate::analysis::{infer_shapes, ShapeTable};
+use crate::oshape::{build_plan, find_segments, OshapeConfig, SegmentInfo};
+use echo_graph::{Graph, GraphError, NodeId, StashPlan};
+use echo_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from compilation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EchoError {
+    /// Shape inference or plan validation failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for EchoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EchoError::Graph(e) => write!(f, "echo compilation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EchoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EchoError::Graph(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for EchoError {
+    fn from(e: GraphError) -> Self {
+        EchoError::Graph(e)
+    }
+}
+
+impl EchoError {
+    /// Unwraps the underlying graph error (all current variants carry
+    /// one).
+    pub fn into_graph_error(self) -> GraphError {
+        match self {
+            EchoError::Graph(e) => e,
+        }
+    }
+}
+
+/// Compiler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EchoConfig {
+    /// Enable the recomputation (partial-forward-propagation) pass.
+    pub recompute: bool,
+    /// O-shape detector tunables.
+    pub oshape: OshapeConfig,
+    /// Share one workspace pool between structurally identical segments
+    /// (§4.1.2). Disable only for the ablation study.
+    pub share_workspace: bool,
+}
+
+impl Default for EchoConfig {
+    fn default() -> Self {
+        EchoConfig {
+            recompute: true,
+            oshape: OshapeConfig::default(),
+            share_workspace: true,
+        }
+    }
+}
+
+impl EchoConfig {
+    /// A configuration with the pass disabled (framework-default
+    /// stash-everything behaviour) — the paper's baseline.
+    pub fn baseline() -> Self {
+        EchoConfig {
+            recompute: false,
+            ..EchoConfig::default()
+        }
+    }
+}
+
+/// Human/machine-readable summary of one discovered segment.
+#[derive(Debug, Clone)]
+pub struct SegmentReport {
+    /// Names of the recomputed nodes.
+    pub node_names: Vec<String>,
+    /// Intermediate bytes freed from the feature-map footprint.
+    pub intermediate_bytes: u64,
+    /// Boundary input bytes that must stay stashed.
+    pub boundary_bytes: u64,
+    /// Shared workspace pool.
+    pub pool: usize,
+}
+
+/// What the pass did, with enough detail for EXPERIMENTS.md tables.
+#[derive(Debug, Clone, Default)]
+pub struct PassReport {
+    /// One entry per accepted segment.
+    pub segments: Vec<SegmentReport>,
+}
+
+impl PassReport {
+    /// Total feature-map bytes the plan avoids stashing.
+    pub fn total_saved_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.intermediate_bytes).sum()
+    }
+
+    /// Peak extra workspace the plan needs: the largest segment per pool
+    /// (segments in one pool share one buffer).
+    pub fn workspace_bytes(&self) -> u64 {
+        let mut per_pool: HashMap<usize, u64> = HashMap::new();
+        for s in &self.segments {
+            let e = per_pool.entry(s.pool).or_default();
+            *e = (*e).max(s.intermediate_bytes);
+        }
+        per_pool.values().sum()
+    }
+
+    /// Net footprint reduction (saved feature maps minus retained
+    /// workspace).
+    pub fn net_saved_bytes(&self) -> i64 {
+        self.total_saved_bytes() as i64 - self.workspace_bytes() as i64
+    }
+}
+
+impl fmt::Display for PassReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "echo pass: {} segments, {:.1} MiB feature maps -> {:.1} MiB workspace",
+            self.segments.len(),
+            self.total_saved_bytes() as f64 / (1 << 20) as f64,
+            self.workspace_bytes() as f64 / (1 << 20) as f64,
+        )?;
+        for (i, s) in self.segments.iter().enumerate() {
+            writeln!(
+                f,
+                "  segment {i} (pool {}): {:?} [{} KiB / boundary {} KiB]",
+                s.pool,
+                s.node_names,
+                s.intermediate_bytes >> 10,
+                s.boundary_bytes >> 10
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of compilation: an executor-ready plan plus the report.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    /// Stash policies for the executor.
+    pub plan: StashPlan,
+    /// What the pass found.
+    pub report: PassReport,
+}
+
+/// The Echo compiler.
+///
+/// # Example
+///
+/// ```
+/// use echo::{EchoCompiler, EchoConfig};
+/// use echo_models::{NmtHyper, NmtModel};
+///
+/// let model = NmtModel::build(NmtHyper::tiny(100, 90));
+/// let compiled = EchoCompiler::new(EchoConfig::default()).compile(
+///     &model.graph,
+///     &model.symbolic_bindings(4),
+///     &model.param_shapes(),
+///     &[model.loss, model.logits],
+/// )?;
+/// assert_eq!(compiled.report.segments.len(), model.hyper.decoder_steps());
+/// # Ok::<(), echo::EchoError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EchoCompiler {
+    config: EchoConfig,
+}
+
+impl EchoCompiler {
+    /// Creates a compiler.
+    pub fn new(config: EchoConfig) -> Self {
+        EchoCompiler { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EchoConfig {
+        &self.config
+    }
+
+    /// Runs shape inference and the O-shape pass, producing a stash plan.
+    ///
+    /// `protected` nodes (execution targets such as the loss or logits)
+    /// are never recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures.
+    pub fn compile(
+        &self,
+        graph: &Graph,
+        bindings: &HashMap<NodeId, Tensor>,
+        param_shapes: &HashMap<NodeId, Shape>,
+        protected: &[NodeId],
+    ) -> Result<CompiledPlan, EchoError> {
+        let shapes = infer_shapes(graph, bindings, param_shapes)?;
+        if !self.config.recompute {
+            return Ok(CompiledPlan {
+                plan: StashPlan::stash_all(),
+                report: PassReport::default(),
+            });
+        }
+        let segments = find_segments(graph, &shapes, &self.config.oshape, protected);
+        let plan = build_plan(&segments, self.config.share_workspace);
+        let report = self.report(graph, &segments);
+        Ok(CompiledPlan { plan, report })
+    }
+
+    /// Compiles and installs the plan into an executor in one step — the
+    /// "recompile with Echo" entry point model code uses:
+    ///
+    /// ```
+    /// use echo::{EchoCompiler, EchoConfig};
+    /// use echo_graph::Executor;
+    /// use echo_memory::DeviceMemory;
+    /// use echo_models::{NmtHyper, NmtModel};
+    /// use std::sync::Arc;
+    ///
+    /// let model = NmtModel::build(NmtHyper::tiny(100, 90));
+    /// let mut exec = Executor::new(
+    ///     Arc::clone(&model.graph),
+    ///     echo_graph::StashPlan::stash_all(),
+    ///     DeviceMemory::titan_xp(),
+    /// );
+    /// let report = EchoCompiler::new(EchoConfig::default()).attach(
+    ///     &mut exec,
+    ///     &model.symbolic_bindings(4),
+    ///     &model.param_shapes(),
+    ///     &[model.loss, model.logits],
+    /// )?;
+    /// assert!(!report.segments.is_empty());
+    /// # Ok::<(), echo::EchoError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures; on error the executor's plan is
+    /// left untouched.
+    pub fn attach(
+        &self,
+        exec: &mut crate::Executor,
+        bindings: &HashMap<NodeId, Tensor>,
+        param_shapes: &HashMap<NodeId, Shape>,
+        protected: &[NodeId],
+    ) -> Result<PassReport, EchoError> {
+        let compiled = self.compile(exec.graph(), bindings, param_shapes, protected)?;
+        exec.set_plan(compiled.plan);
+        Ok(compiled.report)
+    }
+
+    /// Like [`EchoCompiler::compile`] but reusing an existing shape table.
+    pub fn compile_with_shapes(
+        &self,
+        graph: &Graph,
+        shapes: &ShapeTable,
+        protected: &[NodeId],
+    ) -> CompiledPlan {
+        if !self.config.recompute {
+            return CompiledPlan {
+                plan: StashPlan::stash_all(),
+                report: PassReport::default(),
+            };
+        }
+        let segments = find_segments(graph, shapes, &self.config.oshape, protected);
+        let plan = build_plan(&segments, self.config.share_workspace);
+        let report = self.report(graph, &segments);
+        CompiledPlan { plan, report }
+    }
+
+    fn report(&self, graph: &Graph, segments: &[SegmentInfo]) -> PassReport {
+        PassReport {
+            segments: segments
+                .iter()
+                .map(|s| SegmentReport {
+                    node_names: s
+                        .nodes
+                        .iter()
+                        .map(|&n| graph.nodes()[n.index()].name.clone())
+                        .collect(),
+                    intermediate_bytes: s.intermediate_bytes,
+                    boundary_bytes: s.boundary_bytes,
+                    pool: s.pool,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echo_graph::{ExecOptions, Executor, StashPolicy};
+    use echo_memory::DeviceMemory;
+    use echo_models::{NmtHyper, NmtModel};
+    use std::sync::Arc;
+
+    fn mem() -> DeviceMemory {
+        DeviceMemory::with_overhead_model(8 << 30, 0, 0.0)
+    }
+
+    fn tiny_nmt() -> NmtModel {
+        NmtModel::build(NmtHyper::tiny(120, 100))
+    }
+
+    #[test]
+    fn pass_discovers_every_decoder_attention_segment() {
+        let model = tiny_nmt();
+        let compiled = EchoCompiler::new(EchoConfig::default())
+            .compile(
+                &model.graph,
+                &model.symbolic_bindings(8),
+                &model.param_shapes(),
+                &[model.loss, model.logits],
+            )
+            .unwrap();
+        assert_eq!(
+            compiled.report.segments.len(),
+            model.hyper.decoder_steps(),
+            "one segment per decoder step:\n{}",
+            compiled.report
+        );
+        // All segments share one workspace pool (identical structure).
+        let pools: std::collections::HashSet<usize> =
+            compiled.report.segments.iter().map(|s| s.pool).collect();
+        assert_eq!(pools.len(), 1);
+        // The discovered nodes are exactly the hand-identified scoring
+        // interiors (broadcast-add, layernorm, tanh — the score vector
+        // itself is small and stays stashed).
+        for (seg, hand) in compiled
+            .report
+            .segments
+            .iter()
+            .zip(&model.attention_segments)
+        {
+            let hand_names: Vec<String> = hand
+                .iter()
+                .map(|&n| model.graph.nodes()[n.index()].name.clone())
+                .collect();
+            for name in &seg.node_names {
+                assert!(
+                    hand_names.contains(name),
+                    "pass found unexpected node {name}; hand set {hand_names:?}"
+                );
+            }
+            assert!(seg.node_names.len() >= 3, "{:?}", seg.node_names);
+        }
+    }
+
+    #[test]
+    fn baseline_config_stashes_everything() {
+        let model = tiny_nmt();
+        let compiled = EchoCompiler::new(EchoConfig::baseline())
+            .compile(
+                &model.graph,
+                &model.symbolic_bindings(8),
+                &model.param_shapes(),
+                &[],
+            )
+            .unwrap();
+        assert_eq!(compiled.plan.recompute_count(), 0);
+        assert!(compiled.report.segments.is_empty());
+    }
+
+    #[test]
+    fn compiled_plan_runs_bit_exact_and_smaller() {
+        let model = tiny_nmt();
+        let corpus = echo_data::ParallelCorpus::synthetic(
+            echo_data::Vocab::new(120),
+            echo_data::Vocab::new(100),
+            40,
+            4..=12,
+            3,
+        );
+        let batches = echo_data::NmtBatch::bucketed(corpus.pairs(), 8);
+        let compiled = EchoCompiler::new(EchoConfig::default())
+            .compile(
+                &model.graph,
+                &model.bindings(&batches[0]),
+                &model.param_shapes(),
+                &[model.loss, model.logits],
+            )
+            .unwrap();
+
+        let run = |plan: StashPlan| {
+            let m = mem();
+            let mut exec = Executor::new(Arc::clone(&model.graph), plan, m.clone());
+            model.bind_params(&mut exec, 9).unwrap();
+            let stats = exec
+                .train_step(
+                    &model.bindings(&batches[0]),
+                    model.loss,
+                    ExecOptions::default(),
+                    None,
+                )
+                .unwrap();
+            (stats, m.peak_bytes())
+        };
+        let (base, peak_base) = run(StashPlan::stash_all());
+        let (opt, peak_opt) = run(compiled.plan.clone());
+        assert_eq!(base.loss, opt.loss, "bit-exact training");
+        assert!(opt.replays >= 1);
+        assert!(
+            peak_opt < peak_base,
+            "compiled plan must shrink the footprint: {peak_opt} vs {peak_base}"
+        );
+        assert!(compiled.report.net_saved_bytes() > 0);
+    }
+
+    #[test]
+    fn report_displays_summary() {
+        let model = tiny_nmt();
+        let compiled = EchoCompiler::new(EchoConfig::default())
+            .compile(
+                &model.graph,
+                &model.symbolic_bindings(4),
+                &model.param_shapes(),
+                &[model.loss],
+            )
+            .unwrap();
+        let text = compiled.report.to_string();
+        assert!(text.contains("segments"));
+        assert!(text.contains("attn_e0"));
+        // Every recompute policy references a valid pool.
+        for seg in &compiled.report.segments {
+            let _ = seg.pool;
+        }
+        let policies_set = compiled.plan.recompute_count();
+        assert!(policies_set >= compiled.report.segments.len() * 3);
+        // Sanity: at least one node of segment 0 has Recompute policy.
+        let first = model.attention_segments[0][0];
+        assert!(matches!(
+            compiled.plan.policy(first),
+            StashPolicy::Recompute(_)
+        ));
+    }
+}

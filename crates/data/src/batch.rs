@@ -1,0 +1,240 @@
+//! Batching: BPTT windows for language modeling and padded bucketed
+//! batches for NMT, delivered as `[T, B]` time-major id tensors ready for
+//! the embedding operator.
+
+use crate::parallel::SentencePair;
+use crate::vocab::{BOS, EOS, PAD};
+use echo_tensor::{Shape, Tensor};
+
+/// One language-modeling batch: `input[t][b]` predicts `target[t][b]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmBatch {
+    /// `[T, B]` input ids (as `f32` for the embedding op).
+    pub input: Tensor,
+    /// Flattened `T·B` target ids, row-major over `[T, B]`.
+    pub targets: Tensor,
+    /// Batch size.
+    pub batch: usize,
+    /// Unrolled sequence length.
+    pub seq_len: usize,
+}
+
+/// Continuous BPTT batching over a token stream, as in MXNet's word-level
+/// LM example: the stream is split into `batch` parallel lanes and windows
+/// of `seq_len` are yielded in order.
+#[derive(Debug, Clone)]
+pub struct BpttBatches {
+    lanes: Vec<Vec<usize>>,
+    batch: usize,
+    seq_len: usize,
+    cursor: usize,
+}
+
+impl BpttBatches {
+    /// Prepares batching over `tokens`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is too short for even one window.
+    pub fn new(tokens: &[usize], batch: usize, seq_len: usize) -> Self {
+        let lane_len = tokens.len() / batch;
+        assert!(
+            lane_len > seq_len,
+            "stream of {} tokens too short for batch={batch} seq_len={seq_len}",
+            tokens.len()
+        );
+        let lanes: Vec<Vec<usize>> = (0..batch)
+            .map(|b| tokens[b * lane_len..(b + 1) * lane_len].to_vec())
+            .collect();
+        BpttBatches {
+            lanes,
+            batch,
+            seq_len,
+            cursor: 0,
+        }
+    }
+
+    /// Number of full windows available.
+    pub fn num_batches(&self) -> usize {
+        (self.lanes[0].len() - 1) / self.seq_len
+    }
+
+    /// Restarts from the beginning of the stream (a new epoch).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+impl Iterator for BpttBatches {
+    type Item = LmBatch;
+
+    fn next(&mut self) -> Option<LmBatch> {
+        let start = self.cursor * self.seq_len;
+        if start + self.seq_len + 1 > self.lanes[0].len() {
+            return None;
+        }
+        self.cursor += 1;
+        let mut input = Tensor::zeros(Shape::d2(self.seq_len, self.batch));
+        let mut targets = Tensor::zeros(Shape::d1(self.seq_len * self.batch));
+        for t in 0..self.seq_len {
+            for b in 0..self.batch {
+                input.data_mut()[t * self.batch + b] = self.lanes[b][start + t] as f32;
+                targets.data_mut()[t * self.batch + b] = self.lanes[b][start + t + 1] as f32;
+            }
+        }
+        Some(LmBatch {
+            input,
+            targets,
+            batch: self.batch,
+            seq_len: self.seq_len,
+        })
+    }
+}
+
+/// One NMT batch: padded time-major source/target tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NmtBatch {
+    /// `[T_src, B]` source ids (PAD-filled).
+    pub source: Tensor,
+    /// `[T_tgt, B]` decoder inputs (starts with BOS).
+    pub target_input: Tensor,
+    /// Flattened `T_tgt·B` decoder targets (ends with EOS, PAD elsewhere).
+    pub target_output: Tensor,
+    /// Batch size.
+    pub batch: usize,
+    /// Padded source length.
+    pub src_len: usize,
+    /// Padded target length (including EOS).
+    pub tgt_len: usize,
+}
+
+impl NmtBatch {
+    /// Builds a batch from sentence pairs, padding both sides to the batch
+    /// maxima. Targets are framed `BOS w… → w… EOS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty pair list.
+    pub fn from_pairs(pairs: &[&SentencePair]) -> NmtBatch {
+        assert!(!pairs.is_empty(), "empty batch");
+        let batch = pairs.len();
+        let src_len = pairs
+            .iter()
+            .map(|p| p.source.len())
+            .max()
+            .expect("non-empty");
+        let tgt_len = pairs
+            .iter()
+            .map(|p| p.target.len())
+            .max()
+            .expect("non-empty")
+            + 1;
+        let mut source = Tensor::full(Shape::d2(src_len, batch), PAD as f32);
+        let mut target_input = Tensor::full(Shape::d2(tgt_len, batch), PAD as f32);
+        let mut target_output = Tensor::full(Shape::d1(tgt_len * batch), PAD as f32);
+        for (b, p) in pairs.iter().enumerate() {
+            for (t, &w) in p.source.iter().enumerate() {
+                source.data_mut()[t * batch + b] = w as f32;
+            }
+            target_input.data_mut()[b] = BOS as f32;
+            for (t, &w) in p.target.iter().enumerate() {
+                target_input.data_mut()[(t + 1) * batch + b] = w as f32;
+                target_output.data_mut()[t * batch + b] = w as f32;
+            }
+            target_output.data_mut()[p.target.len() * batch + b] = EOS as f32;
+        }
+        NmtBatch {
+            source,
+            target_input,
+            target_output,
+            batch,
+            src_len,
+            tgt_len,
+        }
+    }
+
+    /// Groups `pairs` into batches of `batch` size, bucketing by length so
+    /// padding waste stays low (Sockeye-style bucketing).
+    pub fn bucketed(pairs: &[SentencePair], batch: usize) -> Vec<NmtBatch> {
+        let mut sorted: Vec<&SentencePair> = pairs.iter().collect();
+        sorted.sort_by_key(|p| p.source.len());
+        sorted
+            .chunks(batch)
+            .filter(|c| c.len() == batch)
+            .map(NmtBatch::from_pairs)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bptt_shapes_and_shift() {
+        let tokens: Vec<usize> = (10..110).collect();
+        let mut it = BpttBatches::new(&tokens, 2, 5);
+        assert_eq!(it.num_batches(), 9);
+        let b = it.next().unwrap();
+        assert_eq!(b.input.shape(), &Shape::d2(5, 2));
+        // Lane 0 starts at token 10, lane 1 at token 60.
+        assert_eq!(b.input.get(&[0, 0]).unwrap(), 10.0);
+        assert_eq!(b.input.get(&[0, 1]).unwrap(), 60.0);
+        // Target is the next token.
+        assert_eq!(b.targets.data()[0], 11.0);
+        let b2 = it.next().unwrap();
+        assert_eq!(b2.input.get(&[0, 0]).unwrap(), 15.0);
+    }
+
+    #[test]
+    fn bptt_reset_replays() {
+        let tokens: Vec<usize> = (0..100).collect();
+        let mut it = BpttBatches::new(&tokens, 2, 5);
+        let first = it.next().unwrap();
+        while it.next().is_some() {}
+        it.reset();
+        assert_eq!(it.next().unwrap(), first);
+    }
+
+    #[test]
+    fn nmt_batch_pads_and_frames() {
+        let p1 = SentencePair {
+            source: vec![10, 11],
+            target: vec![20, 21],
+        };
+        let p2 = SentencePair {
+            source: vec![12, 13, 14],
+            target: vec![22, 23, 24],
+        };
+        let b = NmtBatch::from_pairs(&[&p1, &p2]);
+        assert_eq!(b.src_len, 3);
+        assert_eq!(b.tgt_len, 4);
+        // Padding on the short sentence.
+        assert_eq!(b.source.get(&[2, 0]).unwrap(), PAD as f32);
+        assert_eq!(b.source.get(&[2, 1]).unwrap(), 14.0);
+        // BOS framing.
+        assert_eq!(b.target_input.get(&[0, 0]).unwrap(), BOS as f32);
+        assert_eq!(b.target_input.get(&[1, 0]).unwrap(), 20.0);
+        // EOS after the last real target token.
+        assert_eq!(b.target_output.data()[2 * 2], EOS as f32);
+        assert_eq!(b.target_output.data()[3 * 2 + 1], EOS as f32);
+    }
+
+    #[test]
+    fn bucketing_sorts_by_length() {
+        let pairs: Vec<SentencePair> = (0..10)
+            .map(|i| SentencePair {
+                source: vec![10; 10 - i],
+                target: vec![20; 10 - i],
+            })
+            .collect();
+        let batches = NmtBatch::bucketed(&pairs, 2);
+        assert_eq!(batches.len(), 5);
+        for b in &batches {
+            // Within a bucket the two sentences differ by at most 1 token.
+            assert!(b.src_len >= 1);
+        }
+        // Sorted ascending.
+        assert!(batches.first().unwrap().src_len <= batches.last().unwrap().src_len);
+    }
+}

@@ -1,0 +1,169 @@
+//! Kernel cost descriptions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classification of a kernel, used by the trace aggregations that
+/// reproduce the paper's runtime-breakdown figures (Figures 6 and 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum KernelCategory {
+    /// Matrix multiplies (`sgemm`) — the fully-connected layers.
+    FullyConnected,
+    /// Element-wise arithmetic (add, mul, slice, the LSTM "f" block pieces).
+    Elementwise,
+    /// tanh / sigmoid / relu activations.
+    Activation,
+    /// Softmax and the output loss.
+    Softmax,
+    /// The `SequenceReverse` operator (paper §5.1).
+    SequenceReverse,
+    /// Attention-specific kernels (broadcast compare, weighted average).
+    Attention,
+    /// Embedding gather/scatter.
+    Embedding,
+    /// Layout transposes / permutes.
+    Transpose,
+    /// Reductions (sums, means, norm).
+    Reduction,
+    /// Optimizer updates.
+    Optimizer,
+    /// Anything else.
+    Other,
+}
+
+impl KernelCategory {
+    /// All variants in display order.
+    pub const ALL: [KernelCategory; 11] = [
+        KernelCategory::FullyConnected,
+        KernelCategory::Elementwise,
+        KernelCategory::Activation,
+        KernelCategory::Softmax,
+        KernelCategory::SequenceReverse,
+        KernelCategory::Attention,
+        KernelCategory::Embedding,
+        KernelCategory::Transpose,
+        KernelCategory::Reduction,
+        KernelCategory::Optimizer,
+        KernelCategory::Other,
+    ];
+}
+
+impl fmt::Display for KernelCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            KernelCategory::FullyConnected => "fully-connected",
+            KernelCategory::Elementwise => "elementwise",
+            KernelCategory::Activation => "activation",
+            KernelCategory::Softmax => "softmax",
+            KernelCategory::SequenceReverse => "sequence-reverse",
+            KernelCategory::Attention => "attention",
+            KernelCategory::Embedding => "embedding",
+            KernelCategory::Transpose => "transpose",
+            KernelCategory::Reduction => "reduction",
+            KernelCategory::Optimizer => "optimizer",
+            KernelCategory::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Resource requirements of one kernel, from which the simulator derives
+/// its duration via the roofline rule
+/// `max(compute, dram, l2) + fixed overhead`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Bytes moved to/from DRAM.
+    pub dram_bytes: u64,
+    /// Bytes moved across the L2 interface (≥ `dram_bytes` in practice;
+    /// zero means "same as DRAM bytes").
+    pub l2_bytes: u64,
+    /// Threads of parallelism the kernel exposes (drives the occupancy
+    /// efficiency curve).
+    pub parallelism: usize,
+    /// Fraction of peak DRAM bandwidth the kernel's access pattern can use;
+    /// 1.0 for perfectly coalesced streams. MXNet's sequential
+    /// `SequenceReverse` sits near 0.002 (≈1 GB/s of 547 GB/s, §5.1).
+    pub bandwidth_efficiency: f64,
+}
+
+impl KernelCost {
+    /// A compute/memory kernel with explicit counts and default (0.85)
+    /// bandwidth efficiency.
+    pub fn new(flops: u64, dram_bytes: u64, parallelism: usize) -> Self {
+        KernelCost {
+            flops,
+            dram_bytes,
+            l2_bytes: 0,
+            parallelism,
+            bandwidth_efficiency: 0.85,
+        }
+    }
+
+    /// A streaming element-wise kernel over `elems` values touching
+    /// `tensors` operands (inputs + outputs).
+    pub fn elementwise(elems: usize, tensors: usize) -> Self {
+        KernelCost {
+            flops: elems as u64,
+            dram_bytes: (elems * tensors * 4) as u64,
+            l2_bytes: 0,
+            parallelism: elems,
+            bandwidth_efficiency: 0.85,
+        }
+    }
+
+    /// Sets the L2 traffic explicitly (builder style).
+    #[must_use]
+    pub fn with_l2_bytes(mut self, l2_bytes: u64) -> Self {
+        self.l2_bytes = l2_bytes;
+        self
+    }
+
+    /// Sets the bandwidth efficiency (builder style).
+    #[must_use]
+    pub fn with_bandwidth_efficiency(mut self, eff: f64) -> Self {
+        self.bandwidth_efficiency = eff;
+        self
+    }
+
+    /// Sets the exposed parallelism (builder style).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_counts_bytes() {
+        let c = KernelCost::elementwise(1000, 3);
+        assert_eq!(c.dram_bytes, 12_000);
+        assert_eq!(c.flops, 1000);
+        assert_eq!(c.parallelism, 1000);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = KernelCost::new(100, 200, 32)
+            .with_l2_bytes(400)
+            .with_bandwidth_efficiency(0.5)
+            .with_parallelism(64);
+        assert_eq!(c.l2_bytes, 400);
+        assert_eq!(c.bandwidth_efficiency, 0.5);
+        assert_eq!(c.parallelism, 64);
+    }
+
+    #[test]
+    fn categories_display_uniquely() {
+        let mut names: Vec<String> = KernelCategory::ALL.iter().map(|c| c.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), KernelCategory::ALL.len());
+    }
+}

@@ -1,0 +1,43 @@
+//! Analytical GPU performance, power and energy model with kernel/API
+//! tracing — the substitute for the paper's Titan Xp / Titan V /
+//! RTX 2080 Ti testbed, `nvprof` and `nvidia-smi`.
+//!
+//! The paper's runtime observations are mechanistic, and this crate models
+//! exactly those mechanisms rather than curve-fitting absolute numbers:
+//!
+//! * **Tiny kernels are launch-bound.** Every kernel launch costs the CPU a
+//!   fixed `cudaLaunch` overhead; the GPU executes kernels in stream order.
+//!   When kernels are short the GPU starves waiting for launches — the
+//!   MXNet "Default" LSTM pathology of Figures 6 and 7(a).
+//! * **Big kernels are roofline-bound.** A kernel's duration is the max of
+//!   its compute time (FLOPs over achievable FLOP/s), DRAM time (bytes over
+//!   bandwidth) and L2 time (transactions over L2 bandwidth). GEMM memory
+//!   behaviour comes from the `echo-cachesim` trace simulator, so data
+//!   layout genuinely changes kernel time (Figure 9).
+//! * **Throughput saturates when compute does.** Achievable FLOP/s scales
+//!   with occupancy, so ResNet-50-sized kernels saturate the device while
+//!   LSTM-sized ones leave it underutilized (Figure 4).
+//! * **Power follows utilization.** Energy integrates a simple
+//!   idle + utilization-proportional dynamic power model (Figure 19).
+//!
+//! # Example
+//!
+//! ```
+//! use echo_device::{DeviceSim, DeviceSpec, KernelCategory, KernelCost};
+//!
+//! let mut sim = DeviceSim::new(DeviceSpec::titan_xp());
+//! // A tiny element-wise kernel: launch overhead dominates.
+//! sim.launch("tanh", KernelCategory::Elementwise, KernelCost::elementwise(64 * 512, 2));
+//! sim.synchronize();
+//! assert!(sim.elapsed_ns() >= DeviceSpec::titan_xp().launch_overhead_ns);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod sim;
+pub mod spec;
+
+pub use kernel::{KernelCategory, KernelCost};
+pub use sim::{ApiStats, DeviceSim, KernelRecord, TraceSummary};
+pub use spec::DeviceSpec;

@@ -1,0 +1,1262 @@
+//! The dual-plane executor: forward, backward, recomputation replay,
+//! memory accounting and kernel dispatch.
+
+use crate::graph::{Graph, NodeId, NodeKind};
+use crate::op::{KernelLaunch, LaunchSpec, Saved};
+use crate::policy::{StashPlan, StashPolicy};
+use crate::{GraphError, Result};
+use echo_device::DeviceSim;
+use echo_memory::{
+    Allocation, AllocationTag, DataStructureKind, DeviceMemory, WorkspaceLease, WorkspacePool,
+};
+use echo_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Options controlling one execution.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Training (forward + backward with stashing) vs. inference.
+    pub training: bool,
+    /// Numeric plane (real tensors) vs. symbolic plane (shapes only).
+    pub numeric: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            training: true,
+            numeric: true,
+        }
+    }
+}
+
+/// Statistics of one executed iteration.
+#[derive(Debug, Clone, Default)]
+pub struct IterationStats {
+    /// Loss value (numeric plane, when the target is scalar).
+    pub loss: Option<f32>,
+    /// Peak device bytes during this iteration.
+    pub peak_bytes: u64,
+    /// Number of segment replays performed by the backward pass.
+    pub replays: u64,
+    /// Simulated nanoseconds this iteration took (when a device simulator
+    /// was attached).
+    pub sim_ns: Option<u64>,
+}
+
+/// Runs a [`Graph`] under a [`StashPlan`] against a simulated device.
+///
+/// The executor owns the parameter values, their gradient buffers, and the
+/// workspace pools used by recomputation segments. See the
+/// [crate documentation](crate) for the execution disciplines it maintains.
+pub struct Executor {
+    graph: Arc<Graph>,
+    plan: StashPlan,
+    mem: DeviceMemory,
+    pools: HashMap<usize, WorkspacePool>,
+    params: HashMap<NodeId, Tensor>,
+    param_shapes: HashMap<NodeId, Shape>,
+    grads: HashMap<NodeId, Tensor>,
+    param_allocs: Vec<Allocation>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("nodes", &self.graph.len())
+            .field("params", &self.params.len())
+            .field("recompute_nodes", &self.plan.recompute_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Executor {
+    /// Creates an executor for `graph` with stashing decisions `plan`,
+    /// allocating from `mem`.
+    pub fn new(graph: Arc<Graph>, plan: StashPlan, mem: DeviceMemory) -> Self {
+        Executor {
+            graph,
+            plan,
+            mem,
+            pools: HashMap::new(),
+            params: HashMap::new(),
+            param_shapes: HashMap::new(),
+            grads: HashMap::new(),
+            param_allocs: Vec::new(),
+        }
+    }
+
+    /// The executor's graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The device memory this executor allocates from.
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// Replaces the stash plan (used when re-compiling with the Echo pass).
+    pub fn set_plan(&mut self, plan: StashPlan) {
+        self.plan = plan;
+        self.pools.clear();
+    }
+
+    /// The active stash plan.
+    pub fn plan(&self) -> &StashPlan {
+        &self.plan
+    }
+
+    /// Binds a parameter's value, allocating persistent device space for
+    /// the value and its gradient (both tagged as weights, matching the
+    /// paper's "Weights" category which includes gradients and optimizer
+    /// state).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a foreign id, a non-param node, or device OOM.
+    pub fn bind_param(&mut self, id: NodeId, value: Tensor) -> Result<()> {
+        let node = self.graph.node(id)?;
+        if !matches!(node.kind, NodeKind::Param) {
+            return Err(GraphError::Operator {
+                op: node.name.clone(),
+                message: "bind_param on a non-parameter node".to_string(),
+            });
+        }
+        let bytes = value.num_bytes() as u64;
+        let tag = AllocationTag::new(node.layer, DataStructureKind::Weight, node.name.clone());
+        // Value + gradient.
+        self.param_allocs.push(self.mem.alloc(bytes * 2, tag)?);
+        self.param_shapes.insert(id, value.shape().clone());
+        self.grads.insert(id, Tensor::zeros(value.shape().clone()));
+        self.params.insert(id, value);
+        Ok(())
+    }
+
+    /// Binds only a parameter's shape (symbolic plane).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a foreign id, a non-param node, or device OOM.
+    pub fn bind_param_shape(&mut self, id: NodeId, shape: Shape) -> Result<()> {
+        let node = self.graph.node(id)?;
+        if !matches!(node.kind, NodeKind::Param) {
+            return Err(GraphError::Operator {
+                op: node.name.clone(),
+                message: "bind_param_shape on a non-parameter node".to_string(),
+            });
+        }
+        let bytes = shape.num_bytes() as u64;
+        let tag = AllocationTag::new(node.layer, DataStructureKind::Weight, node.name.clone());
+        self.param_allocs.push(self.mem.alloc(bytes * 2, tag)?);
+        self.param_shapes.insert(id, shape);
+        Ok(())
+    }
+
+    /// A bound parameter's value.
+    pub fn param(&self, id: NodeId) -> Option<&Tensor> {
+        self.params.get(&id)
+    }
+
+    /// Mutable access to a bound parameter (for optimizer updates).
+    pub fn param_mut(&mut self, id: NodeId) -> Option<&mut Tensor> {
+        self.params.get_mut(&id)
+    }
+
+    /// The accumulated gradient of a parameter after a `train_step`.
+    pub fn grad(&self, id: NodeId) -> Option<&Tensor> {
+        self.grads.get(&id)
+    }
+
+    /// Mutable access to a parameter gradient (for clipping).
+    pub fn grad_mut(&mut self, id: NodeId) -> Option<&mut Tensor> {
+        self.grads.get_mut(&id)
+    }
+
+    /// Visits every `(param_id, value, grad)` triple mutably, for
+    /// optimizers.
+    pub fn for_each_param_grad(&mut self, mut f: impl FnMut(NodeId, &mut Tensor, &mut Tensor)) {
+        let grads = &mut self.grads;
+        for (&id, value) in self.params.iter_mut() {
+            if let Some(grad) = grads.get_mut(&id) {
+                f(id, value, grad);
+            }
+        }
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grads(&mut self) {
+        for g in self.grads.values_mut() {
+            g.fill_zero();
+        }
+    }
+
+    /// Runs a forward pass to `target` and returns its value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator, binding and OOM errors; requesting the value in
+    /// a symbolic run yields [`GraphError::SymbolicPlane`].
+    pub fn forward(
+        &mut self,
+        bindings: &HashMap<NodeId, Tensor>,
+        target: NodeId,
+        opts: ExecOptions,
+        device: Option<&mut DeviceSim>,
+    ) -> Result<Tensor> {
+        let mut run = Run::new(self, bindings, opts, device)?;
+        run.forward(target)?;
+        let out = if opts.numeric {
+            run.values[target.index()]
+                .clone()
+                .ok_or(GraphError::SymbolicPlane {
+                    what: "output value",
+                })
+        } else {
+            Err(GraphError::SymbolicPlane {
+                what: "output value",
+            })
+        };
+        run.finish();
+        out
+    }
+
+    /// Runs a full training iteration (forward + backward from a scalar
+    /// `loss` node), leaving parameter gradients in the executor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator, binding and OOM errors. In the numeric plane a
+    /// non-scalar loss is rejected.
+    pub fn train_step(
+        &mut self,
+        bindings: &HashMap<NodeId, Tensor>,
+        loss: NodeId,
+        opts: ExecOptions,
+        device: Option<&mut DeviceSim>,
+    ) -> Result<IterationStats> {
+        self.zero_grads();
+        let peak_before = {
+            self.mem.reset_peak();
+            self.mem.peak_bytes()
+        };
+        let sim_start = device.as_ref().map(|d| d.elapsed_ns());
+        let mut run = Run::new(self, bindings, opts, device)?;
+        run.forward(loss)?;
+
+        let loss_value = if opts.numeric {
+            let t = run.values[loss.index()]
+                .as_ref()
+                .ok_or(GraphError::SymbolicPlane { what: "loss value" })?;
+            if t.len() != 1 {
+                return Err(GraphError::NonScalarLoss {
+                    shape: t.shape().to_string(),
+                });
+            }
+            Some(t.data()[0])
+        } else {
+            None
+        };
+
+        run.backward(loss)?;
+        let replays = run.replays;
+        let sim_ns = match (&run.device, sim_start) {
+            (Some(d), Some(start)) => Some(d.elapsed_ns().saturating_sub(start)),
+            _ => None,
+        };
+        run.finish();
+        let peak = self.mem.peak_bytes().max(peak_before);
+        Ok(IterationStats {
+            loss: loss_value,
+            peak_bytes: peak,
+            replays,
+            sim_ns,
+        })
+    }
+}
+
+/// One in-flight execution over the graph.
+struct Run<'e> {
+    exec: &'e mut Executor,
+    bindings: &'e HashMap<NodeId, Tensor>,
+    opts: ExecOptions,
+    device: Option<&'e mut DeviceSim>,
+    /// Per-node numeric values (numeric plane only).
+    values: Vec<Option<Tensor>>,
+    /// Per-node shapes (both planes).
+    shapes: Vec<Option<Shape>>,
+    /// Per-node operator-private saved tensors.
+    saved: Vec<Option<Saved>>,
+    /// Per-node device allocation for the output (and saved) bytes.
+    allocs: Vec<Option<Allocation>>,
+    /// Remaining forward uses, for transient freeing.
+    fwd_uses: Vec<usize>,
+    /// Whether each node is in the execution cone.
+    needed: Vec<bool>,
+    /// Gradient per node during backward (numeric).
+    grads: Vec<Option<Tensor>>,
+    /// Whether a gradient is present (symbolic).
+    grad_present: Vec<bool>,
+    /// Gradient allocations per node (transient).
+    grad_allocs: Vec<Option<Allocation>>,
+    /// Replay scratch per segment id.
+    scratch: HashMap<usize, SegmentScratch>,
+    replays: u64,
+}
+
+struct SegmentScratch {
+    values: HashMap<NodeId, Tensor>,
+    saved: HashMap<NodeId, Saved>,
+    shapes: HashMap<NodeId, Shape>,
+    _lease: WorkspaceLease,
+    /// Smallest topo index in the segment: once backward passes it the
+    /// scratch is dead.
+    min_index: usize,
+}
+
+impl<'e> Run<'e> {
+    fn new(
+        exec: &'e mut Executor,
+        bindings: &'e HashMap<NodeId, Tensor>,
+        opts: ExecOptions,
+        device: Option<&'e mut DeviceSim>,
+    ) -> Result<Self> {
+        let n = exec.graph.len();
+        Ok(Run {
+            exec,
+            bindings,
+            opts,
+            device,
+            values: vec![None; n],
+            shapes: vec![None; n],
+            saved: (0..n).map(|_| None).collect(),
+            allocs: (0..n).map(|_| None).collect(),
+            fwd_uses: vec![0; n],
+            needed: vec![false; n],
+            grads: vec![None; n],
+            grad_present: vec![false; n],
+            grad_allocs: (0..n).map(|_| None).collect(),
+            scratch: HashMap::new(),
+            replays: 0,
+        })
+    }
+
+    fn graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.exec.graph)
+    }
+
+    fn dispatch(&mut self, launches: &[KernelLaunch]) {
+        if let Some(device) = self.device.as_deref_mut() {
+            for l in launches {
+                match &l.spec {
+                    LaunchSpec::Kernel(cost) => {
+                        device.launch(&l.name, l.category, *cost);
+                    }
+                    LaunchSpec::Gemm(spec) => {
+                        device.launch_gemm(&l.name, spec);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether this node's output should be kept as a feature map until
+    /// backward.
+    fn is_stashed(&self, id: NodeId) -> bool {
+        self.opts.training && matches!(self.exec.plan.policy(id), StashPolicy::Stash)
+    }
+
+    fn forward(&mut self, target: NodeId) -> Result<()> {
+        let graph = self.graph();
+        for id in graph.ancestors(target) {
+            self.needed[id.index()] = true;
+        }
+        // Count in-cone forward consumers for transient freeing.
+        for node in graph.nodes() {
+            if !self.needed[node.id.index()] {
+                continue;
+            }
+            for &input in node.inputs() {
+                self.fwd_uses[input.index()] += 1;
+            }
+        }
+
+        for node in graph.nodes() {
+            let id = node.id;
+            if !self.needed[id.index()] {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Input => {
+                    let value =
+                        self.bindings
+                            .get(&id)
+                            .ok_or_else(|| GraphError::MissingBinding {
+                                name: node.name.clone(),
+                            })?;
+                    let shape = value.shape().clone();
+                    let tag = AllocationTag::new(
+                        node.layer,
+                        DataStructureKind::Placeholder,
+                        node.name.clone(),
+                    );
+                    self.allocs[id.index()] =
+                        Some(self.exec.mem.alloc(shape.num_bytes() as u64, tag)?);
+                    if self.opts.numeric {
+                        self.values[id.index()] = Some(value.clone());
+                    }
+                    self.shapes[id.index()] = Some(shape);
+                }
+                NodeKind::Param => {
+                    let shape = self.exec.param_shapes.get(&id).cloned().ok_or_else(|| {
+                        GraphError::MissingBinding {
+                            name: node.name.clone(),
+                        }
+                    })?;
+                    self.shapes[id.index()] = Some(shape);
+                    // Params were allocated at bind time; values are read
+                    // from the executor map directly.
+                }
+                NodeKind::Op { op, inputs } => {
+                    let op = Arc::clone(op);
+                    let input_ids = inputs.clone();
+                    if let Some(device) = self.device.as_deref_mut() {
+                        device.dispatch_op();
+                    }
+                    // Shapes.
+                    let in_shapes: Vec<Shape> = input_ids
+                        .iter()
+                        .map(|&i| self.shape_of(i))
+                        .collect::<Result<_>>()?;
+                    let shape_refs: Vec<&Shape> = in_shapes.iter().collect();
+                    let out_shape = op.infer_shape(&shape_refs)?;
+
+                    // Numeric compute.
+                    // The declared saved bytes may exceed what forward
+                    // numerically saves (cuDNN-style conservative reserve);
+                    // the device allocation honours the larger of the two so
+                    // both planes account identically.
+                    let mut saved_bytes = op.saved_bytes(&shape_refs, &out_shape);
+                    if self.opts.numeric {
+                        let in_values: Vec<&Tensor> = input_ids
+                            .iter()
+                            .map(|&i| self.value_of(i))
+                            .collect::<Result<_>>()?;
+                        let (out, saved) = op.forward(&in_values)?;
+                        saved_bytes =
+                            saved_bytes.max(saved.iter().map(|t| t.num_bytes() as u64).sum());
+                        let keep_saved = self.opts.training && self.is_stashed(id);
+                        self.values[id.index()] = Some(out);
+                        self.saved[id.index()] = if keep_saved && !saved.is_empty() {
+                            Some(saved)
+                        } else {
+                            None
+                        };
+                    }
+
+                    // Device launches.
+                    let launches = op.forward_launches(&shape_refs, &out_shape);
+                    self.dispatch(&launches);
+
+                    // Memory: output (+ saved when stashed).
+                    let stashed = self.is_stashed(id);
+                    let kind = if stashed {
+                        DataStructureKind::FeatureMap
+                    } else {
+                        DataStructureKind::Placeholder
+                    };
+                    let bytes = out_shape.num_bytes() as u64
+                        + if stashed && self.opts.training {
+                            saved_bytes
+                        } else {
+                            0
+                        };
+                    let tag = AllocationTag::new(node.layer, kind, node.name.clone());
+                    self.allocs[id.index()] = Some(self.exec.mem.alloc(bytes, tag)?);
+                    self.shapes[id.index()] = Some(out_shape);
+
+                    // Transient freeing of this op's inputs.
+                    for &input in &input_ids {
+                        self.fwd_uses[input.index()] -= 1;
+                        self.maybe_free_after_forward(input, target);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Frees a node's forward value if it is transient and fully consumed.
+    fn maybe_free_after_forward(&mut self, id: NodeId, target: NodeId) {
+        if id == target || self.fwd_uses[id.index()] > 0 {
+            return;
+        }
+        let node = &self.exec.graph.nodes()[id.index()];
+        let transient = match node.kind {
+            NodeKind::Op { .. } => !self.is_stashed(id),
+            // Inputs stay bound for the iteration; params persist.
+            _ => false,
+        };
+        if transient {
+            // Recompute-policy values are dropped in training too — that is
+            // the entire point of partial forward propagation.
+            self.allocs[id.index()] = None;
+            self.values[id.index()] = None;
+            self.saved[id.index()] = None;
+        }
+    }
+
+    fn shape_of(&self, id: NodeId) -> Result<Shape> {
+        if let Some(s) = &self.shapes[id.index()] {
+            return Ok(s.clone());
+        }
+        Err(GraphError::MissingBinding {
+            name: self.exec.graph.nodes()[id.index()].name.clone(),
+        })
+    }
+
+    fn value_of(&self, id: NodeId) -> Result<&Tensor> {
+        if let Some(v) = &self.values[id.index()] {
+            return Ok(v);
+        }
+        if let Some(v) = self.exec.params.get(&id) {
+            return Ok(v);
+        }
+        Err(GraphError::MissingBinding {
+            name: self.exec.graph.nodes()[id.index()].name.clone(),
+        })
+    }
+
+    /// Fetches a value for backward, replaying its segment if it was
+    /// dropped under a `Recompute` policy.
+    fn backward_value(&mut self, id: NodeId) -> Result<Tensor> {
+        if self.values[id.index()].is_some() || self.exec.params.contains_key(&id) {
+            return self.value_of(id).cloned();
+        }
+        let policy = self.exec.plan.policy(id);
+        if let StashPolicy::Recompute(seg) = policy {
+            self.ensure_replayed(seg.id)?;
+            if let Some(s) = self.scratch.get(&seg.id) {
+                if let Some(v) = s.values.get(&id) {
+                    return Ok(v.clone());
+                }
+            }
+        }
+        Err(GraphError::MissingBinding {
+            name: self.exec.graph.nodes()[id.index()].name.clone(),
+        })
+    }
+
+    fn backward_saved(&mut self, id: NodeId) -> Result<Saved> {
+        if let Some(s) = &self.saved[id.index()] {
+            return Ok(s.clone());
+        }
+        if let StashPolicy::Recompute(seg) = self.exec.plan.policy(id) {
+            self.ensure_replayed(seg.id)?;
+            if let Some(s) = self.scratch.get(&seg.id) {
+                if let Some(v) = s.saved.get(&id) {
+                    return Ok(v.clone());
+                }
+            }
+        }
+        Ok(Vec::new())
+    }
+
+    /// Replays segment `seg` (once): forward from stashed boundary values
+    /// into a workspace-leased scratch.
+    fn ensure_replayed(&mut self, seg: usize) -> Result<()> {
+        if self.scratch.contains_key(&seg) {
+            return Ok(());
+        }
+        let graph = self.graph();
+        let nodes = self.exec.plan.segment_nodes(seg);
+        let nodes: Vec<NodeId> = nodes
+            .into_iter()
+            .filter(|n| self.needed[n.index()])
+            .collect();
+        if nodes.is_empty() {
+            return Ok(());
+        }
+        let pool_id = match self.exec.plan.policy(nodes[0]) {
+            StashPolicy::Recompute(s) => s.pool,
+            StashPolicy::Stash => 0,
+        };
+        let min_index = nodes.iter().map(|n| n.index()).min().expect("non-empty");
+
+        // Compute scratch size and values.
+        let mut values: HashMap<NodeId, Tensor> = HashMap::new();
+        let mut saved: HashMap<NodeId, Saved> = HashMap::new();
+        let mut shapes: HashMap<NodeId, Shape> = HashMap::new();
+        let mut bytes = 0u64;
+
+        for &id in &nodes {
+            let node = &graph.nodes()[id.index()];
+            let (op, input_ids) = match &node.kind {
+                NodeKind::Op { op, inputs } => (Arc::clone(op), inputs.clone()),
+                _ => {
+                    return Err(GraphError::Operator {
+                        op: node.name.clone(),
+                        message: "recompute segment contains a non-op node".to_string(),
+                    })
+                }
+            };
+            // Boundary inputs are normally stashed values/params/bindings;
+            // under generic checkpointing plans (Chen et al.) a boundary
+            // input may itself belong to another recompute segment, which
+            // is replayed recursively first (topological order bounds the
+            // recursion).
+            for &i in &input_ids {
+                if shapes.contains_key(&i)
+                    || self.values[i.index()].is_some()
+                    || self.exec.params.contains_key(&i)
+                {
+                    continue;
+                }
+                if let StashPolicy::Recompute(other) = self.exec.plan.policy(i) {
+                    if other.id != seg && !self.scratch_has(i) {
+                        self.ensure_replayed(other.id)?;
+                    }
+                }
+            }
+            let in_shapes: Vec<Shape> = input_ids
+                .iter()
+                .map(|&i| {
+                    shapes
+                        .get(&i)
+                        .cloned()
+                        .map(Ok)
+                        .unwrap_or_else(|| self.replay_shape_of(i))
+                })
+                .collect::<Result<_>>()?;
+            let shape_refs: Vec<&Shape> = in_shapes.iter().collect();
+            let out_shape = op.infer_shape(&shape_refs)?;
+            let mut saved_size = op.saved_bytes(&shape_refs, &out_shape);
+
+            if self.opts.numeric {
+                let mut owned: Vec<Tensor> = Vec::with_capacity(input_ids.len());
+                for &i in &input_ids {
+                    if let Some(v) = values.get(&i) {
+                        owned.push(v.clone());
+                    } else if let Some(v) = self.scratch_value(i) {
+                        owned.push(v);
+                    } else {
+                        owned.push(self.value_of(i)?.clone());
+                    }
+                }
+                let refs: Vec<&Tensor> = owned.iter().collect();
+                let (out, s) = op.forward(&refs)?;
+                saved_size = saved_size.max(s.iter().map(|t| t.num_bytes() as u64).sum());
+                values.insert(id, out);
+                if !s.is_empty() {
+                    saved.insert(id, s);
+                }
+            }
+            let launches = op.forward_launches(&shape_refs, &out_shape);
+            self.dispatch(&launches);
+            bytes += out_shape.num_bytes() as u64 + saved_size;
+            shapes.insert(id, out_shape);
+        }
+
+        let pool = self
+            .exec
+            .pools
+            .entry(pool_id)
+            .or_insert_with(|| {
+                WorkspacePool::new(
+                    self.exec.mem.clone(),
+                    graph.nodes()[min_index].layer,
+                    format!("segment_pool_{pool_id}"),
+                )
+            })
+            .clone();
+        let lease = pool.lease(bytes)?;
+        self.replays += 1;
+        self.scratch.insert(
+            seg,
+            SegmentScratch {
+                values,
+                saved,
+                shapes,
+                _lease: lease,
+                min_index,
+            },
+        );
+        Ok(())
+    }
+
+    fn backward(&mut self, loss: NodeId) -> Result<()> {
+        let graph = self.graph();
+        // Seed.
+        if self.opts.numeric {
+            let shape = self.shape_of(loss)?;
+            self.grads[loss.index()] = Some(Tensor::full(shape, 1.0));
+        }
+        self.grad_present[loss.index()] = true;
+        self.alloc_grad(loss)?;
+
+        for idx in (0..graph.len()).rev() {
+            let id = NodeId(idx);
+            if !self.needed[idx] || !self.grad_present[idx] {
+                continue;
+            }
+            let node = &graph.nodes()[idx];
+            let (op, input_ids) = match &node.kind {
+                NodeKind::Op { op, inputs } => {
+                    if let Some(device) = self.device.as_deref_mut() {
+                        device.dispatch_op();
+                    }
+                    (Arc::clone(op), inputs.clone())
+                }
+                NodeKind::Param => {
+                    // Accumulate into the executor's persistent grad buffer.
+                    if self.opts.numeric {
+                        if let Some(g) = self.grads[idx].take() {
+                            let acc = self
+                                .exec
+                                .grads
+                                .get_mut(&id)
+                                .expect("param grad buffer exists");
+                            acc.axpy(1.0, &g).map_err(GraphError::from)?;
+                        }
+                    }
+                    self.free_grad(id);
+                    continue;
+                }
+                NodeKind::Input => {
+                    // Gradients w.r.t. data are discarded.
+                    self.grads[idx] = None;
+                    self.free_grad(id);
+                    continue;
+                }
+            };
+
+            let needs = op.stash();
+            let mut input_grads: Vec<Option<Tensor>> = Vec::new();
+            if self.opts.numeric {
+                // Collect required values (replaying segments as needed).
+                let mut owned_inputs: Vec<Option<Tensor>> = Vec::with_capacity(input_ids.len());
+                if needs.inputs {
+                    for &i in &input_ids {
+                        owned_inputs.push(Some(self.backward_value(i)?));
+                    }
+                } else {
+                    owned_inputs.resize(input_ids.len(), None);
+                }
+                let output_owned = if needs.output {
+                    Some(self.backward_value(id)?)
+                } else {
+                    None
+                };
+                let saved = self.backward_saved(id)?;
+                let dy = self.grads[idx].clone().expect("grad present");
+                let input_refs: Vec<Option<&Tensor>> =
+                    owned_inputs.iter().map(|o| o.as_ref()).collect();
+                input_grads = op.backward(&input_refs, output_owned.as_ref(), &saved, &dy)?;
+                if input_grads.len() != input_ids.len() {
+                    return Err(GraphError::Operator {
+                        op: op.name().to_string(),
+                        message: format!(
+                            "backward returned {} gradients for {} inputs",
+                            input_grads.len(),
+                            input_ids.len()
+                        ),
+                    });
+                }
+            } else {
+                // Symbolic plane: mark all differentiable inputs as having
+                // gradients; trigger replay accounting when values would
+                // have been needed.
+                if needs.inputs {
+                    for &i in &input_ids {
+                        if self.values[i.index()].is_none()
+                            && !self.exec.params.contains_key(&i)
+                            && matches!(self.exec.plan.policy(i), StashPolicy::Recompute(_))
+                        {
+                            if let StashPolicy::Recompute(seg) = self.exec.plan.policy(i) {
+                                self.ensure_replayed(seg.id)?;
+                            }
+                        }
+                    }
+                }
+                if needs.output {
+                    if let StashPolicy::Recompute(seg) = self.exec.plan.policy(id) {
+                        self.ensure_replayed(seg.id)?;
+                    }
+                }
+            }
+
+            // Backward kernel launches.
+            let in_shapes: Vec<Shape> = input_ids
+                .iter()
+                .map(|&i| self.backward_shape(i))
+                .collect::<Result<_>>()?;
+            let shape_refs: Vec<&Shape> = in_shapes.iter().collect();
+            let out_shape = self.backward_shape(id)?;
+            let launches = op.backward_launches(&shape_refs, &out_shape);
+            self.dispatch(&launches);
+
+            // Propagate.
+            for (slot, &input) in input_ids.iter().enumerate() {
+                if !op.input_differentiable(slot) {
+                    continue;
+                }
+                if self.opts.numeric {
+                    if let Some(g) = input_grads[slot].take() {
+                        match &mut self.grads[input.index()] {
+                            Some(acc) => acc.axpy(1.0, &g).map_err(GraphError::from)?,
+                            slot_ref @ None => *slot_ref = Some(g),
+                        }
+                    } else {
+                        continue;
+                    }
+                }
+                if !self.grad_present[input.index()] {
+                    self.grad_present[input.index()] = true;
+                    self.alloc_grad(input)?;
+                }
+            }
+
+            // This node's grad, output feature map and saved state are dead.
+            self.grads[idx] = None;
+            self.free_grad(id);
+            self.allocs[idx] = None;
+            self.values[idx] = None;
+            self.saved[idx] = None;
+
+            // Retire scratches whose segment is fully below the cursor.
+            self.scratch.retain(|_, s| s.min_index < idx);
+        }
+        self.scratch.clear();
+        Ok(())
+    }
+
+    /// Whether any active scratch already holds `id`'s value.
+    fn scratch_has(&self, id: NodeId) -> bool {
+        self.scratch.values().any(|s| s.shapes.contains_key(&id))
+    }
+
+    /// Fetches `id`'s value from any active scratch.
+    fn scratch_value(&self, id: NodeId) -> Option<Tensor> {
+        self.scratch
+            .values()
+            .find_map(|s| s.values.get(&id).cloned())
+    }
+
+    /// Shape lookup that also consults active replay scratches.
+    fn replay_shape_of(&self, id: NodeId) -> Result<Shape> {
+        if let Some(s) = &self.shapes[id.index()] {
+            return Ok(s.clone());
+        }
+        for scratch in self.scratch.values() {
+            if let Some(shape) = scratch.shapes.get(&id) {
+                return Ok(shape.clone());
+            }
+        }
+        self.shape_of(id)
+    }
+
+    fn backward_shape(&mut self, id: NodeId) -> Result<Shape> {
+        if let Some(s) = &self.shapes[id.index()] {
+            return Ok(s.clone());
+        }
+        for s in self.scratch.values() {
+            if let Some(shape) = s.shapes.get(&id) {
+                return Ok(shape.clone());
+            }
+        }
+        self.shape_of(id)
+    }
+
+    fn alloc_grad(&mut self, id: NodeId) -> Result<()> {
+        if self.grad_allocs[id.index()].is_some() {
+            return Ok(());
+        }
+        let graph = self.graph();
+        let node = &graph.nodes()[id.index()];
+        if matches!(node.kind, NodeKind::Param) {
+            return Ok(()); // persistent grad space was allocated at bind
+        }
+        let shape = self.backward_shape(id)?;
+        let tag = AllocationTag::new(
+            node.layer,
+            DataStructureKind::Placeholder,
+            format!("{}_grad", node.name),
+        );
+        self.grad_allocs[id.index()] = Some(self.exec.mem.alloc(shape.num_bytes() as u64, tag)?);
+        Ok(())
+    }
+
+    fn free_grad(&mut self, id: NodeId) {
+        self.grad_allocs[id.index()] = None;
+    }
+
+    fn finish(self) {
+        // All transient allocations drop here.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{KernelLaunch, StashNeeds};
+    use echo_device::{DeviceSpec, KernelCategory, KernelCost};
+    use echo_memory::LayerKind;
+    use echo_tensor::kernels;
+
+    /// y = tanh(x), stashing its output like a real framework op.
+    #[derive(Debug)]
+    struct Tanh;
+
+    impl crate::op::Operator for Tanh {
+        fn name(&self) -> &str {
+            "tanh"
+        }
+        fn category(&self) -> KernelCategory {
+            KernelCategory::Activation
+        }
+        fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+            Ok(inputs[0].clone())
+        }
+        fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Saved)> {
+            Ok((kernels::tanh(inputs[0]), Vec::new()))
+        }
+        fn backward(
+            &self,
+            _inputs: &[Option<&Tensor>],
+            output: Option<&Tensor>,
+            _saved: &[Tensor],
+            dy: &Tensor,
+        ) -> Result<Vec<Option<Tensor>>> {
+            let y = output.expect("tanh stashes its output");
+            Ok(vec![Some(kernels::tanh_backward(y, dy)?)])
+        }
+        fn stash(&self) -> StashNeeds {
+            StashNeeds::OUTPUT
+        }
+        fn forward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+            vec![KernelLaunch::kernel(
+                "tanh_fwd",
+                KernelCategory::Activation,
+                KernelCost::elementwise(o.num_elements(), 2),
+            )]
+        }
+        fn backward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+            vec![KernelLaunch::kernel(
+                "tanh_bwd",
+                KernelCategory::Activation,
+                KernelCost::elementwise(o.num_elements(), 3),
+            )]
+        }
+    }
+
+    /// y = x * w (element-wise), with w a parameter.
+    #[derive(Debug)]
+    struct MulParam;
+
+    impl crate::op::Operator for MulParam {
+        fn name(&self) -> &str {
+            "mul"
+        }
+        fn category(&self) -> KernelCategory {
+            KernelCategory::Elementwise
+        }
+        fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+            Ok(inputs[0].clone())
+        }
+        fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Saved)> {
+            Ok((inputs[0].mul(inputs[1])?, Vec::new()))
+        }
+        fn backward(
+            &self,
+            inputs: &[Option<&Tensor>],
+            _output: Option<&Tensor>,
+            _saved: &[Tensor],
+            dy: &Tensor,
+        ) -> Result<Vec<Option<Tensor>>> {
+            let x = inputs[0].expect("stash inputs");
+            let w = inputs[1].expect("stash inputs");
+            Ok(vec![Some(dy.mul(w)?), Some(dy.mul(x)?)])
+        }
+        fn stash(&self) -> StashNeeds {
+            StashNeeds::INPUTS
+        }
+        fn forward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+            vec![KernelLaunch::kernel(
+                "mul_fwd",
+                KernelCategory::Elementwise,
+                KernelCost::elementwise(o.num_elements(), 3),
+            )]
+        }
+        fn backward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+            vec![KernelLaunch::kernel(
+                "mul_bwd",
+                KernelCategory::Elementwise,
+                KernelCost::elementwise(o.num_elements(), 4),
+            )]
+        }
+    }
+
+    /// loss = sum(x).
+    #[derive(Debug)]
+    struct SumAll;
+
+    impl crate::op::Operator for SumAll {
+        fn name(&self) -> &str {
+            "sum"
+        }
+        fn category(&self) -> KernelCategory {
+            KernelCategory::Reduction
+        }
+        fn infer_shape(&self, _inputs: &[&Shape]) -> Result<Shape> {
+            Ok(Shape::scalar())
+        }
+        fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Saved)> {
+            Ok((Tensor::scalar(inputs[0].sum() as f32), Vec::new()))
+        }
+        fn backward(
+            &self,
+            inputs: &[Option<&Tensor>],
+            _output: Option<&Tensor>,
+            _saved: &[Tensor],
+            dy: &Tensor,
+        ) -> Result<Vec<Option<Tensor>>> {
+            let x = inputs[0].expect("stash inputs");
+            Ok(vec![Some(Tensor::full(x.shape().clone(), dy.data()[0]))])
+        }
+        fn stash(&self) -> StashNeeds {
+            StashNeeds::INPUTS
+        }
+        fn forward_launches(&self, i: &[&Shape], _o: &Shape) -> Vec<KernelLaunch> {
+            vec![KernelLaunch::kernel(
+                "sum_fwd",
+                KernelCategory::Reduction,
+                KernelCost::elementwise(i[0].num_elements(), 1),
+            )]
+        }
+        fn backward_launches(&self, i: &[&Shape], _o: &Shape) -> Vec<KernelLaunch> {
+            vec![KernelLaunch::kernel(
+                "sum_bwd",
+                KernelCategory::Reduction,
+                KernelCost::elementwise(i[0].num_elements(), 1),
+            )]
+        }
+    }
+
+    fn chain_graph() -> (Arc<Graph>, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        // loss = sum(tanh(tanh(x * w)))
+        let mut g = Graph::new();
+        let x = g.input("x", LayerKind::Other);
+        let w = g.param("w", LayerKind::Rnn);
+        let m = g.apply("m", Arc::new(MulParam), &[x, w], LayerKind::Rnn);
+        let t1 = g.apply("t1", Arc::new(Tanh), &[m], LayerKind::Rnn);
+        let t2 = g.apply("t2", Arc::new(Tanh), &[t1], LayerKind::Rnn);
+        let loss = g.apply("loss", Arc::new(SumAll), &[t2], LayerKind::Output);
+        (Arc::new(g), x, w, t1, t2, loss)
+    }
+
+    fn mem() -> DeviceMemory {
+        DeviceMemory::with_overhead_model(1 << 30, 0, 0.0)
+    }
+
+    #[test]
+    fn forward_computes_chain() {
+        let (g, x, w, _, t2, _) = chain_graph();
+        let mut exec = Executor::new(g, StashPlan::stash_all(), mem());
+        exec.bind_param(w, Tensor::full(Shape::d1(4), 0.5)).unwrap();
+        let mut bindings = HashMap::new();
+        bindings.insert(x, Tensor::full(Shape::d1(4), 1.0));
+        let out = exec
+            .forward(&bindings, t2, ExecOptions::default(), None)
+            .unwrap();
+        let expect = (0.5f32).tanh().tanh();
+        assert!((out.data()[0] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn train_step_produces_param_grads() {
+        let (g, x, w, _, _, loss) = chain_graph();
+        let mut exec = Executor::new(g, StashPlan::stash_all(), mem());
+        exec.bind_param(w, Tensor::full(Shape::d1(4), 0.5)).unwrap();
+        let mut bindings = HashMap::new();
+        bindings.insert(x, Tensor::full(Shape::d1(4), 1.0));
+        let stats = exec
+            .train_step(&bindings, loss, ExecOptions::default(), None)
+            .unwrap();
+        let loss_v = stats.loss.unwrap();
+        assert!((loss_v - 4.0 * (0.5f32).tanh().tanh()).abs() < 1e-5);
+        let grad = exec.grad(w).unwrap().clone();
+        // Finite-difference check.
+        let eps = 1e-3f32;
+        let loss_at = |wv: f32| 4.0 * (wv).tanh().tanh();
+        let fd = (loss_at(0.5 + eps) - loss_at(0.5 - eps)) / (2.0 * eps);
+        for &gv in grad.data() {
+            assert!((gv - fd / 4.0 * 1.0).abs() < 1e-3, "grad {gv} vs fd {fd}");
+        }
+    }
+
+    #[test]
+    fn recompute_matches_stash_bitwise() {
+        let (g, x, w, t1, _, loss) = chain_graph();
+        let run = |plan: StashPlan| {
+            let mut exec = Executor::new(Arc::clone(&g), plan, mem());
+            exec.bind_param(w, Tensor::from_fn(Shape::d1(4), |i| 0.1 * i as f32 + 0.2))
+                .unwrap();
+            let mut bindings = HashMap::new();
+            bindings.insert(x, Tensor::from_fn(Shape::d1(4), |i| 1.0 - 0.3 * i as f32));
+            let stats = exec
+                .train_step(&bindings, loss, ExecOptions::default(), None)
+                .unwrap();
+            (stats, exec.grad(w).unwrap().clone())
+        };
+        let (s_stash, g_stash) = run(StashPlan::stash_all());
+        let mut plan = StashPlan::stash_all();
+        plan.set(
+            t1,
+            StashPolicy::Recompute(crate::policy::SegmentId { id: 0, pool: 0 }),
+        );
+        let (s_rec, g_rec) = run(plan);
+        assert_eq!(s_stash.loss, s_rec.loss);
+        assert_eq!(g_stash.data(), g_rec.data(), "gradients must be bit-exact");
+        assert_eq!(s_rec.replays, 1);
+        assert_eq!(s_stash.replays, 0);
+    }
+
+    #[test]
+    fn recompute_reduces_peak_memory() {
+        // Larger tensors so the policy effect dominates bookkeeping.
+        let (g, x, w, t1, _, loss) = chain_graph();
+        let n = 64 * 1024;
+        let run = |plan: StashPlan| {
+            let m = mem();
+            let mut exec = Executor::new(Arc::clone(&g), plan, m.clone());
+            exec.bind_param(w, Tensor::full(Shape::d1(n), 0.5)).unwrap();
+            let mut bindings = HashMap::new();
+            bindings.insert(x, Tensor::full(Shape::d1(n), 1.0));
+            exec.train_step(&bindings, loss, ExecOptions::default(), None)
+                .unwrap();
+            m.peak_bytes()
+        };
+        let peak_stash = run(StashPlan::stash_all());
+        let mut plan = StashPlan::stash_all();
+        plan.set(
+            t1,
+            StashPolicy::Recompute(crate::policy::SegmentId { id: 0, pool: 0 }),
+        );
+        let peak_rec = run(plan);
+        assert!(
+            peak_rec < peak_stash,
+            "recompute peak {peak_rec} must be below stash peak {peak_stash}"
+        );
+    }
+
+    #[test]
+    fn symbolic_plane_matches_numeric_memory() {
+        let (g, x, w, _, _, loss) = chain_graph();
+        let n = 1024;
+        let run = |numeric: bool| {
+            let m = mem();
+            let mut exec = Executor::new(Arc::clone(&g), StashPlan::stash_all(), m.clone());
+            if numeric {
+                exec.bind_param(w, Tensor::full(Shape::d1(n), 0.5)).unwrap();
+            } else {
+                exec.bind_param_shape(w, Shape::d1(n)).unwrap();
+            }
+            let mut bindings = HashMap::new();
+            bindings.insert(x, Tensor::full(Shape::d1(n), 1.0));
+            exec.train_step(
+                &bindings,
+                loss,
+                ExecOptions {
+                    training: true,
+                    numeric,
+                },
+                None,
+            )
+            .unwrap();
+            m.peak_bytes()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn device_launches_cover_forward_and_backward() {
+        let (g, x, w, _, _, loss) = chain_graph();
+        let mut exec = Executor::new(g, StashPlan::stash_all(), mem());
+        exec.bind_param(w, Tensor::full(Shape::d1(8), 0.5)).unwrap();
+        let mut bindings = HashMap::new();
+        bindings.insert(x, Tensor::full(Shape::d1(8), 1.0));
+        let mut sim = DeviceSim::new(DeviceSpec::titan_xp());
+        exec.train_step(&bindings, loss, ExecOptions::default(), Some(&mut sim))
+            .unwrap();
+        sim.synchronize();
+        // 4 forward + 4 backward kernels.
+        assert_eq!(sim.api_stats().launch_calls, 8);
+        let trace = sim.summary();
+        assert!(trace.category_ns(KernelCategory::Activation) > 0);
+    }
+
+    #[test]
+    fn recompute_adds_replay_launches() {
+        let (g, x, w, t1, _, loss) = chain_graph();
+        let launches = |plan: StashPlan| {
+            let mut exec = Executor::new(Arc::clone(&g), plan, mem());
+            exec.bind_param(w, Tensor::full(Shape::d1(8), 0.5)).unwrap();
+            let mut bindings = HashMap::new();
+            bindings.insert(x, Tensor::full(Shape::d1(8), 1.0));
+            let mut sim = DeviceSim::new(DeviceSpec::titan_xp());
+            exec.train_step(&bindings, loss, ExecOptions::default(), Some(&mut sim))
+                .unwrap();
+            sim.api_stats().launch_calls
+        };
+        let base = launches(StashPlan::stash_all());
+        let mut plan = StashPlan::stash_all();
+        plan.set(
+            t1,
+            StashPolicy::Recompute(crate::policy::SegmentId { id: 0, pool: 0 }),
+        );
+        assert_eq!(launches(plan), base + 1, "one replayed forward kernel");
+    }
+
+    #[test]
+    fn missing_binding_is_reported() {
+        let (g, _x, w, _, t2, _) = chain_graph();
+        let mut exec = Executor::new(g, StashPlan::stash_all(), mem());
+        exec.bind_param(w, Tensor::full(Shape::d1(4), 0.5)).unwrap();
+        let err = exec
+            .forward(&HashMap::new(), t2, ExecOptions::default(), None)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::MissingBinding { .. }));
+    }
+
+    #[test]
+    fn non_scalar_loss_rejected() {
+        let (g, x, w, _, t2, _) = chain_graph();
+        let mut exec = Executor::new(g, StashPlan::stash_all(), mem());
+        exec.bind_param(w, Tensor::full(Shape::d1(4), 0.5)).unwrap();
+        let mut bindings = HashMap::new();
+        bindings.insert(x, Tensor::full(Shape::d1(4), 1.0));
+        let err = exec
+            .train_step(&bindings, t2, ExecOptions::default(), None)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::NonScalarLoss { .. }));
+    }
+
+    #[test]
+    fn oom_surfaces_from_execution() {
+        let (g, x, w, _, _, loss) = chain_graph();
+        let tiny = DeviceMemory::with_overhead_model(256, 0, 0.0);
+        let mut exec = Executor::new(g, StashPlan::stash_all(), tiny);
+        match exec.bind_param(w, Tensor::full(Shape::d1(64), 0.5)) {
+            Ok(()) => {
+                let mut bindings = HashMap::new();
+                bindings.insert(x, Tensor::full(Shape::d1(64), 1.0));
+                let err = exec
+                    .train_step(&bindings, loss, ExecOptions::default(), None)
+                    .unwrap_err();
+                assert!(matches!(err, GraphError::Oom(_)));
+            }
+            Err(err) => assert!(matches!(err, GraphError::Oom(_))),
+        }
+    }
+}

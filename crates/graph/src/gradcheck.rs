@@ -1,0 +1,93 @@
+//! Finite-difference gradient checking for whole graphs.
+//!
+//! Used by every operator's integration tests: build a small graph ending
+//! in a scalar loss, and compare the executor's analytic parameter
+//! gradients against central finite differences.
+
+use crate::exec::{ExecOptions, Executor};
+use crate::graph::NodeId;
+use crate::Result;
+use echo_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Result of a gradient check for one parameter.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// The parameter checked.
+    pub param: NodeId,
+    /// Largest absolute difference between analytic and numeric gradient.
+    pub max_abs_err: f64,
+    /// Largest relative difference (guarded against tiny denominators).
+    pub max_rel_err: f64,
+    /// Number of elements checked.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// Whether the check passed under the given tolerance.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_abs_err < tol || self.max_rel_err < tol
+    }
+}
+
+/// Compares the executor's analytic gradient for `param` against central
+/// finite differences of the loss, checking up to `max_elems` elements
+/// (spread evenly through the parameter).
+///
+/// # Errors
+///
+/// Propagates execution errors.
+///
+/// # Panics
+///
+/// Panics if `param` is not a bound parameter of `exec`.
+pub fn check_param_grad(
+    exec: &mut Executor,
+    bindings: &HashMap<NodeId, Tensor>,
+    loss: NodeId,
+    param: NodeId,
+    eps: f32,
+    max_elems: usize,
+) -> Result<GradCheckReport> {
+    let opts = ExecOptions::default();
+    exec.train_step(bindings, loss, opts, None)?;
+    let analytic = exec
+        .grad(param)
+        .expect("param must be bound with a gradient buffer")
+        .clone();
+    let n = analytic.len();
+    let stride = (n / max_elems.max(1)).max(1);
+
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    let mut checked = 0usize;
+    for i in (0..n).step_by(stride) {
+        let original = exec.param(param).expect("bound param").data()[i];
+
+        exec.param_mut(param).expect("bound param").data_mut()[i] = original + eps;
+        let lp = exec
+            .train_step(bindings, loss, opts, None)?
+            .loss
+            .expect("numeric loss");
+        exec.param_mut(param).expect("bound param").data_mut()[i] = original - eps;
+        let lm = exec
+            .train_step(bindings, loss, opts, None)?
+            .loss
+            .expect("numeric loss");
+        exec.param_mut(param).expect("bound param").data_mut()[i] = original;
+
+        let fd = f64::from(lp - lm) / (2.0 * f64::from(eps));
+        let an = f64::from(analytic.data()[i]);
+        let abs = (fd - an).abs();
+        let rel = abs / fd.abs().max(an.abs()).max(1e-4);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+        checked += 1;
+    }
+    Ok(GradCheckReport {
+        param,
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        checked,
+    })
+}

@@ -1,0 +1,325 @@
+//! The static dataflow graph.
+
+use crate::op::Operator;
+use crate::{GraphError, Result};
+use echo_memory::LayerKind;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a node within its [`Graph`].
+///
+/// Node ids are dense indices in insertion (and therefore topological)
+/// order: the builder only lets a node consume already-created nodes, so
+/// `id_a < id_b` implies `a` cannot depend on `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs a `NodeId` from a dense index previously obtained via
+    /// [`NodeId::index`] (for analysis tables indexed by node).
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone)]
+pub enum NodeKind {
+    /// A value bound per execution (data batches, target ids, …).
+    Input,
+    /// A trainable parameter, bound once and updated by the optimizer.
+    Param,
+    /// An operator application.
+    Op {
+        /// The operator.
+        op: Arc<dyn Operator + Send + Sync>,
+        /// Ids of the nodes whose outputs this op consumes.
+        inputs: Vec<NodeId>,
+    },
+}
+
+/// One node of the graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The node's id.
+    pub id: NodeId,
+    /// Human-readable name (unique within the graph).
+    pub name: String,
+    /// Input / parameter / operator.
+    pub kind: NodeKind,
+    /// Which model layer this node belongs to, for memory and trace tagging.
+    pub layer: LayerKind,
+}
+
+impl Node {
+    /// Input node ids (empty for inputs/params).
+    pub fn inputs(&self) -> &[NodeId] {
+        match &self.kind {
+            NodeKind::Op { inputs, .. } => inputs,
+            _ => &[],
+        }
+    }
+
+    /// The operator, if this is an op node.
+    pub fn op(&self) -> Option<&(dyn Operator + Send + Sync)> {
+        match &self.kind {
+            NodeKind::Op { op, .. } => Some(op.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// A static, single-assignment dataflow graph.
+///
+/// Build it once per model configuration; the `Executor` then runs it any
+/// number of times. Node insertion order is the topological order.
+///
+/// # Example
+///
+/// ```
+/// use echo_graph::Graph;
+/// use echo_memory::LayerKind;
+///
+/// let mut g = Graph::new();
+/// let x = g.input("x", LayerKind::Other);
+/// assert_eq!(g.node(x).unwrap().name, "x");
+/// assert_eq!(g.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    /// consumers[i] = ids of op nodes that read node i's output.
+    consumers: Vec<Vec<NodeId>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds an input (per-execution binding) node.
+    pub fn input(&mut self, name: impl Into<String>, layer: LayerKind) -> NodeId {
+        self.push(name.into(), NodeKind::Input, layer)
+    }
+
+    /// Adds a parameter node.
+    pub fn param(&mut self, name: impl Into<String>, layer: LayerKind) -> NodeId {
+        self.push(name.into(), NodeKind::Param, layer)
+    }
+
+    /// Applies an operator to existing nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input id does not belong to this graph — that is a
+    /// programming error in model-construction code, not a runtime
+    /// condition.
+    pub fn apply(
+        &mut self,
+        name: impl Into<String>,
+        op: Arc<dyn Operator + Send + Sync>,
+        inputs: &[NodeId],
+        layer: LayerKind,
+    ) -> NodeId {
+        for &i in inputs {
+            assert!(
+                i.0 < self.nodes.len(),
+                "input {i} does not belong to this graph"
+            );
+        }
+        let id = self.push(
+            name.into(),
+            NodeKind::Op {
+                op,
+                inputs: inputs.to_vec(),
+            },
+            layer,
+        );
+        for &i in inputs {
+            self.consumers[i.0].push(id);
+        }
+        id
+    }
+
+    fn push(&mut self, name: String, kind: NodeKind, layer: LayerKind) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            name,
+            kind,
+            layer,
+        });
+        self.consumers.push(Vec::new());
+        id
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] for a foreign id.
+    pub fn node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes
+            .get(id.0)
+            .ok_or(GraphError::UnknownNode { id: id.0 })
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Op nodes that consume `id`'s output.
+    pub fn consumers(&self, id: NodeId) -> &[NodeId] {
+        &self.consumers[id.0]
+    }
+
+    /// Finds a node by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.name == name).map(|n| n.id)
+    }
+
+    /// Ids of all parameter nodes.
+    pub fn params(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Param))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Ids of all input nodes.
+    pub fn input_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Input))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The set of node ids that `target` transitively depends on, including
+    /// itself — the subgraph an execution of `target` must cover.
+    pub fn ancestors(&self, target: NodeId) -> Vec<NodeId> {
+        let mut needed = vec![false; self.nodes.len()];
+        let mut stack = vec![target];
+        while let Some(id) = stack.pop() {
+            if needed[id.0] {
+                continue;
+            }
+            needed[id.0] = true;
+            stack.extend_from_slice(self.nodes[id.0].inputs());
+        }
+        (0..self.nodes.len())
+            .filter(|&i| needed[i])
+            .map(NodeId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{KernelLaunch, Saved, StashNeeds};
+    use echo_device::KernelCategory;
+    use echo_tensor::{Shape, Tensor};
+
+    #[derive(Debug)]
+    struct Nop;
+
+    impl Operator for Nop {
+        fn name(&self) -> &str {
+            "nop"
+        }
+        fn category(&self) -> KernelCategory {
+            KernelCategory::Other
+        }
+        fn infer_shape(&self, inputs: &[&Shape]) -> crate::Result<Shape> {
+            Ok(inputs[0].clone())
+        }
+        fn forward(&self, inputs: &[&Tensor]) -> crate::Result<(Tensor, Saved)> {
+            Ok((inputs[0].clone(), Vec::new()))
+        }
+        fn backward(
+            &self,
+            _inputs: &[Option<&Tensor>],
+            _output: Option<&Tensor>,
+            _saved: &[Tensor],
+            dy: &Tensor,
+        ) -> crate::Result<Vec<Option<Tensor>>> {
+            Ok(vec![Some(dy.clone())])
+        }
+        fn stash(&self) -> StashNeeds {
+            StashNeeds::NONE
+        }
+        fn forward_launches(&self, _i: &[&Shape], _o: &Shape) -> Vec<KernelLaunch> {
+            Vec::new()
+        }
+        fn backward_launches(&self, _i: &[&Shape], _o: &Shape) -> Vec<KernelLaunch> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Graph::new();
+        let x = g.input("x", LayerKind::Other);
+        let w = g.param("w", LayerKind::Rnn);
+        let y = g.apply("y", Arc::new(Nop), &[x], LayerKind::Rnn);
+        let z = g.apply("z", Arc::new(Nop), &[y], LayerKind::Rnn);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.consumers(x), &[y]);
+        assert_eq!(g.consumers(y), &[z]);
+        assert_eq!(g.find("w"), Some(w));
+        assert_eq!(g.params(), vec![w]);
+        assert_eq!(g.input_nodes(), vec![x]);
+        assert!(g.node(NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn ancestors_cover_dependency_cone() {
+        let mut g = Graph::new();
+        let a = g.input("a", LayerKind::Other);
+        let b = g.input("b", LayerKind::Other);
+        let c = g.apply("c", Arc::new(Nop), &[a], LayerKind::Other);
+        let _d = g.apply("d", Arc::new(Nop), &[b], LayerKind::Other);
+        let anc = g.ancestors(c);
+        assert!(anc.contains(&a) && anc.contains(&c));
+        assert!(!anc.contains(&b));
+    }
+
+    #[test]
+    fn insertion_order_is_topological() {
+        let mut g = Graph::new();
+        let a = g.input("a", LayerKind::Other);
+        let b = g.apply("b", Arc::new(Nop), &[a], LayerKind::Other);
+        let c = g.apply("c", Arc::new(Nop), &[b, a], LayerKind::Other);
+        for node in g.nodes() {
+            for &i in node.inputs() {
+                assert!(i < node.id);
+            }
+        }
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,144 @@
+//! Stash policies and recomputation segments — the interface the Echo
+//! compiler pass manipulates.
+
+use crate::graph::NodeId;
+use std::collections::HashMap;
+
+/// Identifier of a recomputation segment.
+///
+/// A segment is a connected set of op nodes whose outputs are not stashed;
+/// when backward needs any of their values the executor replays the whole
+/// segment once from its (stashed) boundary inputs. Segments that share a
+/// `pool` reuse one workspace — the paper's cross-time-step sharing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentId {
+    /// Dense id of the segment.
+    pub id: usize,
+    /// Workspace pool the segment leases from. All per-time-step instances
+    /// of the attention scoring function share one pool.
+    pub pool: usize,
+}
+
+/// Per-node stashing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StashPolicy {
+    /// Keep the node's output (and saved tensors) in device memory from
+    /// forward until backward — the framework default.
+    #[default]
+    Stash,
+    /// Drop after the last forward consumer; replay the segment when
+    /// backward needs the value (partial forward propagation).
+    Recompute(SegmentId),
+}
+
+impl StashPolicy {
+    /// The segment, if this node is recomputed.
+    pub fn segment(self) -> Option<SegmentId> {
+        match self {
+            StashPolicy::Stash => None,
+            StashPolicy::Recompute(s) => Some(s),
+        }
+    }
+}
+
+/// The complete stashing plan for a graph: the artifact the Echo pass
+/// produces and the executor consumes.
+///
+/// # Example
+///
+/// ```
+/// use echo_graph::{StashPlan, StashPolicy, SegmentId};
+/// use echo_graph::NodeId;
+///
+/// let mut plan = StashPlan::default();
+/// // Everything defaults to Stash.
+/// # // NodeId construction is crate-private; plans are normally built by
+/// # // the Echo pass, so this example only exercises the default.
+/// assert_eq!(plan.segment_count(), 0);
+/// plan.set_default(StashPolicy::Stash);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StashPlan {
+    policies: HashMap<NodeId, StashPolicy>,
+    default: StashPolicy,
+    segments: usize,
+}
+
+impl StashPlan {
+    /// A plan that stashes everything (the framework-default behaviour).
+    pub fn stash_all() -> Self {
+        StashPlan::default()
+    }
+
+    /// Sets the policy for nodes not explicitly listed.
+    pub fn set_default(&mut self, policy: StashPolicy) {
+        self.default = policy;
+    }
+
+    /// Sets one node's policy.
+    pub fn set(&mut self, node: NodeId, policy: StashPolicy) {
+        if let StashPolicy::Recompute(seg) = policy {
+            self.segments = self.segments.max(seg.id + 1);
+        }
+        self.policies.insert(node, policy);
+    }
+
+    /// The policy for `node`.
+    pub fn policy(&self, node: NodeId) -> StashPolicy {
+        self.policies.get(&node).copied().unwrap_or(self.default)
+    }
+
+    /// Number of distinct segment ids assigned so far.
+    pub fn segment_count(&self) -> usize {
+        self.segments
+    }
+
+    /// All nodes assigned to `segment`, ascending.
+    pub fn segment_nodes(&self, segment: usize) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .policies
+            .iter()
+            .filter(|(_, p)| matches!(p, StashPolicy::Recompute(s) if s.id == segment))
+            .map(|(&n, _)| n)
+            .collect();
+        nodes.sort();
+        nodes
+    }
+
+    /// Number of nodes marked for recomputation.
+    pub fn recompute_count(&self) -> usize {
+        self.policies
+            .values()
+            .filter(|p| matches!(p, StashPolicy::Recompute(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_stash() {
+        let plan = StashPlan::stash_all();
+        assert_eq!(plan.policy(NodeId(3)), StashPolicy::Stash);
+        assert_eq!(plan.recompute_count(), 0);
+    }
+
+    #[test]
+    fn segments_are_tracked() {
+        let mut plan = StashPlan::default();
+        let seg0 = SegmentId { id: 0, pool: 0 };
+        let seg1 = SegmentId { id: 1, pool: 0 };
+        plan.set(NodeId(1), StashPolicy::Recompute(seg0));
+        plan.set(NodeId(2), StashPolicy::Recompute(seg0));
+        plan.set(NodeId(5), StashPolicy::Recompute(seg1));
+        plan.set(NodeId(7), StashPolicy::Stash);
+        assert_eq!(plan.segment_count(), 2);
+        assert_eq!(plan.segment_nodes(0), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(plan.segment_nodes(1), vec![NodeId(5)]);
+        assert_eq!(plan.recompute_count(), 3);
+        assert_eq!(plan.policy(NodeId(1)).segment(), Some(seg0));
+        assert_eq!(plan.policy(NodeId(7)).segment(), None);
+    }
+}

@@ -1,0 +1,275 @@
+//! The memory profiler: breakdown reports over allocator snapshots.
+//!
+//! This is the substitute for the MXNet GPU memory profiler the paper uses
+//! to produce Figures 5 and 14: the same peak snapshot is classified along
+//! two axes — layer type and data structure — and rendered as percentage
+//! rows.
+
+use crate::alloc::{DataStructureKind, DeviceMemory, LayerKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One row of a breakdown table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownRow {
+    /// Category name ("attention", "feature maps", …).
+    pub category: String,
+    /// Bytes attributed to the category at the peak.
+    pub bytes: u64,
+    /// Share of the profiled peak, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// A two-axis memory breakdown of a peak-usage snapshot.
+///
+/// # Example
+///
+/// ```
+/// use echo_memory::{AllocationTag, DataStructureKind, DeviceMemory, LayerKind, MemoryBreakdown};
+///
+/// let mem = DeviceMemory::with_capacity(1 << 30);
+/// let _a = mem.alloc(
+///     3000,
+///     AllocationTag::new(LayerKind::Attention, DataStructureKind::FeatureMap, "scores"),
+/// )?;
+/// let _b = mem.alloc(
+///     1000,
+///     AllocationTag::new(LayerKind::Rnn, DataStructureKind::Weight, "w"),
+/// )?;
+/// let report = MemoryBreakdown::at_peak(&mem);
+/// assert_eq!(report.layer_fraction(LayerKind::Attention), 0.75);
+/// assert_eq!(report.kind_fraction(DataStructureKind::FeatureMap), 0.75);
+/// # Ok::<(), echo_memory::OomError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBreakdown {
+    /// Total profiled bytes at the peak.
+    pub total_bytes: u64,
+    /// What `nvidia-smi` would have reported at the same moment.
+    pub nvidia_smi_bytes: u64,
+    by_layer: HashMap<LayerKind, u64>,
+    by_kind: HashMap<DataStructureKind, u64>,
+}
+
+impl MemoryBreakdown {
+    /// Builds a breakdown from the device's peak snapshot.
+    pub fn at_peak(mem: &DeviceMemory) -> Self {
+        Self::from_snapshot(mem, mem.peak_breakdown())
+    }
+
+    /// Builds a breakdown from per-category maxima (the MXNet-profiler
+    /// view): each category's own high-water mark, which surfaces
+    /// short-lived categories such as the recomputation workspace.
+    pub fn at_category_maxima(mem: &DeviceMemory) -> Self {
+        Self::from_snapshot(mem, mem.max_breakdown())
+    }
+
+    fn from_snapshot(
+        mem: &DeviceMemory,
+        snapshot: std::collections::HashMap<(LayerKind, DataStructureKind), u64>,
+    ) -> Self {
+        let mut by_layer: HashMap<LayerKind, u64> = HashMap::new();
+        let mut by_kind: HashMap<DataStructureKind, u64> = HashMap::new();
+        let mut total = 0u64;
+        for ((layer, kind), bytes) in snapshot {
+            *by_layer.entry(layer).or_default() += bytes;
+            *by_kind.entry(kind).or_default() += bytes;
+            total += bytes;
+        }
+        MemoryBreakdown {
+            total_bytes: total,
+            nvidia_smi_bytes: mem.nvidia_smi_peak_bytes(),
+            by_layer,
+            by_kind,
+        }
+    }
+
+    /// Bytes attributed to a layer type at the peak.
+    pub fn layer_bytes(&self, layer: LayerKind) -> u64 {
+        self.by_layer.get(&layer).copied().unwrap_or(0)
+    }
+
+    /// Bytes attributed to a data-structure kind at the peak.
+    pub fn kind_bytes(&self, kind: DataStructureKind) -> u64 {
+        self.by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Fraction of the profiled peak attributed to a layer type.
+    pub fn layer_fraction(&self, layer: LayerKind) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.layer_bytes(layer) as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Fraction of the profiled peak attributed to a data-structure kind.
+    pub fn kind_fraction(&self, kind: DataStructureKind) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.kind_bytes(kind) as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Rows of the by-layer bar (Figure 5 left), descending by bytes.
+    pub fn layer_rows(&self) -> Vec<BreakdownRow> {
+        let mut rows: Vec<BreakdownRow> = LayerKind::ALL
+            .iter()
+            .map(|&l| BreakdownRow {
+                category: l.to_string(),
+                bytes: self.layer_bytes(l),
+                fraction: self.layer_fraction(l),
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.bytes));
+        rows
+    }
+
+    /// Rows of the by-data-structure bar (Figure 5 right), descending.
+    pub fn kind_rows(&self) -> Vec<BreakdownRow> {
+        let mut rows: Vec<BreakdownRow> = DataStructureKind::ALL
+            .iter()
+            .map(|&k| BreakdownRow {
+                category: k.to_string(),
+                bytes: self.kind_bytes(k),
+                fraction: self.kind_fraction(k),
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.bytes));
+        rows
+    }
+
+    /// The profiler-vs-`nvidia-smi` discrepancy (Figure 5's striped bar).
+    pub fn unattributed_bytes(&self) -> u64 {
+        self.nvidia_smi_bytes.saturating_sub(self.total_bytes)
+    }
+}
+
+impl fmt::Display for MemoryBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "peak {:.2} GiB (nvidia-smi {:.2} GiB)",
+            self.total_bytes as f64 / (1u64 << 30) as f64,
+            self.nvidia_smi_bytes as f64 / (1u64 << 30) as f64
+        )?;
+        writeln!(f, "  by layer type:")?;
+        for row in self.layer_rows() {
+            writeln!(
+                f,
+                "    {:<12} {:>10.1} MiB  {:>5.1}%",
+                row.category,
+                row.bytes as f64 / (1u64 << 20) as f64,
+                row.fraction * 100.0
+            )?;
+        }
+        writeln!(f, "  by data structure:")?;
+        for row in self.kind_rows() {
+            writeln!(
+                f,
+                "    {:<12} {:>10.1} MiB  {:>5.1}%",
+                row.category,
+                row.bytes as f64 / (1u64 << 20) as f64,
+                row.fraction * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocationTag;
+
+    fn tagged(
+        mem: &DeviceMemory,
+        layer: LayerKind,
+        kind: DataStructureKind,
+        bytes: u64,
+    ) -> crate::Allocation {
+        mem.alloc(bytes, AllocationTag::new(layer, kind, "x"))
+            .unwrap()
+    }
+
+    #[test]
+    fn two_axis_totals_agree() {
+        let mem = DeviceMemory::with_overhead_model(1 << 30, 0, 0.0);
+        let _a = tagged(
+            &mem,
+            LayerKind::Attention,
+            DataStructureKind::FeatureMap,
+            600,
+        );
+        let _b = tagged(&mem, LayerKind::Rnn, DataStructureKind::FeatureMap, 300);
+        let _c = tagged(&mem, LayerKind::Output, DataStructureKind::Weight, 100);
+        let bd = MemoryBreakdown::at_peak(&mem);
+        assert_eq!(bd.total_bytes, 1000);
+        let layer_sum: u64 = LayerKind::ALL.iter().map(|&l| bd.layer_bytes(l)).sum();
+        let kind_sum: u64 = DataStructureKind::ALL
+            .iter()
+            .map(|&k| bd.kind_bytes(k))
+            .sum();
+        assert_eq!(layer_sum, 1000);
+        assert_eq!(kind_sum, 1000);
+        assert_eq!(bd.kind_fraction(DataStructureKind::FeatureMap), 0.9);
+    }
+
+    #[test]
+    fn rows_sorted_descending() {
+        let mem = DeviceMemory::with_overhead_model(1 << 30, 0, 0.0);
+        let _a = tagged(&mem, LayerKind::Rnn, DataStructureKind::Weight, 10);
+        let _b = tagged(
+            &mem,
+            LayerKind::Attention,
+            DataStructureKind::FeatureMap,
+            90,
+        );
+        let bd = MemoryBreakdown::at_peak(&mem);
+        let rows = bd.layer_rows();
+        assert_eq!(rows[0].category, "attention");
+        assert!(rows[0].bytes >= rows[1].bytes);
+    }
+
+    #[test]
+    fn breakdown_reflects_peak_not_current() {
+        let mem = DeviceMemory::with_overhead_model(1 << 30, 0, 0.0);
+        {
+            let _big = tagged(
+                &mem,
+                LayerKind::Attention,
+                DataStructureKind::FeatureMap,
+                5000,
+            );
+        }
+        let _small = tagged(&mem, LayerKind::Rnn, DataStructureKind::Weight, 10);
+        let bd = MemoryBreakdown::at_peak(&mem);
+        assert_eq!(bd.total_bytes, 5000);
+        assert_eq!(bd.layer_bytes(LayerKind::Attention), 5000);
+    }
+
+    #[test]
+    fn display_renders_percentages() {
+        let mem = DeviceMemory::with_capacity(1 << 30);
+        let _a = tagged(
+            &mem,
+            LayerKind::Attention,
+            DataStructureKind::FeatureMap,
+            1 << 20,
+        );
+        let text = MemoryBreakdown::at_peak(&mem).to_string();
+        assert!(text.contains("attention"));
+        assert!(text.contains("feature maps"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn unattributed_gap_is_overhead() {
+        let mem = DeviceMemory::with_overhead_model(1 << 30, 1000, 0.0);
+        let _a = tagged(&mem, LayerKind::Rnn, DataStructureKind::Weight, 500);
+        let bd = MemoryBreakdown::at_peak(&mem);
+        assert_eq!(bd.unattributed_bytes(), 1000);
+    }
+}

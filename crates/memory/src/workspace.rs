@@ -1,0 +1,215 @@
+//! The shared workspace pool.
+//!
+//! Partial forward propagation replays the attention scoring function during
+//! the backward pass, which needs scratch space. Done naively — one
+//! workspace per decoder time step — the scratch alone would be
+//! `O(B·T²·H)`, cancelling the optimization (paper §4.1.2). The paper's
+//! observation is that LSTM computation is *sequential along the timeline*,
+//! so a single workspace can be leased to one time step at a time. This
+//! module enforces exactly that: a [`WorkspacePool`] holds one high-water
+//! buffer, hands out at most one [`WorkspaceLease`] at a time, and panics on
+//! a second concurrent lease — making a violation of the exclusivity
+//! invariant a loud test failure instead of a silent memory-accounting bug.
+
+use crate::alloc::{
+    Allocation, AllocationTag, DataStructureKind, DeviceMemory, LayerKind, OomError,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    /// Currently reserved high-water buffer.
+    buffer: Option<Allocation>,
+    /// Whether a lease is outstanding.
+    leased: bool,
+    /// Largest request seen.
+    high_water: u64,
+    /// Number of leases served.
+    leases: u64,
+}
+
+/// A pool that serves workspace requests from one reusable buffer.
+///
+/// # Example
+///
+/// ```
+/// use echo_memory::{DeviceMemory, LayerKind, WorkspacePool};
+///
+/// let mem = DeviceMemory::with_capacity(1 << 30);
+/// let pool = WorkspacePool::new(mem.clone(), LayerKind::Attention, "attn_ws");
+/// for _step in 0..10 {
+///     let lease = pool.lease(1 << 20)?; // every step reuses the same MiB
+///     drop(lease);
+/// }
+/// assert_eq!(pool.high_water_bytes(), 1 << 20);
+/// // Peak device usage is one workspace, not ten.
+/// assert!(mem.peak_bytes() <= 1 << 20);
+/// # Ok::<(), echo_memory::OomError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkspacePool {
+    mem: DeviceMemory,
+    layer: LayerKind,
+    label: String,
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+impl WorkspacePool {
+    /// Creates an empty pool that allocates from `mem` under `layer`.
+    pub fn new(mem: DeviceMemory, layer: LayerKind, label: impl Into<String>) -> Self {
+        WorkspacePool {
+            mem,
+            layer,
+            label: label.into(),
+            inner: Arc::new(Mutex::new(PoolInner::default())),
+        }
+    }
+
+    /// Leases `bytes` of workspace, growing the pool's buffer if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if growing the buffer exceeds device capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lease is already outstanding — workspaces require
+    /// exclusive access (paper §3.2), and the sequential-timeline property
+    /// is what the Echo pass relies on.
+    pub fn lease(&self, bytes: u64) -> Result<WorkspaceLease, OomError> {
+        let mut inner = self.inner.lock();
+        assert!(
+            !inner.leased,
+            "workspace pool `{}`: concurrent lease requested; workspaces require exclusive access",
+            self.label
+        );
+        let current = inner.buffer.as_ref().map_or(0, Allocation::bytes);
+        if bytes > current {
+            // Grow: free then reallocate at the new high-water mark. The
+            // transient dip models cudaFree+cudaMalloc.
+            inner.buffer = None;
+            let tag =
+                AllocationTag::new(self.layer, DataStructureKind::Workspace, self.label.clone());
+            inner.buffer = Some(self.mem.alloc(bytes, tag)?);
+        }
+        inner.leased = true;
+        inner.leases += 1;
+        inner.high_water = inner.high_water.max(bytes);
+        Ok(WorkspaceLease {
+            pool: self.clone(),
+            bytes,
+        })
+    }
+
+    /// Largest lease ever requested.
+    pub fn high_water_bytes(&self) -> u64 {
+        self.inner.lock().high_water
+    }
+
+    /// Number of leases served.
+    pub fn lease_count(&self) -> u64 {
+        self.inner.lock().leases
+    }
+
+    /// Releases the pool's retained buffer (e.g. at the end of an
+    /// iteration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lease is outstanding.
+    pub fn release_buffer(&self) {
+        let mut inner = self.inner.lock();
+        assert!(
+            !inner.leased,
+            "workspace pool `{}`: cannot release while leased",
+            self.label
+        );
+        inner.buffer = None;
+    }
+
+    fn end_lease(&self) {
+        self.inner.lock().leased = false;
+    }
+}
+
+/// An exclusive lease on a pool's workspace buffer; returns it on drop.
+#[derive(Debug)]
+pub struct WorkspaceLease {
+    pool: WorkspacePool,
+    bytes: u64,
+}
+
+impl WorkspaceLease {
+    /// Size of this lease.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for WorkspaceLease {
+    fn drop(&mut self) {
+        self.pool.end_lease();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> DeviceMemory {
+        DeviceMemory::with_overhead_model(1 << 30, 0, 0.0)
+    }
+
+    #[test]
+    fn buffer_is_reused_across_leases() {
+        let mem = mem();
+        let pool = WorkspacePool::new(mem.clone(), LayerKind::Attention, "ws");
+        for _ in 0..100 {
+            let _l = pool.lease(1024).unwrap();
+        }
+        assert_eq!(pool.lease_count(), 100);
+        assert_eq!(mem.peak_bytes(), 1024);
+        assert_eq!(mem.total_allocs(), 1, "one buffer serves all time steps");
+    }
+
+    #[test]
+    fn pool_grows_to_high_water() {
+        let mem = mem();
+        let pool = WorkspacePool::new(mem.clone(), LayerKind::Rnn, "ws");
+        drop(pool.lease(100).unwrap());
+        drop(pool.lease(500).unwrap());
+        drop(pool.lease(200).unwrap());
+        assert_eq!(pool.high_water_bytes(), 500);
+        assert_eq!(mem.live_bytes(), 500);
+        pool.release_buffer();
+        assert_eq!(mem.live_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exclusive access")]
+    fn concurrent_lease_panics() {
+        let pool = WorkspacePool::new(mem(), LayerKind::Attention, "ws");
+        let _a = pool.lease(64).unwrap();
+        let _b = pool.lease(64).unwrap();
+    }
+
+    #[test]
+    fn oom_propagates() {
+        let small = DeviceMemory::with_overhead_model(100, 0, 0.0);
+        let pool = WorkspacePool::new(small, LayerKind::Attention, "ws");
+        assert!(pool.lease(1000).is_err());
+    }
+
+    #[test]
+    fn workspace_is_tagged_as_workspace() {
+        let mem = mem();
+        let pool = WorkspacePool::new(mem.clone(), LayerKind::Attention, "ws");
+        let _l = pool.lease(256).unwrap();
+        let bd = mem.live_breakdown();
+        assert_eq!(
+            bd.get(&(LayerKind::Attention, DataStructureKind::Workspace)),
+            Some(&256)
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Failure-injection tests: the allocator and workspace pool under
+//! capacity pressure — the memory-wall behaviour every OOM-dependent
+//! figure (4b, 16, 17) rests on.
+
+use echo_memory::{
+    AllocationTag, DataStructureKind, DeviceMemory, LayerKind, MemoryBreakdown, WorkspacePool,
+};
+
+fn tag(label: &str) -> AllocationTag {
+    AllocationTag::new(LayerKind::Rnn, DataStructureKind::FeatureMap, label)
+}
+
+#[test]
+fn allocation_failure_leaves_state_consistent() {
+    let mem = DeviceMemory::with_overhead_model(1000, 0, 0.0);
+    let a = mem.alloc(600, tag("a")).expect("fits");
+    let before_live = mem.live_bytes();
+    let before_allocs = mem.total_allocs();
+    // Fails — and must not leak partial accounting.
+    let err = mem.alloc(500, tag("b")).unwrap_err();
+    assert_eq!(err.live, 600);
+    assert_eq!(mem.live_bytes(), before_live);
+    assert_eq!(mem.total_allocs(), before_allocs);
+    // Freeing recovers the space.
+    drop(a);
+    assert!(mem.alloc(900, tag("c")).is_ok());
+}
+
+#[test]
+fn fragmentation_model_reduces_usable_capacity() {
+    let plain = DeviceMemory::with_overhead_model(1000, 0, 0.0);
+    let frag = DeviceMemory::with_overhead_model(1000, 0, 0.25);
+    assert!(plain.alloc(900, tag("a")).is_ok());
+    assert!(
+        frag.alloc(900, tag("a")).is_err(),
+        "25% fragmentation must shrink usable space"
+    );
+    assert!(frag.alloc(700, tag("a")).is_ok());
+}
+
+#[test]
+fn workspace_growth_oom_releases_cleanly() {
+    let mem = DeviceMemory::with_overhead_model(1000, 0, 0.0);
+    let pool = WorkspacePool::new(mem.clone(), LayerKind::Attention, "ws");
+    drop(pool.lease(400).expect("fits"));
+    // Growing past capacity fails...
+    assert!(pool.lease(2000).is_err());
+    // ...the pool dropped its buffer during the failed grow; a small lease
+    // must still work and re-allocate.
+    let lease = pool.lease(300).expect("pool must stay usable after OOM");
+    drop(lease);
+    assert_eq!(mem.live_bytes(), 300, "retained buffer is the last size");
+}
+
+#[test]
+fn interleaved_pools_account_independently() {
+    let mem = DeviceMemory::with_overhead_model(10_000, 0, 0.0);
+    let attn = WorkspacePool::new(mem.clone(), LayerKind::Attention, "attn");
+    let rnn = WorkspacePool::new(mem.clone(), LayerKind::Rnn, "rnn");
+    let a = attn.lease(1000).unwrap();
+    let b = rnn.lease(2000).unwrap();
+    assert_eq!(mem.live_bytes(), 3000);
+    drop(a);
+    drop(b);
+    // Buffers are retained per pool.
+    assert_eq!(mem.live_bytes(), 3000);
+    attn.release_buffer();
+    assert_eq!(mem.live_bytes(), 2000);
+    let bd = MemoryBreakdown::at_category_maxima(&mem);
+    assert_eq!(bd.kind_bytes(DataStructureKind::Workspace), 3000);
+}
+
+#[test]
+fn peak_survives_oom_attempts() {
+    let mem = DeviceMemory::with_overhead_model(1000, 0, 0.0);
+    {
+        let _a = mem.alloc(800, tag("a")).unwrap();
+        let _ = mem.alloc(800, tag("b"));
+    }
+    assert_eq!(mem.peak_bytes(), 800, "failed allocations never count");
+}
+
+#[test]
+fn capacity_zero_rejects_everything() {
+    let mem = DeviceMemory::with_overhead_model(0, 0, 0.0);
+    assert!(mem.alloc(1, tag("a")).is_err());
+    assert_eq!(mem.peak_bytes(), 0);
+}

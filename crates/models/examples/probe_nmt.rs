@@ -1,0 +1,49 @@
+use echo_data::{NmtBatch, ParallelCorpus};
+use echo_graph::{ExecOptions, Executor, StashPlan};
+use echo_memory::DeviceMemory;
+use echo_models::{NmtHyper, NmtModel, Sgd};
+use std::sync::Arc;
+
+fn main() {
+    let corpus = ParallelCorpus::synthetic(
+        echo_data::Vocab::new(60),
+        echo_data::Vocab::new(50),
+        600,
+        3..=8,
+        5,
+    );
+    let model = NmtModel::build({
+        let mut h = NmtHyper::tiny(corpus.src_vocab().size(), corpus.tgt_vocab().size());
+        h.hidden = 48;
+        h.embed = 32;
+        h.src_len = 8;
+        h.tgt_len = 9;
+        h
+    });
+    let mem = DeviceMemory::with_overhead_model(8 << 30, 0, 0.0);
+    let mut exec = Executor::new(Arc::clone(&model.graph), StashPlan::stash_all(), mem);
+    model.bind_params(&mut exec, 2).unwrap();
+    let (train, valid) = corpus.split_validation(24);
+    let batches = NmtBatch::bucketed(train, 8);
+    println!("pairs={} batches={}", train.len(), batches.len());
+    let mut sgd = Sgd::new(1.0).with_clip_norm(5.0);
+    for epoch in 0..40 {
+        let mut total = 0.0;
+        let mut n = 0;
+        for batch in &batches {
+            let stats = exec
+                .train_step(
+                    &model.bindings(batch),
+                    model.loss,
+                    ExecOptions::default(),
+                    None,
+                )
+                .unwrap();
+            total += stats.loss.unwrap();
+            n += 1;
+            sgd.step(&mut exec);
+        }
+        let bleu = model.validation_bleu(&mut exec, valid, 8).unwrap();
+        println!("epoch {epoch}: loss {:.3} bleu {bleu:.2}", total / n as f32);
+    }
+}

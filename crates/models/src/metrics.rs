@@ -1,0 +1,120 @@
+//! Training-quality metrics: perplexity and BLEU.
+
+use std::collections::HashMap;
+
+/// Perplexity from a mean cross-entropy loss in nats.
+///
+/// ```
+/// use echo_models::perplexity;
+/// assert!((perplexity(0.0) - 1.0).abs() < 1e-9);
+/// assert!(perplexity(2.0) > perplexity(1.0));
+/// ```
+pub fn perplexity(mean_loss_nats: f32) -> f64 {
+    f64::from(mean_loss_nats).exp()
+}
+
+/// Corpus-level BLEU-4 with brevity penalty (Papineni et al., 2002).
+///
+/// `hypotheses` and `references` are token-id sequences; scores are in
+/// `[0, 100]`. Uses the standard smoothing-free corpus formulation: n-gram
+/// precisions are pooled over the whole corpus before the geometric mean.
+///
+/// # Panics
+///
+/// Panics if the two lists have different lengths.
+pub fn bleu(hypotheses: &[Vec<usize>], references: &[Vec<usize>]) -> f64 {
+    assert_eq!(
+        hypotheses.len(),
+        references.len(),
+        "each hypothesis needs a reference"
+    );
+    let mut matches = [0usize; 4];
+    let mut totals = [0usize; 4];
+    let mut hyp_len = 0usize;
+    let mut ref_len = 0usize;
+    for (hyp, rf) in hypotheses.iter().zip(references) {
+        hyp_len += hyp.len();
+        ref_len += rf.len();
+        for n in 1..=4usize {
+            let ref_counts = ngram_counts(rf, n);
+            let hyp_counts = ngram_counts(hyp, n);
+            for (gram, &count) in &hyp_counts {
+                let clipped = count.min(ref_counts.get(gram).copied().unwrap_or(0));
+                matches[n - 1] += clipped;
+            }
+            totals[n - 1] += hyp.len().saturating_sub(n - 1);
+        }
+    }
+    if totals.contains(&0) || matches.contains(&0) {
+        return 0.0;
+    }
+    let log_precision: f64 = (0..4)
+        .map(|n| (matches[n] as f64 / totals[n] as f64).ln())
+        .sum::<f64>()
+        / 4.0;
+    let brevity = if hyp_len >= ref_len {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / hyp_len as f64).exp()
+    };
+    100.0 * brevity * log_precision.exp()
+}
+
+fn ngram_counts(seq: &[usize], n: usize) -> HashMap<&[usize], usize> {
+    let mut counts = HashMap::new();
+    if seq.len() < n {
+        return counts;
+    }
+    for gram in seq.windows(n) {
+        *counts.entry(gram).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_translation_scores_100() {
+        let refs = vec![vec![1, 2, 3, 4, 5], vec![6, 7, 8, 9]];
+        assert!((bleu(&refs, &refs) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_translation_scores_0() {
+        let hyp = vec![vec![1, 2, 3, 4, 5]];
+        let rf = vec![vec![6, 7, 8, 9, 10]];
+        assert_eq!(bleu(&hyp, &rf), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_between() {
+        let hyp = vec![vec![1, 2, 3, 4, 9, 9, 9, 9]];
+        let rf = vec![vec![1, 2, 3, 4, 5, 6, 7, 8]];
+        let score = bleu(&hyp, &rf);
+        assert!(score > 0.0 && score < 100.0, "score {score}");
+    }
+
+    #[test]
+    fn brevity_penalty_punishes_short_hypotheses() {
+        let rf = vec![vec![1, 2, 3, 4, 5, 6, 7, 8]];
+        let long = vec![vec![1, 2, 3, 4, 5, 6, 7, 9]];
+        let short = vec![vec![1, 2, 3, 4, 5]];
+        assert!(bleu(&long, &rf) > bleu(&short, &rf));
+    }
+
+    #[test]
+    fn clipping_prevents_repeat_gaming() {
+        let rf = vec![vec![1, 2, 3, 4, 5]];
+        let spam = vec![vec![1, 1, 1, 1, 1]];
+        // Only one unigram match survives clipping, and no 2-grams, so 0.
+        assert_eq!(bleu(&spam, &rf), 0.0);
+    }
+
+    #[test]
+    fn perplexity_monotone() {
+        assert!(perplexity(1.0) < perplexity(1.5));
+        assert!((perplexity(1.0) - std::f64::consts::E).abs() < 1e-6);
+    }
+}

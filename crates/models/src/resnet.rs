@@ -1,0 +1,113 @@
+//! A ResNet-50 cost model for the paper's motivation figure (Figure 4a).
+//!
+//! The figure only shows that a CNN's training throughput *saturates* with
+//! batch size (compute-bound large kernels) while the LSTM NMT model's
+//! keeps scaling until it hits the memory wall. We therefore model
+//! ResNet-50 as its per-stage FLOP/byte/parallelism profile driven through
+//! the same device simulator — no numeric CNN is needed.
+
+use echo_device::{DeviceSim, DeviceSpec, KernelCategory, KernelCost};
+
+/// One ResNet-50 stage: `(name, conv layers, flops per image, activation
+/// elements per image)`.
+///
+/// FLOP counts follow the standard 3.8 GFLOP/image forward profile,
+/// distributed over the four residual stages plus stem and head.
+const STAGES: &[(&str, usize, u64, usize)] = &[
+    ("stem_conv7x7", 1, 236_000_000, 802_816),
+    ("stage1", 9, 680_000_000, 802_816),
+    ("stage2", 12, 850_000_000, 401_408),
+    ("stage3", 18, 1_200_000_000, 200_704),
+    ("stage4", 9, 800_000_000, 100_352),
+    ("head_fc", 1, 4_000_000, 1000),
+];
+
+/// Elements each CUDA thread produces in the modeled conv kernels
+/// (thread coarsening): determines how quickly occupancy saturates with
+/// batch size.
+const ELEMS_PER_THREAD: usize = 8;
+
+/// Simulated nanoseconds for one ResNet-50 training iteration at `batch`.
+pub fn resnet50_iteration_ns(batch: usize, spec: &DeviceSpec) -> u64 {
+    let mut sim = DeviceSim::new(spec.clone());
+    sim.set_record_trace(false);
+    for &(name, layers, flops, act_elems) in STAGES {
+        let per_layer_flops = flops / layers as u64;
+        for _ in 0..layers {
+            // Forward kernel.
+            let cost = KernelCost::new(
+                per_layer_flops * batch as u64,
+                (act_elems * batch * 4 / layers).max(1) as u64,
+                act_elems * batch / layers.max(1) / ELEMS_PER_THREAD,
+            );
+            sim.launch(name, KernelCategory::Other, cost);
+        }
+        // Backward: ~2x forward compute (dX and dW convolutions).
+        for _ in 0..layers {
+            let cost = KernelCost::new(
+                2 * per_layer_flops * batch as u64,
+                (2 * act_elems * batch * 4 / layers).max(1) as u64,
+                act_elems * batch / layers.max(1) / ELEMS_PER_THREAD,
+            );
+            sim.launch(name, KernelCategory::Other, cost);
+        }
+    }
+    sim.synchronize();
+    sim.elapsed_ns()
+}
+
+/// Approximate training memory footprint of ResNet-50 at `batch`
+/// (activations dominate; ~103 MB of feature maps per image at FP32 plus
+/// ~100 MB of weights/optimizer state).
+pub fn resnet50_memory_bytes(batch: usize) -> u64 {
+    let activations_per_image: u64 = STAGES
+        .iter()
+        .map(|&(_, layers, _, act)| (layers * act * 4) as u64)
+        .sum();
+    activations_per_image * batch as u64 + (100 << 20)
+}
+
+/// Training throughput (images/s) at `batch` on `spec`.
+pub fn resnet50_throughput(batch: usize, spec: &DeviceSpec) -> f64 {
+    let ns = resnet50_iteration_ns(batch, spec);
+    batch as f64 / (ns as f64 * 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_saturates_with_batch_size() {
+        // The motivation of Figure 4(a): beyond batch 32 the GPU compute
+        // units are full and throughput flattens.
+        let spec = DeviceSpec::titan_xp();
+        let t8 = resnet50_throughput(8, &spec);
+        let t32 = resnet50_throughput(32, &spec);
+        let t128 = resnet50_throughput(128, &spec);
+        assert!(t32 > t8, "throughput should still grow to 32");
+        let gain = t128 / t32;
+        assert!(
+            gain < 1.3,
+            "throughput must saturate after 32: 32→128 gain {gain:.2}"
+        );
+        let early_gain = t32 / t8;
+        assert!(early_gain > gain, "early scaling beats late scaling");
+    }
+
+    #[test]
+    fn iteration_time_grows_linearly_when_saturated() {
+        let spec = DeviceSpec::titan_xp();
+        let t64 = resnet50_iteration_ns(64, &spec) as f64;
+        let t128 = resnet50_iteration_ns(128, &spec) as f64;
+        let ratio = t128 / t64;
+        assert!((1.6..=2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_scales_with_batch() {
+        assert!(resnet50_memory_bytes(64) > 2 * resnet50_memory_bytes(16));
+        // At batch 128 ResNet-50 is still comfortably inside 12 GB.
+        assert!(resnet50_memory_bytes(128) < 12 << 30);
+    }
+}

@@ -1,0 +1,154 @@
+//! Element-wise activations.
+
+use echo_device::{KernelCategory, KernelCost};
+use echo_graph::{KernelLaunch, Operator, Result, StashNeeds};
+use echo_tensor::{kernels, Shape, Tensor};
+
+/// Which nonlinearity an [`Activation`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivationKind {
+    /// Hyperbolic tangent — the LSTM cell nonlinearity.
+    Tanh,
+    /// Logistic sigmoid — the LSTM gate nonlinearity.
+    Sigmoid,
+    /// Rectified linear unit (for the CNN comparison models).
+    Relu,
+}
+
+/// An element-wise activation that stashes its *output* as a feature map —
+/// the canonical example from the paper's §3.2 (`Y' = 1 − tanh²(X)` needs
+/// `tanh(X)` during backward).
+#[derive(Debug, Clone, Copy)]
+pub struct Activation(pub ActivationKind);
+
+impl Activation {
+    /// A tanh activation.
+    pub fn tanh() -> Self {
+        Activation(ActivationKind::Tanh)
+    }
+
+    /// A sigmoid activation.
+    pub fn sigmoid() -> Self {
+        Activation(ActivationKind::Sigmoid)
+    }
+
+    /// A ReLU activation.
+    pub fn relu() -> Self {
+        Activation(ActivationKind::Relu)
+    }
+}
+
+impl Operator for Activation {
+    fn name(&self) -> &str {
+        match self.0 {
+            ActivationKind::Tanh => "tanh",
+            ActivationKind::Sigmoid => "sigmoid",
+            ActivationKind::Relu => "relu",
+        }
+    }
+
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Activation
+    }
+
+    fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        Ok(inputs[0].clone())
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Vec<Tensor>)> {
+        let y = match self.0 {
+            ActivationKind::Tanh => kernels::tanh(inputs[0]),
+            ActivationKind::Sigmoid => kernels::sigmoid_t(inputs[0]),
+            ActivationKind::Relu => kernels::relu(inputs[0]),
+        };
+        Ok((y, Vec::new()))
+    }
+
+    fn backward(
+        &self,
+        _inputs: &[Option<&Tensor>],
+        output: Option<&Tensor>,
+        _saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let y = output.expect("activation stashes its output");
+        let dx = match self.0 {
+            ActivationKind::Tanh => kernels::tanh_backward(y, dy)?,
+            ActivationKind::Sigmoid => kernels::sigmoid_backward(y, dy)?,
+            ActivationKind::Relu => y.zip_map(dy, |y, g| if y > 0.0 { g } else { 0.0 })?,
+        };
+        Ok(vec![Some(dx)])
+    }
+
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::OUTPUT
+    }
+
+    fn forward_launches(&self, _inputs: &[&Shape], output: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            format!("{}_fwd", self.name()),
+            KernelCategory::Activation,
+            KernelCost::elementwise(output.num_elements(), 2),
+        )]
+    }
+
+    fn backward_launches(&self, _inputs: &[&Shape], output: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            format!("{}_bwd", self.name()),
+            KernelCategory::Activation,
+            KernelCost::elementwise(output.num_elements(), 3),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values() {
+        let x = Tensor::from_vec(Shape::d1(3), vec![-1.0, 0.0, 2.0]).unwrap();
+        let (t, _) = Activation::tanh().forward(&[&x]).unwrap();
+        assert!((t.data()[1]).abs() < 1e-7);
+        let (s, _) = Activation::sigmoid().forward(&[&x]).unwrap();
+        assert!((s.data()[1] - 0.5).abs() < 1e-7);
+        let (r, _) = Activation::relu().forward(&[&x]).unwrap();
+        assert_eq!(r.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_from_output_only() {
+        let x = Tensor::from_vec(Shape::d1(4), vec![-2.0, -0.5, 0.5, 2.0]).unwrap();
+        let dy = Tensor::full(Shape::d1(4), 1.0);
+        for act in [
+            Activation::tanh(),
+            Activation::sigmoid(),
+            Activation::relu(),
+        ] {
+            let (y, _) = act.forward(&[&x]).unwrap();
+            let grads = act.backward(&[None], Some(&y), &[], &dy).unwrap();
+            let dx = grads[0].as_ref().unwrap();
+            let eps = 1e-3;
+            for i in 0..4 {
+                let mut xp = x.clone();
+                xp.data_mut()[i] += eps;
+                let mut xm = x.clone();
+                xm.data_mut()[i] -= eps;
+                let fd = (act.forward(&[&xp]).unwrap().0.data()[i]
+                    - act.forward(&[&xm]).unwrap().0.data()[i])
+                    / (2.0 * eps);
+                assert!(
+                    (dx.data()[i] - fd).abs() < 1e-2,
+                    "{} elem {i}: {} vs {fd}",
+                    act.name(),
+                    dx.data()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stash_declaration_is_output_only() {
+        assert_eq!(Activation::tanh().stash(), StashNeeds::OUTPUT);
+    }
+}

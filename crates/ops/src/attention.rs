@@ -1,0 +1,410 @@
+//! The attention scoring pipeline — the paper's O-shape subgraph.
+//!
+//! The MLP attention scoring function (Bahdanau-style, as used by Sockeye)
+//! compares the decoder query against every encoder position:
+//!
+//! ```text
+//! e[t]   = vᵀ · tanh(LayerNorm(W_s·Hs[t] + W_q·h))    (per position t)
+//! α      = softmax(e)
+//! c      = Σ_t α[t] · Hs[t]
+//! ```
+//!
+//! The inputs (`Hs` projected once, the query `h [B x H]`) are small —
+//! `O(B·H)` amortized — but the broadcast sum and its layernorm/tanh
+//! intermediates are `[T, B, H]` *per decoder step*, i.e. `O(B·T²·H)`
+//! summed over the decode: the paper's memory bottleneck (§4.1.1). These
+//! three operators plus [`crate::LayerNorm`] and tanh form the segment the
+//! Echo pass marks for recomputation.
+
+use echo_device::{KernelCategory, KernelCost};
+use echo_graph::{GraphError, KernelLaunch, Operator, Result, StashNeeds};
+use echo_tensor::{reduce, Shape, Tensor};
+
+fn op_err(op: &str, message: String) -> GraphError {
+    GraphError::Operator {
+        op: op.to_string(),
+        message,
+    }
+}
+
+/// Broadcast-adds the query to every time step: `out[t, b, :] =
+/// keys[t, b, :] + query[b, :]`.
+///
+/// This is the O-shape entry point: inputs are `[T, B, H]` (shared across
+/// decoder steps) and `[B, H]`, but the output is a fresh `[T, B, H]`
+/// tensor per decoder step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BroadcastAddQuery;
+
+impl Operator for BroadcastAddQuery {
+    fn name(&self) -> &str {
+        "broadcast_add_query"
+    }
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Attention
+    }
+    fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        let keys = inputs[0];
+        let query = inputs[1];
+        if keys.rank() != 3 || query.rank() != 2 {
+            return Err(op_err(
+                "broadcast_add_query",
+                format!("need keys [T,B,H] and query [B,H], got {keys} and {query}"),
+            ));
+        }
+        if keys.dim(1) != query.dim(0) || keys.dim(2) != query.dim(1) {
+            return Err(op_err(
+                "broadcast_add_query",
+                format!("keys {keys} and query {query} disagree"),
+            ));
+        }
+        Ok(keys.clone())
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Vec<Tensor>)> {
+        let keys = inputs[0];
+        let query = inputs[1];
+        let t = keys.shape().dim(0);
+        let bh = query.len();
+        let mut out = keys.clone();
+        for ti in 0..t {
+            let dst = &mut out.data_mut()[ti * bh..(ti + 1) * bh];
+            for (d, &q) in dst.iter_mut().zip(query.data()) {
+                *d += q;
+            }
+        }
+        Ok((out, Vec::new()))
+    }
+    fn backward(
+        &self,
+        _inputs: &[Option<&Tensor>],
+        _output: Option<&Tensor>,
+        _saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let dquery = reduce::sum_axis(dy, 0)?;
+        Ok(vec![Some(dy.clone()), Some(dquery)])
+    }
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::NONE
+    }
+    fn forward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "attn_broadcast_add",
+            KernelCategory::Attention,
+            KernelCost::elementwise(o.num_elements(), 3),
+        )]
+    }
+    fn backward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "attn_broadcast_add_bwd",
+            KernelCategory::Attention,
+            KernelCost::elementwise(o.num_elements(), 2),
+        )]
+    }
+}
+
+/// Projects each `[T, B, H]` position onto the scoring vector `v [H]`,
+/// producing attention scores `[B, T]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScoreReduce;
+
+impl Operator for ScoreReduce {
+    fn name(&self) -> &str {
+        "score_reduce"
+    }
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Attention
+    }
+    fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        let e = inputs[0];
+        let v = inputs[1];
+        if e.rank() != 3 || v.num_elements() != e.dim(2) {
+            return Err(op_err(
+                "score_reduce",
+                format!("need e [T,B,H] and v [H], got {e} and {v}"),
+            ));
+        }
+        Ok(Shape::d2(e.dim(1), e.dim(0)))
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Vec<Tensor>)> {
+        let e = inputs[0];
+        let v = inputs[1];
+        let (t, b, h) = (e.shape().dim(0), e.shape().dim(1), e.shape().dim(2));
+        let mut out = Tensor::zeros(Shape::d2(b, t));
+        for ti in 0..t {
+            for bi in 0..b {
+                let base = (ti * b + bi) * h;
+                let mut acc = 0.0f32;
+                for hi in 0..h {
+                    acc += e.data()[base + hi] * v.data()[hi];
+                }
+                out.data_mut()[bi * t + ti] = acc;
+            }
+        }
+        Ok((out, Vec::new()))
+    }
+    fn backward(
+        &self,
+        inputs: &[Option<&Tensor>],
+        _output: Option<&Tensor>,
+        _saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let e = inputs[0].expect("score_reduce stashes inputs");
+        let v = inputs[1].expect("score_reduce stashes inputs");
+        let (t, b, h) = (e.shape().dim(0), e.shape().dim(1), e.shape().dim(2));
+        let mut de = Tensor::zeros(e.shape().clone());
+        let mut dv = Tensor::zeros(v.shape().clone());
+        for ti in 0..t {
+            for bi in 0..b {
+                let g = dy.data()[bi * t + ti];
+                let base = (ti * b + bi) * h;
+                for hi in 0..h {
+                    de.data_mut()[base + hi] = g * v.data()[hi];
+                    dv.data_mut()[hi] += g * e.data()[base + hi];
+                }
+            }
+        }
+        Ok(vec![Some(de), Some(dv)])
+    }
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::INPUTS
+    }
+    fn forward_launches(&self, i: &[&Shape], _o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "attn_score",
+            KernelCategory::Attention,
+            KernelCost::elementwise(i[0].num_elements(), 2),
+        )]
+    }
+    fn backward_launches(&self, i: &[&Shape], _o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "attn_score_bwd",
+            KernelCategory::Attention,
+            KernelCost::elementwise(i[0].num_elements(), 3),
+        )]
+    }
+}
+
+/// Computes the context vector: `c[b, :] = Σ_t α[b, t] · values[t, b, :]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedSum;
+
+impl Operator for WeightedSum {
+    fn name(&self) -> &str {
+        "weighted_sum"
+    }
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Attention
+    }
+    fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        let alpha = inputs[0];
+        let values = inputs[1];
+        if alpha.rank() != 2
+            || values.rank() != 3
+            || alpha.dim(0) != values.dim(1)
+            || alpha.dim(1) != values.dim(0)
+        {
+            return Err(op_err(
+                "weighted_sum",
+                format!("need alpha [B,T] and values [T,B,H], got {alpha} and {values}"),
+            ));
+        }
+        Ok(Shape::d2(values.dim(1), values.dim(2)))
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Vec<Tensor>)> {
+        let alpha = inputs[0];
+        let values = inputs[1];
+        let (t, b, h) = (
+            values.shape().dim(0),
+            values.shape().dim(1),
+            values.shape().dim(2),
+        );
+        let mut out = Tensor::zeros(Shape::d2(b, h));
+        for ti in 0..t {
+            for bi in 0..b {
+                let a = alpha.data()[bi * t + ti];
+                if a == 0.0 {
+                    continue;
+                }
+                let src = &values.data()[(ti * b + bi) * h..(ti * b + bi + 1) * h];
+                let dst = &mut out.data_mut()[bi * h..(bi + 1) * h];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += a * s;
+                }
+            }
+        }
+        Ok((out, Vec::new()))
+    }
+    fn backward(
+        &self,
+        inputs: &[Option<&Tensor>],
+        _output: Option<&Tensor>,
+        _saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let alpha = inputs[0].expect("weighted_sum stashes inputs");
+        let values = inputs[1].expect("weighted_sum stashes inputs");
+        let (t, b, h) = (
+            values.shape().dim(0),
+            values.shape().dim(1),
+            values.shape().dim(2),
+        );
+        let mut dalpha = Tensor::zeros(alpha.shape().clone());
+        let mut dvalues = Tensor::zeros(values.shape().clone());
+        for ti in 0..t {
+            for bi in 0..b {
+                let base = (ti * b + bi) * h;
+                let g = &dy.data()[bi * h..(bi + 1) * h];
+                let mut acc = 0.0f32;
+                let a = alpha.data()[bi * t + ti];
+                for (hi, &gv) in g.iter().enumerate() {
+                    acc += values.data()[base + hi] * gv;
+                    dvalues.data_mut()[base + hi] = a * gv;
+                }
+                dalpha.data_mut()[bi * t + ti] = acc;
+            }
+        }
+        Ok(vec![Some(dalpha), Some(dvalues)])
+    }
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::INPUTS
+    }
+    fn forward_launches(&self, i: &[&Shape], _o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "attn_context",
+            KernelCategory::Attention,
+            KernelCost::elementwise(i[1].num_elements(), 2),
+        )]
+    }
+    fn backward_launches(&self, i: &[&Shape], _o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "attn_context_bwd",
+            KernelCategory::Attention,
+            KernelCost::elementwise(i[1].num_elements(), 3),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_add_semantics() {
+        let keys = Tensor::from_fn(Shape::d3(2, 2, 3), |i| i as f32);
+        let query = Tensor::from_fn(Shape::d2(2, 3), |i| 100.0 * (i + 1) as f32);
+        let (y, _) = BroadcastAddQuery.forward(&[&keys, &query]).unwrap();
+        for t in 0..2 {
+            for b in 0..2 {
+                for h in 0..3 {
+                    assert_eq!(
+                        y.get(&[t, b, h]).unwrap(),
+                        keys.get(&[t, b, h]).unwrap() + query.get(&[b, h]).unwrap()
+                    );
+                }
+            }
+        }
+        // dquery sums over time.
+        let dy = Tensor::full(Shape::d3(2, 2, 3), 1.0);
+        let grads = BroadcastAddQuery
+            .backward(&[None, None], None, &[], &dy)
+            .unwrap();
+        assert_eq!(grads[1].as_ref().unwrap().data(), &[2.0f32; 6][..]);
+    }
+
+    #[test]
+    fn score_reduce_matches_manual_dot() {
+        let e = Tensor::from_fn(Shape::d3(2, 2, 2), |i| i as f32);
+        let v = Tensor::from_vec(Shape::d1(2), vec![1.0, -1.0]).unwrap();
+        let (s, _) = ScoreReduce.forward(&[&e, &v]).unwrap();
+        assert_eq!(s.shape(), &Shape::d2(2, 2)); // [B, T]
+                                                 // e[t=0,b=0] = [0,1] → -1 ; e[t=1,b=0] = [4,5] → -1
+        assert_eq!(s.get(&[0, 0]).unwrap(), -1.0);
+        assert_eq!(s.get(&[0, 1]).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn score_reduce_gradient_matches_fd() {
+        let e = Tensor::from_fn(Shape::d3(2, 1, 3), |i| (i as f32 * 0.7).sin());
+        let v = Tensor::from_vec(Shape::d1(3), vec![0.3, -0.2, 0.9]).unwrap();
+        let (y, _) = ScoreReduce.forward(&[&e, &v]).unwrap();
+        let dy = Tensor::full(y.shape().clone(), 1.0);
+        let grads = ScoreReduce
+            .backward(&[Some(&e), Some(&v)], None, &[], &dy)
+            .unwrap();
+        let loss = |e: &Tensor, v: &Tensor| ScoreReduce.forward(&[e, v]).unwrap().0.sum() as f32;
+        let eps = 1e-3;
+        for i in 0..e.len() {
+            let mut ep = e.clone();
+            ep.data_mut()[i] += eps;
+            let mut em = e.clone();
+            em.data_mut()[i] -= eps;
+            let fd = (loss(&ep, &v) - loss(&em, &v)) / (2.0 * eps);
+            assert!((grads[0].as_ref().unwrap().data()[i] - fd).abs() < 1e-2);
+        }
+        for i in 0..3 {
+            let mut vp = v.clone();
+            vp.data_mut()[i] += eps;
+            let mut vm = v.clone();
+            vm.data_mut()[i] -= eps;
+            let fd = (loss(&e, &vp) - loss(&e, &vm)) / (2.0 * eps);
+            assert!((grads[1].as_ref().unwrap().data()[i] - fd).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn weighted_sum_with_one_hot_selects_step() {
+        let values = Tensor::from_fn(Shape::d3(3, 2, 2), |i| i as f32);
+        // One-hot on t=2 for b=0, t=0 for b=1.
+        let alpha = Tensor::from_vec(Shape::d2(2, 3), vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0]).unwrap();
+        let (c, _) = WeightedSum.forward(&[&alpha, &values]).unwrap();
+        assert_eq!(c.get(&[0, 0]).unwrap(), values.get(&[2, 0, 0]).unwrap());
+        assert_eq!(c.get(&[1, 1]).unwrap(), values.get(&[0, 1, 1]).unwrap());
+    }
+
+    #[test]
+    fn weighted_sum_gradient_matches_fd() {
+        let values = Tensor::from_fn(Shape::d3(2, 1, 2), |i| (i as f32).cos());
+        let alpha = Tensor::from_vec(Shape::d2(1, 2), vec![0.3, 0.7]).unwrap();
+        let (y, _) = WeightedSum.forward(&[&alpha, &values]).unwrap();
+        let dy = Tensor::full(y.shape().clone(), 1.0);
+        let grads = WeightedSum
+            .backward(&[Some(&alpha), Some(&values)], None, &[], &dy)
+            .unwrap();
+        let loss = |a: &Tensor, v: &Tensor| WeightedSum.forward(&[a, v]).unwrap().0.sum() as f32;
+        let eps = 1e-3;
+        for i in 0..alpha.len() {
+            let mut ap = alpha.clone();
+            ap.data_mut()[i] += eps;
+            let mut am = alpha.clone();
+            am.data_mut()[i] -= eps;
+            let fd = (loss(&ap, &values) - loss(&am, &values)) / (2.0 * eps);
+            assert!((grads[0].as_ref().unwrap().data()[i] - fd).abs() < 1e-2);
+        }
+        for i in 0..values.len() {
+            let mut vp = values.clone();
+            vp.data_mut()[i] += eps;
+            let mut vm = values.clone();
+            vm.data_mut()[i] -= eps;
+            let fd = (loss(&alpha, &vp) - loss(&alpha, &vm)) / (2.0 * eps);
+            assert!((grads[1].as_ref().unwrap().data()[i] - fd).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(BroadcastAddQuery
+            .infer_shape(&[&Shape::d3(2, 2, 3), &Shape::d2(2, 4)])
+            .is_err());
+        assert!(ScoreReduce
+            .infer_shape(&[&Shape::d3(2, 2, 3), &Shape::d1(4)])
+            .is_err());
+        assert!(WeightedSum
+            .infer_shape(&[&Shape::d2(2, 3), &Shape::d3(2, 2, 3)])
+            .is_err());
+        assert!(WeightedSum
+            .infer_shape(&[&Shape::d2(2, 2), &Shape::d3(2, 2, 3)])
+            .is_ok());
+    }
+}

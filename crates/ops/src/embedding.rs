@@ -1,0 +1,118 @@
+//! The word-embedding operator.
+
+use echo_device::{KernelCategory, KernelCost};
+use echo_graph::{GraphError, KernelLaunch, Operator, Result, StashNeeds};
+use echo_tensor::{kernels, Shape, Tensor};
+
+/// Embedding lookup: gathers rows of a `[V x H]` table for a tensor of
+/// word ids.
+///
+/// Inputs: `ids [...]` (word indices stored as `f32`), `table [V x H]`.
+/// Output: `[..., H]`. The ids input is non-differentiable; the table
+/// receives scatter-add gradients.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Embedding;
+
+fn ids_of(t: &Tensor) -> Vec<usize> {
+    t.data().iter().map(|&v| v as usize).collect()
+}
+
+impl Operator for Embedding {
+    fn name(&self) -> &str {
+        "embedding"
+    }
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Embedding
+    }
+    fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        let ids = inputs[0];
+        let table = inputs[1];
+        if table.rank() != 2 {
+            return Err(GraphError::Operator {
+                op: "embedding".to_string(),
+                message: format!("table must be [V x H], got {table}"),
+            });
+        }
+        let mut dims = ids.dims().to_vec();
+        dims.push(table.dim(1));
+        Ok(Shape::new(dims))
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Vec<Tensor>)> {
+        let ids = ids_of(inputs[0]);
+        let out = kernels::embedding_lookup(inputs[1], &ids)?;
+        let out_shape = self.infer_shape(&[inputs[0].shape(), inputs[1].shape()])?;
+        Ok((out.reshape(out_shape)?, Vec::new()))
+    }
+    fn backward(
+        &self,
+        inputs: &[Option<&Tensor>],
+        _output: Option<&Tensor>,
+        _saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let ids = ids_of(inputs[0].expect("embedding stashes inputs"));
+        let table = inputs[1].expect("embedding stashes inputs");
+        let h = table.shape().dim(1);
+        let mut dtable = Tensor::zeros(table.shape().clone());
+        let flat = dy.reshape(Shape::d2(ids.len(), h))?;
+        kernels::embedding_backward(&mut dtable, &ids, &flat)?;
+        Ok(vec![None, Some(dtable)])
+    }
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::INPUTS
+    }
+    fn input_differentiable(&self, index: usize) -> bool {
+        index != 0
+    }
+    fn forward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "embedding_gather",
+            KernelCategory::Embedding,
+            KernelCost::elementwise(o.num_elements(), 2),
+        )]
+    }
+    fn backward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "embedding_scatter",
+            KernelCategory::Embedding,
+            KernelCost::elementwise(o.num_elements(), 2).with_bandwidth_efficiency(0.4),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_shapes_and_values() {
+        let table = Tensor::from_fn(Shape::d2(5, 2), |i| i as f32);
+        let ids = Tensor::from_vec(Shape::d2(2, 2), vec![0.0, 4.0, 2.0, 2.0]).unwrap();
+        let (y, _) = Embedding.forward(&[&ids, &table]).unwrap();
+        assert_eq!(y.shape(), &Shape::d3(2, 2, 2));
+        assert_eq!(y.get(&[0, 1, 0]).unwrap(), 8.0);
+        assert_eq!(y.get(&[1, 0, 1]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn backward_scatters_into_table_only() {
+        let table = Tensor::zeros(Shape::d2(5, 2));
+        let ids = Tensor::from_vec(Shape::d1(3), vec![1.0, 1.0, 3.0]).unwrap();
+        let dy = Tensor::full(Shape::d2(3, 2), 1.0);
+        let grads = Embedding
+            .backward(&[Some(&ids), Some(&table)], None, &[], &dy)
+            .unwrap();
+        assert!(grads[0].is_none(), "ids are not differentiable");
+        let dt = grads[1].as_ref().unwrap();
+        assert_eq!(dt.get(&[1, 0]).unwrap(), 2.0);
+        assert_eq!(dt.get(&[3, 1]).unwrap(), 1.0);
+        assert_eq!(dt.get(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn out_of_vocab_is_an_error() {
+        let table = Tensor::zeros(Shape::d2(3, 2));
+        let ids = Tensor::from_vec(Shape::d1(1), vec![3.0]).unwrap();
+        assert!(Embedding.forward(&[&ids, &table]).is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Element-wise binary operators.
+
+use echo_device::{KernelCategory, KernelCost};
+use echo_graph::{GraphError, KernelLaunch, Operator, Result, StashNeeds};
+use echo_tensor::{Shape, Tensor};
+
+fn check_same(a: &Shape, b: &Shape, op: &str) -> Result<()> {
+    if a != b {
+        return Err(GraphError::Operator {
+            op: op.to_string(),
+            message: format!("operand shapes differ: {a} vs {b}"),
+        });
+    }
+    Ok(())
+}
+
+fn ewise_launch(name: &str, elems: usize, tensors: usize) -> Vec<KernelLaunch> {
+    vec![KernelLaunch::kernel(
+        name,
+        KernelCategory::Elementwise,
+        KernelCost::elementwise(elems, tensors),
+    )]
+}
+
+/// `y = a + b`. Backward needs no stashed values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Add;
+
+impl Operator for Add {
+    fn name(&self) -> &str {
+        "add"
+    }
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Elementwise
+    }
+    fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        check_same(inputs[0], inputs[1], "add")?;
+        Ok(inputs[0].clone())
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Vec<Tensor>)> {
+        Ok((inputs[0].add(inputs[1])?, Vec::new()))
+    }
+    fn backward(
+        &self,
+        _inputs: &[Option<&Tensor>],
+        _output: Option<&Tensor>,
+        _saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        Ok(vec![Some(dy.clone()), Some(dy.clone())])
+    }
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::NONE
+    }
+    fn forward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+        ewise_launch("add_fwd", o.num_elements(), 3)
+    }
+    fn backward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+        ewise_launch("add_bwd", o.num_elements(), 3)
+    }
+}
+
+/// `y = a - b`. Backward needs no stashed values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sub;
+
+impl Operator for Sub {
+    fn name(&self) -> &str {
+        "sub"
+    }
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Elementwise
+    }
+    fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        check_same(inputs[0], inputs[1], "sub")?;
+        Ok(inputs[0].clone())
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Vec<Tensor>)> {
+        Ok((inputs[0].sub(inputs[1])?, Vec::new()))
+    }
+    fn backward(
+        &self,
+        _inputs: &[Option<&Tensor>],
+        _output: Option<&Tensor>,
+        _saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        Ok(vec![Some(dy.clone()), Some(dy.map(|v| -v))])
+    }
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::NONE
+    }
+    fn forward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+        ewise_launch("sub_fwd", o.num_elements(), 3)
+    }
+    fn backward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+        ewise_launch("sub_bwd", o.num_elements(), 3)
+    }
+}
+
+/// `y = a ⊙ b` (Hadamard product) — the LSTM gate application. Backward
+/// needs both inputs stashed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mul;
+
+impl Operator for Mul {
+    fn name(&self) -> &str {
+        "mul"
+    }
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Elementwise
+    }
+    fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        check_same(inputs[0], inputs[1], "mul")?;
+        Ok(inputs[0].clone())
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Vec<Tensor>)> {
+        Ok((inputs[0].mul(inputs[1])?, Vec::new()))
+    }
+    fn backward(
+        &self,
+        inputs: &[Option<&Tensor>],
+        _output: Option<&Tensor>,
+        _saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let a = inputs[0].expect("mul stashes inputs");
+        let b = inputs[1].expect("mul stashes inputs");
+        Ok(vec![Some(dy.mul(b)?), Some(dy.mul(a)?)])
+    }
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::INPUTS
+    }
+    fn forward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+        ewise_launch("mul_fwd", o.num_elements(), 3)
+    }
+    fn backward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+        ewise_launch("mul_bwd", o.num_elements(), 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Tensor, Tensor) {
+        (
+            Tensor::from_vec(Shape::d1(3), vec![1.0, -2.0, 3.0]).unwrap(),
+            Tensor::from_vec(Shape::d1(3), vec![0.5, 4.0, -1.0]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn add_sub_mul_forward() {
+        let (a, b) = pair();
+        assert_eq!(Add.forward(&[&a, &b]).unwrap().0.data(), &[1.5, 2.0, 2.0]);
+        assert_eq!(Sub.forward(&[&a, &b]).unwrap().0.data(), &[0.5, -6.0, 4.0]);
+        assert_eq!(Mul.forward(&[&a, &b]).unwrap().0.data(), &[0.5, -8.0, -3.0]);
+    }
+
+    #[test]
+    fn backward_rules() {
+        let (a, b) = pair();
+        let dy = Tensor::from_vec(Shape::d1(3), vec![1.0, 2.0, 3.0]).unwrap();
+        let g = Add.backward(&[None, None], None, &[], &dy).unwrap();
+        assert_eq!(g[0].as_ref().unwrap().data(), dy.data());
+        assert_eq!(g[1].as_ref().unwrap().data(), dy.data());
+        let g = Sub.backward(&[None, None], None, &[], &dy).unwrap();
+        assert_eq!(g[1].as_ref().unwrap().data(), &[-1.0, -2.0, -3.0]);
+        let g = Mul.backward(&[Some(&a), Some(&b)], None, &[], &dy).unwrap();
+        assert_eq!(g[0].as_ref().unwrap().data(), &[0.5, 8.0, -3.0]);
+        assert_eq!(g[1].as_ref().unwrap().data(), &[1.0, -4.0, 9.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Tensor::zeros(Shape::d1(3));
+        let b = Tensor::zeros(Shape::d1(4));
+        assert!(Add.forward(&[&a, &b]).is_err());
+        assert!(Mul.infer_shape(&[a.shape(), b.shape()]).is_err());
+    }
+
+    #[test]
+    fn stash_declarations() {
+        assert_eq!(Add.stash(), StashNeeds::NONE);
+        assert_eq!(Sub.stash(), StashNeeds::NONE);
+        assert_eq!(Mul.stash(), StashNeeds::INPUTS);
+    }
+}

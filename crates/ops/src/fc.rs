@@ -1,0 +1,321 @@
+//! The fully-connected layer — the paper's runtime bottleneck and the
+//! target of the data layout optimization.
+
+use echo_cachesim::MatLayout;
+use echo_cachesim::TiledGemmSpec;
+use echo_device::{KernelCategory, KernelCost};
+use echo_graph::{GraphError, KernelLaunch, Operator, Result, StashNeeds};
+use echo_tensor::{reduce, MatrixLayout, Shape, Tensor};
+
+/// `Y = XWᵀ + b` over the flattened rows of `X`.
+///
+/// Inputs: `X [..., H]`, `W [O x H]`, and optionally `b [O]`. The
+/// [`MatrixLayout`] selects the GEMM formulation used on the device plane:
+///
+/// * [`MatrixLayout::RowMajor`] — `Y = XWᵀ` (the MXNet/cuDNN default, an
+///   `NT` GEMM whose weight operand is scanned against its storage order);
+/// * [`MatrixLayout::ColMajor`] — `Yᵀ = WXᵀ` with the `[T, H, B]` input
+///   layout (an `NN` GEMM where every operand streams contiguously).
+///
+/// Numerically the two are identical (see the property tests in
+/// `echo-tensor`); only the simulated kernel time differs — exactly the
+/// paper's Figure 9 experiment.
+#[derive(Debug, Clone)]
+pub struct FullyConnected {
+    out_features: usize,
+    layout: MatrixLayout,
+    bias: bool,
+}
+
+impl FullyConnected {
+    /// A row-major (framework default) fully-connected layer with bias.
+    pub fn new(out_features: usize) -> Self {
+        FullyConnected {
+            out_features,
+            layout: MatrixLayout::RowMajor,
+            bias: true,
+        }
+    }
+
+    /// Chooses the GEMM formulation (builder style).
+    #[must_use]
+    pub fn with_layout(mut self, layout: MatrixLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Disables the bias term (builder style).
+    #[must_use]
+    pub fn without_bias(mut self) -> Self {
+        self.bias = false;
+        self
+    }
+
+    /// The layer's output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The GEMM formulation in use.
+    pub fn layout(&self) -> MatrixLayout {
+        self.layout
+    }
+
+    fn expected_inputs(&self) -> usize {
+        if self.bias {
+            3
+        } else {
+            2
+        }
+    }
+
+    fn check_arity(&self, n: usize) -> Result<()> {
+        if n != self.expected_inputs() {
+            return Err(GraphError::Operator {
+                op: "fully_connected".to_string(),
+                message: format!("expected {} inputs, got {n}", self.expected_inputs()),
+            });
+        }
+        Ok(())
+    }
+
+    fn dims(&self, x: &Shape, w: &Shape) -> Result<(usize, usize, usize)> {
+        let (rows, h) = x.as_matrix();
+        let (o, wh) = w.as_matrix();
+        if wh != h || o != self.out_features {
+            return Err(GraphError::Operator {
+                op: "fully_connected".to_string(),
+                message: format!(
+                    "X {x} is incompatible with W {w} for out_features={}",
+                    self.out_features
+                ),
+            });
+        }
+        Ok((rows, h, o))
+    }
+}
+
+impl Operator for FullyConnected {
+    fn name(&self) -> &str {
+        "fully_connected"
+    }
+
+    fn category(&self) -> KernelCategory {
+        KernelCategory::FullyConnected
+    }
+
+    fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        self.check_arity(inputs.len())?;
+        let (_, _, o) = self.dims(inputs[0], inputs[1])?;
+        if self.bias && inputs[2].num_elements() != o {
+            return Err(GraphError::Operator {
+                op: "fully_connected".to_string(),
+                message: format!("bias {} must have {o} elements", inputs[2]),
+            });
+        }
+        let mut dims = inputs[0].dims().to_vec();
+        *dims.last_mut().expect("rank >= 1") = o;
+        Ok(Shape::new(dims))
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Vec<Tensor>)> {
+        self.check_arity(inputs.len())?;
+        let x = inputs[0];
+        let w = inputs[1];
+        let shapes: Vec<&Shape> = inputs.iter().map(|t| t.shape()).collect();
+        let out_shape = self.infer_shape(&shapes)?;
+        let mut y = x.matmul(w, false, true)?; // [rows x O]
+        if self.bias {
+            reduce::add_bias_rows(&mut y, inputs[2])?;
+        }
+        Ok((y.reshape(out_shape)?, Vec::new()))
+    }
+
+    fn backward(
+        &self,
+        inputs: &[Option<&Tensor>],
+        _output: Option<&Tensor>,
+        _saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let x = inputs[0].expect("fc stashes inputs");
+        let w = inputs[1].expect("fc stashes inputs");
+        let dx = dy.matmul(w, false, false)?.reshape(x.shape().clone())?;
+        let dw = dy.matmul(x, true, false)?.reshape(w.shape().clone())?;
+        let mut grads = vec![Some(dx), Some(dw)];
+        if self.bias {
+            let db = reduce::sum_rows(dy);
+            grads.push(Some(db));
+        }
+        Ok(grads)
+    }
+
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::INPUTS
+    }
+
+    fn forward_launches(&self, inputs: &[&Shape], _output: &Shape) -> Vec<KernelLaunch> {
+        let Ok((rows, h, o)) = self.dims(inputs[0], inputs[1]) else {
+            return Vec::new();
+        };
+        let gemm = match self.layout {
+            MatrixLayout::RowMajor => TiledGemmSpec::fc_row_major(rows, h, o),
+            MatrixLayout::ColMajor => TiledGemmSpec::fc_col_major(rows, h, o),
+        };
+        let mut launches = vec![KernelLaunch::gemm("sgemm_fc_fwd", gemm)];
+        if self.bias {
+            launches.push(KernelLaunch::kernel(
+                "add_bias",
+                KernelCategory::Elementwise,
+                KernelCost::elementwise(rows * o, 2),
+            ));
+        }
+        launches
+    }
+
+    fn backward_launches(&self, inputs: &[&Shape], _output: &Shape) -> Vec<KernelLaunch> {
+        let Ok((rows, h, o)) = self.dims(inputs[0], inputs[1]) else {
+            return Vec::new();
+        };
+        // dX and dW GEMMs; the scattered operand depends on the layout (see
+        // the module docs of `echo_cachesim::trace`).
+        let (dx, dw) = match self.layout {
+            MatrixLayout::RowMajor => {
+                // dX = dY · W : NN. dW = dYᵀ · X : TN (A scanned against
+                // storage order).
+                let dx = TiledGemmSpec::new(rows, h, o);
+                let dw = TiledGemmSpec {
+                    layout_a: MatLayout::ColMajor,
+                    ..TiledGemmSpec::new(o, h, rows)
+                };
+                (dx, dw)
+            }
+            MatrixLayout::ColMajor => {
+                // dXᵀ = Wᵀ · dYᵀ : TN. dWᵀ = Xᵀ · dY : NT-like.
+                let dx = TiledGemmSpec {
+                    layout_a: MatLayout::ColMajor,
+                    ..TiledGemmSpec::new(h, rows, o)
+                };
+                let dw = TiledGemmSpec {
+                    layout_b: MatLayout::ColMajor,
+                    ..TiledGemmSpec::new(h, o, rows)
+                };
+                (dx, dw)
+            }
+        };
+        let mut launches = vec![
+            KernelLaunch::gemm("sgemm_fc_dx", dx),
+            KernelLaunch::gemm("sgemm_fc_dw", dw),
+        ];
+        if self.bias {
+            launches.push(KernelLaunch::kernel(
+                "reduce_db",
+                KernelCategory::Reduction,
+                KernelCost::elementwise(rows * o, 1),
+            ));
+        }
+        launches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x_w_b() -> (Tensor, Tensor, Tensor) {
+        let x = Tensor::from_fn(Shape::d2(2, 3), |i| i as f32 * 0.3 - 0.5);
+        let w = Tensor::from_fn(Shape::d2(4, 3), |i| ((i * 7) % 5) as f32 * 0.2 - 0.4);
+        let b = Tensor::from_vec(Shape::d1(4), vec![0.1, -0.2, 0.3, 0.0]).unwrap();
+        (x, w, b)
+    }
+
+    #[test]
+    fn forward_matches_manual() {
+        let (x, w, b) = x_w_b();
+        let fc = FullyConnected::new(4);
+        let (y, saved) = fc.forward(&[&x, &w, &b]).unwrap();
+        assert!(saved.is_empty());
+        assert_eq!(y.shape(), &Shape::d2(2, 4));
+        for r in 0..2 {
+            for o in 0..4 {
+                let mut acc = b.data()[o];
+                for h in 0..3 {
+                    acc += x.get(&[r, h]).unwrap() * w.get(&[o, h]).unwrap();
+                }
+                assert!((y.get(&[r, o]).unwrap() - acc).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_inference_keeps_leading_dims() {
+        let fc = FullyConnected::new(8).without_bias();
+        let x = Shape::d3(5, 2, 3);
+        let w = Shape::d2(8, 3);
+        assert_eq!(fc.infer_shape(&[&x, &w]).unwrap(), Shape::d3(5, 2, 8));
+        let bad_w = Shape::d2(8, 4);
+        assert!(fc.infer_shape(&[&x, &bad_w]).is_err());
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let (x, w, b) = x_w_b();
+        let fc = FullyConnected::new(4);
+        let (y, _) = fc.forward(&[&x, &w, &b]).unwrap();
+        let dy = Tensor::full(y.shape().clone(), 1.0);
+        let grads = fc
+            .backward(&[Some(&x), Some(&w), Some(&b)], None, &[], &dy)
+            .unwrap();
+        let loss =
+            |x: &Tensor, w: &Tensor, b: &Tensor| fc.forward(&[x, w, b]).unwrap().0.sum() as f32;
+        let eps = 1e-3;
+        let dw = grads[1].as_ref().unwrap();
+        for i in 0..w.len() {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let fd = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            assert!((dw.data()[i] - fd).abs() < 1e-2, "dW[{i}]");
+        }
+        let db = grads[2].as_ref().unwrap();
+        assert_eq!(db.data(), &[2.0, 2.0, 2.0, 2.0]);
+        let dx = grads[0].as_ref().unwrap();
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
+            assert!((dx.data()[i] - fd).abs() < 1e-2, "dX[{i}]");
+        }
+    }
+
+    #[test]
+    fn layout_changes_launches_not_results() {
+        let (x, w, b) = x_w_b();
+        let row = FullyConnected::new(4);
+        let col = FullyConnected::new(4).with_layout(MatrixLayout::ColMajor);
+        let (yr, _) = row.forward(&[&x, &w, &b]).unwrap();
+        let (yc, _) = col.forward(&[&x, &w, &b]).unwrap();
+        assert_eq!(yr, yc, "layout is a device-plane concern only");
+
+        let shapes = [x.shape(), w.shape(), b.shape()];
+        let refs: Vec<&Shape> = shapes.to_vec();
+        let out = row.infer_shape(&refs).unwrap();
+        let lr = row.forward_launches(&refs, &out);
+        let lc = col.forward_launches(&refs, &out);
+        assert_ne!(lr, lc);
+        assert_eq!(lr.len(), 2); // gemm + bias
+    }
+
+    #[test]
+    fn arity_is_validated() {
+        let fc = FullyConnected::new(4);
+        let x = Tensor::zeros(Shape::d2(2, 3));
+        let w = Tensor::zeros(Shape::d2(4, 3));
+        assert!(fc.forward(&[&x, &w]).is_err());
+        let nb = FullyConnected::new(4).without_bias();
+        assert!(nb.forward(&[&x, &w]).is_ok());
+    }
+}

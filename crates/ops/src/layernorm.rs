@@ -1,0 +1,171 @@
+//! Layer normalization — part of the attention scoring composite.
+
+use echo_device::{KernelCategory, KernelCost};
+use echo_graph::{GraphError, KernelLaunch, Operator, Result, StashNeeds};
+use echo_tensor::{kernels, Shape, Tensor};
+
+/// Row-wise layer normalization with learned scale and shift.
+///
+/// Inputs: `x [..., D]`, `gamma [D]`, `beta [D]`. The normalized
+/// activations and per-row inverse standard deviations are saved for
+/// backward — real feature maps of size `O(B·T·H)` per attention step,
+/// which is what the Echo pass recomputes instead of stashing.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerNorm {
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl Default for LayerNorm {
+    fn default() -> Self {
+        LayerNorm { eps: 1e-5 }
+    }
+}
+
+impl Operator for LayerNorm {
+    fn name(&self) -> &str {
+        "layer_norm"
+    }
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Elementwise
+    }
+    fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        let x = inputs[0];
+        let d = *x.dims().last().ok_or_else(|| GraphError::Operator {
+            op: "layer_norm".to_string(),
+            message: "cannot normalize a scalar".to_string(),
+        })?;
+        if inputs[1].num_elements() != d || inputs[2].num_elements() != d {
+            return Err(GraphError::Operator {
+                op: "layer_norm".to_string(),
+                message: format!(
+                    "gamma {} / beta {} must have {d} elements",
+                    inputs[1], inputs[2]
+                ),
+            });
+        }
+        Ok(x.clone())
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Vec<Tensor>)> {
+        let (y, saved) = kernels::layer_norm(inputs[0], inputs[1], inputs[2], self.eps)?;
+        let inv_std = Tensor::from_vec(Shape::d1(saved.inv_std.len()), saved.inv_std.clone())?;
+        Ok((y, vec![saved.normalized, inv_std]))
+    }
+    fn backward(
+        &self,
+        inputs: &[Option<&Tensor>],
+        _output: Option<&Tensor>,
+        saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let gamma = inputs[1].expect("layer_norm stashes inputs");
+        let reconstructed = kernels::LayerNormSaved {
+            normalized: saved[0].clone(),
+            inv_std: saved[1].data().to_vec(),
+        };
+        let (dx, dgamma, dbeta) = kernels::layer_norm_backward(&reconstructed, gamma, dy)?;
+        Ok(vec![Some(dx), Some(dgamma), Some(dbeta)])
+    }
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::INPUTS
+    }
+    fn saved_bytes(&self, inputs: &[&Shape], _output: &Shape) -> u64 {
+        let x = inputs[0];
+        let (rows, _) = x.as_matrix();
+        (x.num_bytes() + rows * 4) as u64
+    }
+    fn forward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "layer_norm_fwd",
+            KernelCategory::Elementwise,
+            KernelCost::elementwise(o.num_elements(), 3),
+        )]
+    }
+    fn backward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "layer_norm_bwd",
+            KernelCategory::Elementwise,
+            KernelCost::elementwise(o.num_elements(), 4),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_rows_with_scale_shift() {
+        let x = Tensor::from_fn(Shape::d2(2, 4), |i| i as f32);
+        let gamma = Tensor::full(Shape::d1(4), 2.0);
+        let beta = Tensor::full(Shape::d1(4), 1.0);
+        let (y, saved) = LayerNorm::default().forward(&[&x, &gamma, &beta]).unwrap();
+        assert_eq!(saved.len(), 2);
+        for r in 0..2 {
+            let row = &y.data()[r * 4..(r + 1) * 4];
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            assert!((mean - 1.0).abs() < 1e-4, "shifted mean");
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let op = LayerNorm::default();
+        let x = Tensor::from_vec(Shape::d2(2, 3), vec![0.5, -1.0, 2.0, 1.0, 0.0, -0.5]).unwrap();
+        let gamma = Tensor::from_vec(Shape::d1(3), vec![1.0, 0.5, 1.5]).unwrap();
+        let beta = Tensor::from_vec(Shape::d1(3), vec![0.0, 0.1, -0.1]).unwrap();
+        let (_, saved) = op.forward(&[&x, &gamma, &beta]).unwrap();
+        let dy = Tensor::full(Shape::d2(2, 3), 1.0);
+        let grads = op
+            .backward(&[Some(&x), Some(&gamma), Some(&beta)], None, &saved, &dy)
+            .unwrap();
+        let loss =
+            |x: &Tensor, g: &Tensor, b: &Tensor| op.forward(&[x, g, b]).unwrap().0.sum() as f32;
+        let eps = 1e-3;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp, &gamma, &beta) - loss(&xm, &gamma, &beta)) / (2.0 * eps);
+            assert!(
+                (grads[0].as_ref().unwrap().data()[i] - fd).abs() < 2e-2,
+                "dx[{i}]"
+            );
+        }
+        for i in 0..3 {
+            let mut gp = gamma.clone();
+            gp.data_mut()[i] += eps;
+            let mut gm = gamma.clone();
+            gm.data_mut()[i] -= eps;
+            let fd = (loss(&x, &gp, &beta) - loss(&x, &gm, &beta)) / (2.0 * eps);
+            assert!(
+                (grads[1].as_ref().unwrap().data()[i] - fd).abs() < 2e-2,
+                "dgamma[{i}]"
+            );
+        }
+    }
+
+    #[test]
+    fn saved_bytes_matches_actual_saves() {
+        let op = LayerNorm::default();
+        let x = Tensor::from_fn(Shape::d2(4, 8), |i| i as f32 * 0.1);
+        let gamma = Tensor::full(Shape::d1(8), 1.0);
+        let beta = Tensor::zeros(Shape::d1(8));
+        let (_, saved) = op.forward(&[&x, &gamma, &beta]).unwrap();
+        let actual: u64 = saved.iter().map(|t| t.num_bytes() as u64).sum();
+        let declared = op.saved_bytes(
+            &[x.shape(), gamma.shape(), beta.shape()],
+            &x.shape().clone(),
+        );
+        assert_eq!(actual, declared);
+    }
+
+    #[test]
+    fn rejects_mismatched_gamma() {
+        let op = LayerNorm::default();
+        assert!(op
+            .infer_shape(&[&Shape::d2(2, 4), &Shape::d1(3), &Shape::d1(4)])
+            .is_err());
+    }
+}

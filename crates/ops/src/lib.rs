@@ -1,0 +1,44 @@
+//! The operator library for the Echo graph: everything an LSTM-RNN
+//! training stack needs.
+//!
+//! Each operator implements [`echo_graph::Operator`]: numeric forward and
+//! backward kernels (backed by `echo-tensor`), shape inference, stash
+//! declarations mirroring MXNet's `OperatorProperty`, and the kernel-launch
+//! descriptions the device plane uses for timing. The operators relevant to
+//! the paper's two optimizations are:
+//!
+//! * [`FullyConnected`] — carries a [`MatrixLayout`] choosing between the
+//!   `Y = XWᵀ` and `Yᵀ = WXᵀ` GEMM formulations (data layout optimization,
+//!   §4.2);
+//! * the attention scoring pipeline ([`BroadcastAddQuery`] →
+//!   [`LayerNorm`] → [`Activation`] tanh → [`ScoreReduce`]) — the O-shape
+//!   subgraph whose intermediates the Echo pass marks for recomputation
+//!   (§4.1);
+//! * [`SequenceReverse`] — with both MXNet's sequential implementation and
+//!   the paper's parallelized one (§5.1).
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod attention;
+pub mod embedding;
+pub mod ewise;
+pub mod fc;
+pub mod layernorm;
+pub mod reduce_ops;
+pub mod seq_reverse;
+pub mod shape_ops;
+pub mod softmax;
+
+pub use activation::{Activation, ActivationKind};
+pub use attention::{BroadcastAddQuery, ScoreReduce, WeightedSum};
+pub use embedding::Embedding;
+pub use ewise::{Add, Mul, Sub};
+pub use fc::FullyConnected;
+pub use layernorm::LayerNorm;
+pub use reduce_ops::MeanAll;
+pub use seq_reverse::SequenceReverse;
+pub use shape_ops::{Concat2LastDim, Permute3, SliceAxis0, SliceLastDim, StackAxis0};
+pub use softmax::{SoftmaxCrossEntropy, SoftmaxRows};
+
+pub use echo_tensor::MatrixLayout;

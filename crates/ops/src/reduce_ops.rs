@@ -1,0 +1,73 @@
+//! Reduction operators.
+
+use echo_device::{KernelCategory, KernelCost};
+use echo_graph::{KernelLaunch, Operator, Result, StashNeeds};
+use echo_tensor::{Shape, Tensor};
+
+/// Mean over all elements — a trivial scalar loss used by pure-LSTM
+/// microbenchmarks where only kernel timing matters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanAll;
+
+impl Operator for MeanAll {
+    fn name(&self) -> &str {
+        "mean_all"
+    }
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Reduction
+    }
+    fn infer_shape(&self, _inputs: &[&Shape]) -> Result<Shape> {
+        Ok(Shape::scalar())
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Vec<Tensor>)> {
+        let n = inputs[0].len().max(1) as f64;
+        Ok((Tensor::scalar((inputs[0].sum() / n) as f32), Vec::new()))
+    }
+    fn backward(
+        &self,
+        inputs: &[Option<&Tensor>],
+        _output: Option<&Tensor>,
+        _saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let x = inputs[0].expect("mean_all stashes inputs for its shape");
+        let n = x.len().max(1) as f32;
+        Ok(vec![Some(Tensor::full(
+            x.shape().clone(),
+            dy.data()[0] / n,
+        ))])
+    }
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::INPUTS
+    }
+    fn forward_launches(&self, i: &[&Shape], _o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "mean_all_fwd",
+            KernelCategory::Reduction,
+            KernelCost::elementwise(i[0].num_elements(), 1),
+        )]
+    }
+    fn backward_launches(&self, i: &[&Shape], _o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "mean_all_bwd",
+            KernelCategory::Reduction,
+            KernelCost::elementwise(i[0].num_elements(), 1),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_gradient() {
+        let x = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 2.0, 3.0, 6.0]).unwrap();
+        let (y, _) = MeanAll.forward(&[&x]).unwrap();
+        assert_eq!(y.data()[0], 3.0);
+        let grads = MeanAll
+            .backward(&[Some(&x)], None, &[], &Tensor::scalar(2.0))
+            .unwrap();
+        assert_eq!(grads[0].as_ref().unwrap().data(), &[0.5; 4]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Softmax operators: the attention-weight softmax and the output loss.
+
+use echo_device::{KernelCategory, KernelCost};
+use echo_graph::{GraphError, KernelLaunch, Operator, Result, StashNeeds};
+use echo_tensor::{kernels, Shape, Tensor};
+
+/// Row-wise softmax over the last dimension — produces the attention
+/// weights `α` from the attention scores.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxRows;
+
+impl Operator for SoftmaxRows {
+    fn name(&self) -> &str {
+        "softmax"
+    }
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Softmax
+    }
+    fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        Ok(inputs[0].clone())
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Vec<Tensor>)> {
+        Ok((kernels::softmax_rows(inputs[0]), Vec::new()))
+    }
+    fn backward(
+        &self,
+        _inputs: &[Option<&Tensor>],
+        output: Option<&Tensor>,
+        _saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let y = output.expect("softmax stashes its output");
+        Ok(vec![Some(kernels::softmax_rows_backward(y, dy)?)])
+    }
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::OUTPUT
+    }
+    fn forward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "softmax_fwd",
+            KernelCategory::Softmax,
+            KernelCost::elementwise(o.num_elements(), 2),
+        )]
+    }
+    fn backward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "softmax_bwd",
+            KernelCategory::Softmax,
+            KernelCost::elementwise(o.num_elements(), 3),
+        )]
+    }
+}
+
+/// Fused softmax + mean cross-entropy over integer targets — the Output
+/// layer's perplexity loss.
+///
+/// Inputs: `logits [N x V]` (leading dims flattened), `targets` with `N`
+/// elements (`f32`-encoded ids). Output: scalar mean loss in nats. Rows
+/// whose target equals `ignore_index` (padding) contribute nothing.
+///
+/// The softmax probabilities are saved for backward — a genuine `[N x V]`
+/// feature map, which is why the Output layer shows up prominently in the
+/// paper's memory breakdown (Figure 5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy {
+    /// Target id treated as padding.
+    pub ignore_index: Option<usize>,
+}
+
+impl SoftmaxCrossEntropy {
+    /// Loss without padding handling.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy { ignore_index: None }
+    }
+
+    /// Loss that ignores rows labelled `pad`.
+    pub fn with_ignore(pad: usize) -> Self {
+        SoftmaxCrossEntropy {
+            ignore_index: Some(pad),
+        }
+    }
+
+    fn targets_of(t: &Tensor) -> Vec<usize> {
+        t.data().iter().map(|&v| v as usize).collect()
+    }
+}
+
+impl Operator for SoftmaxCrossEntropy {
+    fn name(&self) -> &str {
+        "softmax_ce"
+    }
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Softmax
+    }
+    fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        let (rows, _) = inputs[0].as_matrix();
+        if inputs[1].num_elements() != rows {
+            return Err(GraphError::Operator {
+                op: "softmax_ce".to_string(),
+                message: format!(
+                    "logits {} need {rows} targets, got {}",
+                    inputs[0],
+                    inputs[1].num_elements()
+                ),
+            });
+        }
+        Ok(Shape::scalar())
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Vec<Tensor>)> {
+        let targets = Self::targets_of(inputs[1]);
+        let (loss, probs) = kernels::softmax_cross_entropy(inputs[0], &targets, self.ignore_index)?;
+        Ok((Tensor::scalar(loss), vec![probs]))
+    }
+    fn backward(
+        &self,
+        inputs: &[Option<&Tensor>],
+        _output: Option<&Tensor>,
+        saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let targets = Self::targets_of(inputs[1].expect("ce stashes inputs"));
+        let probs = &saved[0];
+        let mut dlogits =
+            kernels::softmax_cross_entropy_backward(probs, &targets, self.ignore_index)?;
+        dlogits.scale_inplace(dy.data()[0]);
+        let logits_shape = inputs[0].expect("ce stashes inputs").shape().clone();
+        Ok(vec![Some(dlogits.reshape(logits_shape)?), None])
+    }
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::INPUTS
+    }
+    fn input_differentiable(&self, index: usize) -> bool {
+        index == 0
+    }
+    fn saved_bytes(&self, inputs: &[&Shape], _output: &Shape) -> u64 {
+        inputs[0].num_bytes() as u64
+    }
+    fn forward_launches(&self, inputs: &[&Shape], _o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "softmax_ce_fwd",
+            KernelCategory::Softmax,
+            KernelCost::elementwise(inputs[0].num_elements(), 2),
+        )]
+    }
+    fn backward_launches(&self, inputs: &[&Shape], _o: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            "softmax_ce_bwd",
+            KernelCategory::Softmax,
+            KernelCost::elementwise(inputs[0].num_elements(), 2),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_is_distribution() {
+        let x = Tensor::from_fn(Shape::d2(3, 4), |i| (i as f32).sin());
+        let (y, _) = SoftmaxRows.forward(&[&x]).unwrap();
+        for r in 0..3 {
+            let s: f32 = y.data()[r * 4..(r + 1) * 4].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ce_loss_decreases_when_correct_logit_grows() {
+        let targets = Tensor::from_vec(Shape::d1(2), vec![0.0, 1.0]).unwrap();
+        let weak = Tensor::from_vec(Shape::d2(2, 2), vec![0.1, 0.0, 0.0, 0.1]).unwrap();
+        let strong = Tensor::from_vec(Shape::d2(2, 2), vec![5.0, 0.0, 0.0, 5.0]).unwrap();
+        let op = SoftmaxCrossEntropy::new();
+        let (l_weak, _) = op.forward(&[&weak, &targets]).unwrap();
+        let (l_strong, _) = op.forward(&[&strong, &targets]).unwrap();
+        assert!(l_strong.data()[0] < l_weak.data()[0]);
+    }
+
+    #[test]
+    fn ce_gradient_matches_finite_difference() {
+        let logits = Tensor::from_fn(Shape::d2(3, 4), |i| ((i * 13) % 7) as f32 * 0.3 - 1.0);
+        let targets = Tensor::from_vec(Shape::d1(3), vec![2.0, 0.0, 3.0]).unwrap();
+        let op = SoftmaxCrossEntropy::new();
+        let (_, saved) = op.forward(&[&logits, &targets]).unwrap();
+        let dy = Tensor::scalar(1.0);
+        let grads = op
+            .backward(&[Some(&logits), Some(&targets)], None, &saved, &dy)
+            .unwrap();
+        let g = grads[0].as_ref().unwrap();
+        assert!(grads[1].is_none());
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let fp = op.forward(&[&lp, &targets]).unwrap().0.data()[0];
+            let fm = op.forward(&[&lm, &targets]).unwrap().0.data()[0];
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((g.data()[i] - fd).abs() < 1e-3, "elem {i}");
+        }
+    }
+
+    #[test]
+    fn padding_rows_are_ignored() {
+        let logits = Tensor::from_vec(Shape::d2(2, 2), vec![0.0, 1.0, 3.0, -3.0]).unwrap();
+        let targets = Tensor::from_vec(Shape::d1(2), vec![1.0, 9.0]).unwrap();
+        let op = SoftmaxCrossEntropy::with_ignore(9);
+        let (loss, saved) = op.forward(&[&logits, &targets]).unwrap();
+        // Only row 0 counts.
+        let p0 = kernels::softmax_rows(&logits).data()[1];
+        assert!((loss.data()[0] + p0.ln()).abs() < 1e-5);
+        let grads = op
+            .backward(
+                &[Some(&logits), Some(&targets)],
+                None,
+                &saved,
+                &Tensor::scalar(1.0),
+            )
+            .unwrap();
+        let g = grads[0].as_ref().unwrap();
+        assert_eq!(&g.data()[2..4], &[0.0, 0.0], "padding row has no gradient");
+    }
+
+    #[test]
+    fn target_count_is_validated() {
+        let logits = Shape::d2(3, 4);
+        let bad = Shape::d1(2);
+        assert!(SoftmaxCrossEntropy::new()
+            .infer_shape(&[&logits, &bad])
+            .is_err());
+    }
+
+    #[test]
+    fn saved_bytes_accounts_for_probs() {
+        let logits = Shape::d2(128, 10_000);
+        let targets = Shape::d1(128);
+        let op = SoftmaxCrossEntropy::new();
+        assert_eq!(
+            op.saved_bytes(&[&logits, &targets], &Shape::scalar()),
+            logits.num_bytes() as u64
+        );
+    }
+}

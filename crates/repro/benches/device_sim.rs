@@ -1,0 +1,38 @@
+//! Criterion benches of the simulation infrastructure itself: GEMM trace
+//! simulation cost and full symbolic NMT iterations — the price of a
+//! "measurement" in this reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use echo_cachesim::{simulate_gemm, CacheConfig, TiledGemmSpec};
+use echo_repro::{run_nmt, NmtRunConfig};
+use echo_rnn::LstmBackend;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cachesim_gemm");
+    group.sample_size(10);
+    for (name, spec) in [
+        ("lstm_row_major", TiledGemmSpec::fc_row_major(64, 512, 2048)),
+        ("lstm_col_major", TiledGemmSpec::fc_col_major(64, 512, 2048)),
+        ("big_batched", TiledGemmSpec::fc_row_major(6400, 512, 2048)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |bench| {
+            bench.iter(|| simulate_gemm(&spec, &CacheConfig::titan_xp_l2()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("symbolic_nmt_iteration");
+    group.sample_size(10);
+    group.bench_function("small_zhu_b32", |bench| {
+        let mut cfg = NmtRunConfig::zhu("bench", LstmBackend::Default, 32, false);
+        cfg.hyper.src_len = 30;
+        cfg.hyper.tgt_len = 30;
+        cfg.hyper.src_vocab = 3000;
+        cfg.hyper.tgt_vocab = 3000;
+        bench.iter(|| run_nmt(&cfg).expect("run"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

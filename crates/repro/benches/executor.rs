@@ -1,0 +1,75 @@
+//! Criterion benches of the graph executor itself: numeric and symbolic
+//! training-iteration cost for the tiny NMT model, with and without the
+//! Echo plan — quantifying the host-side price of the recomputation
+//! machinery (replays, workspace leases, policy checks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use echo::{EchoCompiler, EchoConfig};
+use echo_data::{NmtBatch, ParallelCorpus, Vocab};
+use echo_graph::{ExecOptions, Executor, StashPlan};
+use echo_memory::DeviceMemory;
+use echo_models::{NmtHyper, NmtModel};
+use std::sync::Arc;
+
+fn bench_executor(c: &mut Criterion) {
+    let corpus = ParallelCorpus::synthetic(Vocab::new(100), Vocab::new(90), 40, 4..=10, 3);
+    let model = NmtModel::build(NmtHyper::tiny(100, 90));
+    let batch = NmtBatch::bucketed(corpus.pairs(), 8).remove(0);
+    let bindings = model.bindings(&batch);
+    let compiled = EchoCompiler::new(EchoConfig::default())
+        .compile(
+            &model.graph,
+            &bindings,
+            &model.param_shapes(),
+            &[model.loss, model.logits],
+        )
+        .expect("compile");
+
+    let mut group = c.benchmark_group("executor_train_step");
+    group.sample_size(10);
+    for (name, plan, numeric) in [
+        ("numeric_baseline", StashPlan::stash_all(), true),
+        ("numeric_echo", compiled.plan.clone(), true),
+        ("symbolic_baseline", StashPlan::stash_all(), false),
+        ("symbolic_echo", compiled.plan.clone(), false),
+    ] {
+        let mem = DeviceMemory::with_overhead_model(8 << 30, 0, 0.0);
+        let mut exec = Executor::new(Arc::clone(&model.graph), plan, mem);
+        if numeric {
+            model.bind_params(&mut exec, 7).expect("bind");
+        } else {
+            model.bind_param_shapes(&mut exec).expect("bind");
+        }
+        let opts = ExecOptions {
+            training: true,
+            numeric,
+        };
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                exec.train_step(&bindings, model.loss, opts, None)
+                    .expect("step")
+            });
+        });
+    }
+    group.finish();
+
+    // The compiler pass itself.
+    let mut group = c.benchmark_group("echo_compile");
+    group.sample_size(10);
+    group.bench_function("tiny_nmt", |bench| {
+        bench.iter(|| {
+            EchoCompiler::new(EchoConfig::default())
+                .compile(
+                    &model.graph,
+                    &bindings,
+                    &model.param_shapes(),
+                    &[model.loss, model.logits],
+                )
+                .expect("compile")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches of the numeric-plane LSTM cell: forward and BPTT
+//! step cost on the host CPU, across the paper's hidden dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use echo_rnn::{lstm_step_backward, lstm_step_forward};
+use echo_tensor::init::{seeded_rng, uniform};
+use echo_tensor::{Shape, Tensor};
+
+fn bench_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstm_cell");
+    group.sample_size(10);
+    for &hidden in &[64usize, 256] {
+        let b = 16usize;
+        let mut rng = seeded_rng(5);
+        let x = uniform(Shape::d2(b, hidden), 1.0, &mut rng);
+        let h0 = uniform(Shape::d2(b, hidden), 1.0, &mut rng);
+        let c0 = uniform(Shape::d2(b, hidden), 1.0, &mut rng);
+        let wx = uniform(Shape::d2(4 * hidden, hidden), 0.5, &mut rng);
+        let wh = uniform(Shape::d2(4 * hidden, hidden), 0.5, &mut rng);
+        let bias = uniform(Shape::d1(4 * hidden), 0.2, &mut rng);
+
+        group.bench_function(BenchmarkId::new("forward", hidden), |bench| {
+            bench.iter(|| lstm_step_forward(&x, &h0, &c0, &wx, &wh, &bias).expect("fwd"));
+        });
+
+        let (h, cell, gates) = lstm_step_forward(&x, &h0, &c0, &wx, &wh, &bias).expect("fwd");
+        let dh = Tensor::full(h.shape().clone(), 1.0);
+        let dc = Tensor::zeros(cell.shape().clone());
+        group.bench_function(BenchmarkId::new("backward", hidden), |bench| {
+            bench.iter(|| {
+                lstm_step_backward(&x, &h0, &c0, &wx, &wh, &gates, &cell, &dh, &dc).expect("bwd")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cell);
+criterion_main!(benches);

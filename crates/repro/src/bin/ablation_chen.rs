@@ -1,0 +1,99 @@
+//! Ablation / related-work comparison (paper §7): Echo's selective
+//! O-shape recomputation versus Chen et al.'s generic √N checkpointing on
+//! the same NMT model.
+//!
+//! Expected shape: both reduce memory, but Chen's plan drags
+//! fully-connected layers into the replay (and cannot share workspaces
+//! across time steps), costing throughput — the paper's argument for a
+//! cost-aware compiler pass.
+
+use echo::{analysis::infer_shapes, chen_sqrt_plan, sqrt_stride, EchoCompiler, EchoConfig};
+use echo_device::DeviceSim;
+use echo_graph::{ExecOptions, Executor, StashPlan};
+use echo_memory::DeviceMemory;
+use echo_models::{NmtHyper, NmtModel};
+use echo_repro::{gib, print_table, save_json, FRAMEWORK_OP_OVERHEAD_NS, NMT_HOST_OVERHEAD_NS};
+use echo_rnn::LstmBackend;
+use serde_json::json;
+use std::sync::Arc;
+
+fn measure(model: &NmtModel, plan: StashPlan, batch: usize) -> (u64, u64, u64) {
+    let bindings = model.symbolic_bindings(batch);
+    let mem = DeviceMemory::with_overhead_model(1 << 40, 600 << 20, 0.04);
+    let mut exec = Executor::new(Arc::clone(&model.graph), plan, mem.clone());
+    model.bind_param_shapes(&mut exec).expect("bind");
+    let mut sim = DeviceSim::new(echo_device::DeviceSpec::titan_xp());
+    sim.set_record_trace(false);
+    sim.set_op_overhead_ns(FRAMEWORK_OP_OVERHEAD_NS);
+    let stats = exec
+        .train_step(
+            &bindings,
+            model.loss,
+            ExecOptions {
+                training: true,
+                numeric: false,
+            },
+            Some(&mut sim),
+        )
+        .expect("run");
+    sim.synchronize();
+    (
+        mem.nvidia_smi_peak_bytes(),
+        sim.elapsed_ns() + NMT_HOST_OVERHEAD_NS,
+        stats.replays,
+    )
+}
+
+fn main() {
+    // Moderate scale so the (deliberately replay-heavy) Chen plan
+    // simulates quickly.
+    let mut hyper = NmtHyper::zhu(LstmBackend::Default);
+    hyper.src_len = 50;
+    hyper.tgt_len = 50;
+    let model = NmtModel::build(hyper);
+    let batch = 128usize;
+    let bindings = model.symbolic_bindings(batch);
+    let shapes = infer_shapes(&model.graph, &bindings, &model.param_shapes()).expect("shapes");
+
+    let echo_plan = EchoCompiler::new(EchoConfig::default())
+        .compile(
+            &model.graph,
+            &bindings,
+            &model.param_shapes(),
+            &[model.loss, model.logits],
+        )
+        .expect("compile")
+        .plan;
+    let stride = sqrt_stride(&model.graph);
+    let (chen_plan, chen_report) =
+        chen_sqrt_plan(&model.graph, &shapes, &[model.loss, model.logits], stride);
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (name, plan) in [
+        ("Default (stash all)", StashPlan::stash_all()),
+        ("Echo (O-shape pass)", echo_plan),
+        (&format!("Chen sqrt(N) (stride {stride})"), chen_plan),
+    ] {
+        let (mem_bytes, iter_ns, replays) = measure(&model, plan.clone(), batch);
+        rows.push(vec![
+            name.to_string(),
+            gib(mem_bytes),
+            format!("{:.0}", batch as f64 / (iter_ns as f64 * 1e-9)),
+            replays.to_string(),
+        ]);
+        out.push(json!({"config": name, "memory_bytes": mem_bytes,
+                        "iteration_ns": iter_ns, "replays": replays}));
+    }
+    print_table(
+        "Ablation: Echo vs Chen et al. generic checkpointing (NMT, B=128, T=50)",
+        &["plan", "memory GiB", "samples/s", "replays"],
+        &rows,
+    );
+    println!(
+        "\nChen recomputes {} nodes including {} fully-connected ones; Echo recomputes\n\
+         only GEMM-free attention interiors, which is why it keeps the throughput.",
+        chen_report.recomputed, chen_report.expensive_recompute_nodes
+    );
+    save_json("ablation_chen", &out);
+}

@@ -1,0 +1,52 @@
+//! Figure 13: GPU memory consumption and training throughput for the
+//! Default baseline and EcoRNN (= Default + partial forward propagation):
+//! the footprint halves at unchanged batch size, and the freed memory
+//! admits batch 256, raising throughput.
+
+use echo_repro::{gib, print_table, run_nmt, save_json, NmtRunConfig};
+use echo_rnn::LstmBackend;
+use serde_json::json;
+
+fn main() {
+    let configs = [
+        NmtRunConfig::zhu("Default^par B=128", LstmBackend::Default, 128, false),
+        NmtRunConfig::zhu("EcoRNN^par  B=128", LstmBackend::Default, 128, true),
+        NmtRunConfig::zhu("EcoRNN^par  B=256", LstmBackend::Default, 256, true),
+    ];
+    let results: Vec<_> = configs.iter().map(|c| run_nmt(c).expect("run")).collect();
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                gib(r.nvidia_smi_bytes),
+                format!("{:.0}", r.throughput),
+                if r.oom { "OOM" } else { "fits" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 13: memory (a) and throughput (b), Zhu et al. setting, Titan Xp",
+        &["config", "memory GiB", "samples/s", "status"],
+        &rows,
+    );
+
+    let mem_ratio = results[0].nvidia_smi_bytes as f64 / results[1].nvidia_smi_bytes as f64;
+    let same_batch = results[1].throughput / results[0].throughput;
+    let big_batch = results[2].throughput / results[0].throughput;
+    println!(
+        "\nmemory reduction at B=128: {mem_ratio:.2}x (paper: ~2.1x)\n\
+         throughput at same batch:  {same_batch:.2}x (paper: 1.04x)\n\
+         throughput at batch 256:   {big_batch:.2}x (paper: ~1.3x)"
+    );
+    save_json(
+        "fig13",
+        &json!({
+            "results": results,
+            "memory_reduction": mem_ratio,
+            "throughput_same_batch": same_batch,
+            "throughput_big_batch": big_batch,
+        }),
+    );
+}

@@ -1,0 +1,76 @@
+//! Figure 14: memory-consumption breakdown before/after partial forward
+//! propagation — the attention layers' share collapses (paper: 59% → 6%)
+//! while a small workspace share appears (0% → 3%).
+
+use echo_memory::{DataStructureKind, LayerKind};
+use echo_repro::{print_table, run_nmt, save_json, NmtRunConfig};
+use echo_rnn::LstmBackend;
+use serde_json::json;
+
+fn main() {
+    let mut base = NmtRunConfig::zhu("Default^par B=128", LstmBackend::Default, 128, false);
+    base.enforce_capacity = false;
+    let mut eco = base.clone();
+    eco.label = "EcoRNN^par B=128".to_string();
+    eco.echo = true;
+
+    let r_base = run_nmt(&base).expect("run");
+    let r_eco = run_nmt(&eco).expect("run");
+    let bd_base = r_base.breakdown.expect("breakdown");
+    let bd_eco = r_eco.breakdown.expect("breakdown");
+
+    let layer_rows: Vec<Vec<String>> = LayerKind::ALL
+        .iter()
+        .map(|&l| {
+            vec![
+                l.to_string(),
+                format!("{:.1}%", bd_base.layer_fraction(l) * 100.0),
+                format!("{:.1}%", bd_eco.layer_fraction(l) * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 14(a): by layer type",
+        &["layer", "Default", "EcoRNN"],
+        &layer_rows,
+    );
+
+    let kind_rows: Vec<Vec<String>> = DataStructureKind::ALL
+        .iter()
+        .map(|&k| {
+            vec![
+                k.to_string(),
+                format!("{:.1}%", bd_base.kind_fraction(k) * 100.0),
+                format!("{:.1}%", bd_eco.kind_fraction(k) * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 14(b): by data structure",
+        &["structure", "Default", "EcoRNN"],
+        &kind_rows,
+    );
+
+    println!(
+        "\nPaper's claims: attention share 59% -> 6%; workspace 0% -> 3%; feature\n\
+         maps 91% -> 76%. Measured: attention {:.0}% -> {:.0}%, workspace {:.0}% -> {:.0}%,\n\
+         feature maps {:.0}% -> {:.0}%.",
+        bd_base.layer_fraction(LayerKind::Attention) * 100.0,
+        bd_eco.layer_fraction(LayerKind::Attention) * 100.0,
+        bd_base.kind_fraction(DataStructureKind::Workspace) * 100.0,
+        bd_eco.kind_fraction(DataStructureKind::Workspace) * 100.0,
+        bd_base.kind_fraction(DataStructureKind::FeatureMap) * 100.0,
+        bd_eco.kind_fraction(DataStructureKind::FeatureMap) * 100.0,
+    );
+    save_json(
+        "fig14",
+        &json!({
+            "base_attention": bd_base.layer_fraction(LayerKind::Attention),
+            "eco_attention": bd_eco.layer_fraction(LayerKind::Attention),
+            "base_workspace": bd_base.kind_fraction(DataStructureKind::Workspace),
+            "eco_workspace": bd_eco.kind_fraction(DataStructureKind::Workspace),
+            "base_total": bd_base.total_bytes,
+            "eco_total": bd_eco.total_bytes,
+        }),
+    );
+}

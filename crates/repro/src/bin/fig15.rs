@@ -1,0 +1,52 @@
+//! Figure 15: memory consumption and throughput comparison including the
+//! cuDNN backend — cuDNN buys a little throughput but *increases* memory,
+//! while EcoRNN's footprint reduction converts into a larger batch and
+//! the best throughput.
+
+use echo_repro::{gib, print_table, run_nmt, save_json, NmtRunConfig};
+use echo_rnn::LstmBackend;
+use serde_json::json;
+
+fn main() {
+    let configs = [
+        NmtRunConfig::zhu("Default^par B=128", LstmBackend::Default, 128, false),
+        NmtRunConfig::zhu("CuDNN^par   B=128", LstmBackend::CuDnn, 128, false),
+        NmtRunConfig::zhu("EcoRNN^par  B=256", LstmBackend::Default, 256, true),
+    ];
+    let results: Vec<_> = configs.iter().map(|c| run_nmt(c).expect("run")).collect();
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                gib(r.nvidia_smi_bytes),
+                format!("{:.0}", r.throughput),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 15: memory (a) and throughput (b) incl. cuDNN",
+        &["config", "memory GiB", "samples/s"],
+        &rows,
+    );
+
+    let cudnn_mem = results[1].nvidia_smi_bytes as f64 / results[0].nvidia_smi_bytes as f64;
+    let cudnn_thpt = results[1].throughput / results[0].throughput;
+    let eco_vs_cudnn = results[2].throughput / results[1].throughput;
+    println!(
+        "\ncuDNN memory vs Default:   {:.2}x (paper: +7%)\n\
+         cuDNN throughput vs Default: {cudnn_thpt:.2}x (paper: +8%)\n\
+         EcoRNN(B=256) vs cuDNN:     {eco_vs_cudnn:.2}x (paper: 1.27x)",
+        cudnn_mem
+    );
+    save_json(
+        "fig15",
+        &json!({
+            "results": results,
+            "cudnn_memory_ratio": cudnn_mem,
+            "cudnn_throughput_ratio": cudnn_thpt,
+            "eco_vs_cudnn_throughput": eco_vs_cudnn,
+        }),
+    );
+}

@@ -1,0 +1,57 @@
+//! Scratch probe for calibration (not a paper figure).
+
+use echo_repro::{gib, run_nmt, NmtRunConfig};
+use echo_rnn::LstmBackend;
+
+fn main() {
+    for (label, backend, batch, echo) in [
+        ("Default B=128", LstmBackend::Default, 128, false),
+        ("EcoRNN  B=128", LstmBackend::Default, 128, true),
+        ("EcoRNN  B=256", LstmBackend::Default, 256, true),
+        ("Default B=256", LstmBackend::Default, 256, false),
+        ("CuDNN   B=128", LstmBackend::CuDnn, 128, false),
+    ] {
+        let cfg = NmtRunConfig::zhu(label, backend, batch, echo);
+        match run_nmt(&cfg) {
+            Ok(r) => println!(
+                "{label}: peak {} GiB (smi {}) iter {:.1} ms thpt {:.0} samp/s oom={} replays={} power={:.0}W",
+                gib(r.peak_bytes),
+                gib(r.nvidia_smi_bytes),
+                r.iteration_ns as f64 / 1e6,
+                r.throughput,
+                r.oom,
+                r.replays,
+                r.power_w
+            ),
+            Err(e) => println!("{label}: {e}"),
+        }
+    }
+    // Batch sweep for Fig 4b shape.
+    for b in [16usize, 32, 64, 128] {
+        let cfg = NmtRunConfig::zhu("sweep", LstmBackend::Default, b, false);
+        let r = run_nmt(&cfg).unwrap();
+        println!(
+            "B={b}: thpt {:.0} samp/s mem {} GiB",
+            r.throughput,
+            gib(r.peak_bytes)
+        );
+    }
+    // Category breakdown at B=128 baseline.
+    let cfg = NmtRunConfig::zhu("bd", LstmBackend::Default, 128, false);
+    let r = run_nmt(&cfg).unwrap();
+    if let Some(t) = &r.trace {
+        println!(
+            "kernel total {:.1} ms; elapsed {:.1} ms; launch {:.1} ms; sync {:.1} ms",
+            t.kernel_ns as f64 / 1e6,
+            t.elapsed_ns as f64 / 1e6,
+            t.api.launch_ns as f64 / 1e6,
+            t.api.sync_ns as f64 / 1e6
+        );
+        for (cat, ns) in &t.by_category {
+            println!("  {cat}: {:.1} ms", *ns as f64 / 1e6);
+        }
+        for (name, ns) in t.by_name.iter().take(8) {
+            println!("    {name}: {:.1} ms", *ns as f64 / 1e6);
+        }
+    }
+}

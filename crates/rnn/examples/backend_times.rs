@@ -1,0 +1,24 @@
+//! Prints simulated forward/backward times of each LSTM backend for one
+//! hyperparameter point.
+//!
+//! ```sh
+//! cargo run -p echo-rnn --example backend_times --release
+//! ```
+
+use echo_device::DeviceSpec;
+use echo_rnn::{pure_lstm_times, LstmBackend, PureLstmConfig};
+
+fn main() {
+    let spec = DeviceSpec::titan_xp();
+    for backend in LstmBackend::ALL {
+        let mut cfg = PureLstmConfig::new(backend, 64, 512, 1);
+        cfg.seq_len = 20;
+        let (fwd, bwd) = pure_lstm_times(&cfg, &spec).unwrap();
+        println!(
+            "{backend}: fwd={}us bwd={}us total={}us",
+            fwd / 1000,
+            bwd / 1000,
+            (fwd + bwd) / 1000
+        );
+    }
+}

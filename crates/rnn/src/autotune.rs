@@ -1,0 +1,114 @@
+//! The autotuning microbenchmark (paper §5.4, Figure 11).
+//!
+//! Before training starts, Echo runs a short microbenchmark of each LSTM
+//! backend under the user's hyperparameters and transparently selects the
+//! fastest — sparing model authors the manual `--fused`-style switches
+//! real toolkits require. Table 2 validates the approach: the inverse
+//! microbenchmark runtime correlates with full-model training throughput
+//! at ρ ≈ 0.95+.
+
+use crate::backend::LstmBackend;
+use crate::pure::{pure_lstm_times, PureLstmConfig};
+use echo_device::DeviceSpec;
+use echo_graph::Result;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one autotuning run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutotuneReport {
+    /// The selected backend.
+    pub choice: LstmBackend,
+    /// Simulated microbenchmark time per backend (forward + backward), ns.
+    pub times_ns: Vec<(LstmBackend, u64)>,
+    /// The hyperparameters benchmarked.
+    pub config: PureLstmConfig,
+}
+
+impl AutotuneReport {
+    /// Microbenchmark time of one backend.
+    pub fn time_of(&self, backend: LstmBackend) -> Option<u64> {
+        self.times_ns
+            .iter()
+            .find(|(b, _)| *b == backend)
+            .map(|&(_, t)| t)
+    }
+}
+
+/// Runs the microbenchmark for `(batch, hidden, layers, seq_len)` on
+/// `spec` and picks the fastest backend.
+///
+/// The microbenchmark uses a shortened sequence (the paper keeps it in the
+/// order of 0.1 s of device time) — runtime scales linearly in `T`
+/// (paper §6.3), so the ranking is preserved.
+///
+/// # Errors
+///
+/// Propagates graph-execution errors.
+pub fn autotune(
+    batch: usize,
+    hidden: usize,
+    layers: usize,
+    seq_len: usize,
+    spec: &DeviceSpec,
+) -> Result<AutotuneReport> {
+    let micro_t = seq_len.clamp(1, 20);
+    let mut times = Vec::new();
+    for backend in LstmBackend::ALL {
+        let cfg = PureLstmConfig {
+            backend,
+            batch,
+            hidden,
+            layers,
+            seq_len: micro_t,
+        };
+        let (fwd, bwd) = pure_lstm_times(&cfg, spec)?;
+        times.push((backend, fwd + bwd));
+    }
+    let choice = times
+        .iter()
+        .min_by_key(|&&(_, t)| t)
+        .map(|&(b, _)| b)
+        .expect("three backends measured");
+    Ok(AutotuneReport {
+        choice,
+        times_ns: times,
+        config: PureLstmConfig {
+            backend: choice,
+            batch,
+            hidden,
+            layers,
+            seq_len,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_a_backend_with_all_times_recorded() {
+        let report = autotune(64, 256, 1, 50, &DeviceSpec::titan_xp()).unwrap();
+        assert_eq!(report.times_ns.len(), 3);
+        let best = report.time_of(report.choice).unwrap();
+        for &(_, t) in &report.times_ns {
+            assert!(best <= t);
+        }
+    }
+
+    #[test]
+    fn typically_picks_ecornn_for_paper_shapes() {
+        let report = autotune(64, 512, 1, 50, &DeviceSpec::titan_xp()).unwrap();
+        assert_eq!(report.choice, LstmBackend::EcoRnn);
+    }
+
+    #[test]
+    fn never_picks_default_for_small_kernels() {
+        // The launch-bound Default backend should lose everywhere in the
+        // paper's hyperparameter grid.
+        for &(b, h) in &[(32usize, 256usize), (128, 1024)] {
+            let report = autotune(b, h, 2, 50, &DeviceSpec::titan_xp()).unwrap();
+            assert_ne!(report.choice, LstmBackend::Default, "B={b} H={h}");
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Numeric LSTM cell mathematics shared by all backends.
+//!
+//! Gate order follows MXNet/cuDNN: input `i`, forget `f`, cell candidate
+//! `g`, output `o`:
+//!
+//! ```text
+//! pre = x·Wxᵀ + h_prev·Whᵀ + b                 (pre [B x 4H])
+//! i = σ(pre[0:H])   f = σ(pre[H:2H])
+//! g = tanh(pre[2H:3H])   o = σ(pre[3H:4H])
+//! c = f ⊙ c_prev + i ⊙ g
+//! h = o ⊙ tanh(c)
+//! ```
+
+use echo_graph::Result;
+use echo_tensor::{kernels, reduce, Shape, Tensor};
+
+/// Forward result of one LSTM step: `(h, c, gates)` with `gates [B x 4H]`
+/// holding the *post-activation* `i, f, g, o` — exactly what cuDNN's
+/// reserved space keeps for the backward pass.
+pub fn lstm_step_forward(
+    x: &Tensor,
+    h_prev: &Tensor,
+    c_prev: &Tensor,
+    wx: &Tensor,
+    wh: &Tensor,
+    b: &Tensor,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let batch = x.shape().as_matrix().0;
+    let hidden = c_prev.shape().as_matrix().1;
+    let mut pre = x.matmul(wx, false, true)?;
+    let rec = h_prev.matmul(wh, false, true)?;
+    pre.axpy(1.0, &rec)?;
+    reduce::add_bias_rows(&mut pre, b)?;
+
+    let mut gates = Tensor::zeros(Shape::d2(batch, 4 * hidden));
+    let mut c = Tensor::zeros(Shape::d2(batch, hidden));
+    let mut h = Tensor::zeros(Shape::d2(batch, hidden));
+    for bi in 0..batch {
+        for hi in 0..hidden {
+            let row = bi * 4 * hidden;
+            let i = kernels::sigmoid(pre.data()[row + hi]);
+            let f = kernels::sigmoid(pre.data()[row + hidden + hi]);
+            let g = pre.data()[row + 2 * hidden + hi].tanh();
+            let o = kernels::sigmoid(pre.data()[row + 3 * hidden + hi]);
+            gates.data_mut()[row + hi] = i;
+            gates.data_mut()[row + hidden + hi] = f;
+            gates.data_mut()[row + 2 * hidden + hi] = g;
+            gates.data_mut()[row + 3 * hidden + hi] = o;
+            let cv = f * c_prev.data()[bi * hidden + hi] + i * g;
+            c.data_mut()[bi * hidden + hi] = cv;
+            h.data_mut()[bi * hidden + hi] = o * cv.tanh();
+        }
+    }
+    Ok((h, c, gates))
+}
+
+/// Gradients produced by one LSTM step's backward pass.
+#[derive(Debug, Clone)]
+pub struct LstmStepGrads {
+    /// Gradient w.r.t. the step input `x`.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the previous hidden state.
+    pub dh_prev: Tensor,
+    /// Gradient w.r.t. the previous cell state.
+    pub dc_prev: Tensor,
+    /// Gradient w.r.t. `Wx` (to be accumulated).
+    pub dwx: Tensor,
+    /// Gradient w.r.t. `Wh` (to be accumulated).
+    pub dwh: Tensor,
+    /// Gradient w.r.t. the bias (to be accumulated).
+    pub db: Tensor,
+}
+
+/// Backward pass of one LSTM step from the stashed post-activation gates
+/// and the new cell state.
+///
+/// `dh`/`dc` are the gradients flowing into this step's outputs (`dc` is
+/// the backward-in-time accumulation; pass zeros at the last step).
+#[allow(clippy::too_many_arguments)]
+pub fn lstm_step_backward(
+    x: &Tensor,
+    h_prev: &Tensor,
+    c_prev: &Tensor,
+    wx: &Tensor,
+    wh: &Tensor,
+    gates: &Tensor,
+    c_new: &Tensor,
+    dh: &Tensor,
+    dc_in: &Tensor,
+) -> Result<LstmStepGrads> {
+    let batch = x.shape().as_matrix().0;
+    let hidden = c_prev.shape().as_matrix().1;
+    let mut dpre = Tensor::zeros(Shape::d2(batch, 4 * hidden));
+    let mut dc_prev = Tensor::zeros(Shape::d2(batch, hidden));
+
+    for bi in 0..batch {
+        for hi in 0..hidden {
+            let row = bi * 4 * hidden;
+            let i = gates.data()[row + hi];
+            let f = gates.data()[row + hidden + hi];
+            let g = gates.data()[row + 2 * hidden + hi];
+            let o = gates.data()[row + 3 * hidden + hi];
+            let c = c_new.data()[bi * hidden + hi];
+            let tc = c.tanh();
+            let dhv = dh.data()[bi * hidden + hi];
+            // dc = dh·o·(1 − tanh²c) + upstream dc
+            let dc = dhv * o * (1.0 - tc * tc) + dc_in.data()[bi * hidden + hi];
+            let d_o = dhv * tc;
+            let d_i = dc * g;
+            let d_g = dc * i;
+            let d_f = dc * c_prev.data()[bi * hidden + hi];
+            dc_prev.data_mut()[bi * hidden + hi] = dc * f;
+            dpre.data_mut()[row + hi] = d_i * kernels::sigmoid_grad_from_output(i);
+            dpre.data_mut()[row + hidden + hi] = d_f * kernels::sigmoid_grad_from_output(f);
+            dpre.data_mut()[row + 2 * hidden + hi] = d_g * kernels::tanh_grad_from_output(g);
+            dpre.data_mut()[row + 3 * hidden + hi] = d_o * kernels::sigmoid_grad_from_output(o);
+        }
+    }
+
+    let dx = dpre.matmul(wx, false, false)?;
+    let dh_prev = dpre.matmul(wh, false, false)?;
+    let dwx = dpre.matmul(x, true, false)?;
+    let dwh = dpre.matmul(h_prev, true, false)?;
+    let db = reduce::sum_rows(&dpre);
+    Ok(LstmStepGrads {
+        dx,
+        dh_prev,
+        dc_prev,
+        dwx,
+        dwh,
+        db,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echo_tensor::init::{seeded_rng, uniform};
+
+    fn setup() -> (Tensor, Tensor, Tensor, Tensor, Tensor, Tensor) {
+        let mut rng = seeded_rng(21);
+        let (b, h) = (2usize, 3usize);
+        (
+            uniform(Shape::d2(b, h), 1.0, &mut rng),     // x
+            uniform(Shape::d2(b, h), 1.0, &mut rng),     // h_prev
+            uniform(Shape::d2(b, h), 1.0, &mut rng),     // c_prev
+            uniform(Shape::d2(4 * h, h), 0.7, &mut rng), // wx
+            uniform(Shape::d2(4 * h, h), 0.7, &mut rng), // wh
+            uniform(Shape::d1(4 * h), 0.3, &mut rng),    // b
+        )
+    }
+
+    #[test]
+    fn forward_respects_gate_bounds() {
+        let (x, h0, c0, wx, wh, b) = setup();
+        let (h, c, gates) = lstm_step_forward(&x, &h0, &c0, &wx, &wh, &b).unwrap();
+        assert_eq!(h.shape(), &Shape::d2(2, 3));
+        assert_eq!(c.shape(), &Shape::d2(2, 3));
+        // sigmoids in (0,1), tanh in (-1,1)
+        for bi in 0..2 {
+            for hi in 0..3 {
+                let row = bi * 12;
+                assert!((0.0..=1.0).contains(&gates.data()[row + hi]));
+                assert!((-1.0..=1.0).contains(&gates.data()[row + 6 + hi]));
+            }
+        }
+        // |h| <= 1 since h = o * tanh(c).
+        assert!(h.max_abs() <= 1.0);
+    }
+
+    #[test]
+    fn zero_forget_gate_forgets() {
+        // With b_f very negative the forget gate shuts and c ≈ i ⊙ g.
+        let (x, h0, _, wx, wh, mut b) = setup();
+        let big_c = Tensor::full(Shape::d2(2, 3), 100.0);
+        for hi in 3..6 {
+            b.data_mut()[hi] = -30.0;
+        }
+        let (_, c, gates) = lstm_step_forward(&x, &h0, &big_c, &wx, &wh, &b).unwrap();
+        for bi in 0..2 {
+            for hi in 0..3 {
+                let i = gates.data()[bi * 12 + hi];
+                let g = gates.data()[bi * 12 + 6 + hi];
+                assert!((c.data()[bi * 3 + hi] - i * g).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let (x, h0, c0, wx, wh, b) = setup();
+        let (h, c, gates) = lstm_step_forward(&x, &h0, &c0, &wx, &wh, &b).unwrap();
+        let dh = Tensor::full(h.shape().clone(), 1.0);
+        let dc = Tensor::zeros(c.shape().clone());
+        let grads = lstm_step_backward(&x, &h0, &c0, &wx, &wh, &gates, &c, &dh, &dc).unwrap();
+        // Loss = sum(h).
+        let loss = |x: &Tensor, h0: &Tensor, c0: &Tensor, wx: &Tensor, wh: &Tensor, b: &Tensor| {
+            lstm_step_forward(x, h0, c0, wx, wh, b).unwrap().0.sum() as f32
+        };
+        let eps = 1e-3;
+        let check = |analytic: &Tensor, param: &Tensor, which: usize, label: &str| {
+            for idx in 0..param.len() {
+                let mut pp = param.clone();
+                pp.data_mut()[idx] += eps;
+                let mut pm = param.clone();
+                pm.data_mut()[idx] -= eps;
+                let (lp, lm) = match which {
+                    0 => (
+                        loss(&pp, &h0, &c0, &wx, &wh, &b),
+                        loss(&pm, &h0, &c0, &wx, &wh, &b),
+                    ),
+                    1 => (
+                        loss(&x, &pp, &c0, &wx, &wh, &b),
+                        loss(&x, &pm, &c0, &wx, &wh, &b),
+                    ),
+                    2 => (
+                        loss(&x, &h0, &pp, &wx, &wh, &b),
+                        loss(&x, &h0, &pm, &wx, &wh, &b),
+                    ),
+                    3 => (
+                        loss(&x, &h0, &c0, &pp, &wh, &b),
+                        loss(&x, &h0, &c0, &pm, &wh, &b),
+                    ),
+                    4 => (
+                        loss(&x, &h0, &c0, &wx, &pp, &b),
+                        loss(&x, &h0, &c0, &wx, &pm, &b),
+                    ),
+                    _ => (
+                        loss(&x, &h0, &c0, &wx, &wh, &pp),
+                        loss(&x, &h0, &c0, &wx, &wh, &pm),
+                    ),
+                };
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (analytic.data()[idx] - fd).abs() < 2e-2,
+                    "{label}[{idx}]: {} vs {fd}",
+                    analytic.data()[idx]
+                );
+            }
+        };
+        check(&grads.dx, &x, 0, "dx");
+        check(&grads.dh_prev, &h0, 1, "dh_prev");
+        check(&grads.dc_prev, &c0, 2, "dc_prev");
+        check(&grads.dwx, &wx, 3, "dwx");
+        check(&grads.dwh, &wh, 4, "dwh");
+        check(&grads.db, &b, 5, "db");
+    }
+}

@@ -1,0 +1,38 @@
+//! LSTM RNN layers with the three backends the paper compares, plus the
+//! autotuning microbenchmark that picks between them.
+//!
+//! * [`backend::LstmBackend::Default`] — MXNet's unfused implementation:
+//!   every slice, activation and element-wise op of every time step is its
+//!   own kernel. Numerically identical to the others, but the swarm of tiny
+//!   launches makes it *launch-bound* (paper Figure 7a).
+//! * [`backend::LstmBackend::CuDnn`] — a fused implementation mirroring
+//!   cuDNN's: one batched input GEMM, per-step recurrent GEMMs, one fused
+//!   pointwise kernel per step, and Appleyard-style *layer wavefront
+//!   overlap* for multi-layer stacks (which is why cuDNN occasionally wins
+//!   at 4 layers in Figure 20).
+//! * [`backend::LstmBackend::EcoRnn`] — the paper's backend: fused like
+//!   cuDNN but with the `[T, H, B]` data layout, so every GEMM streams
+//!   coalesced (§4.2, §5.3).
+//!
+//! The [`mod@autotune`] module implements the transparent backend selection of
+//! §5.4: a microbenchmark simulates a few iterations of each backend for
+//! the user's hyperparameters and picks the fastest.
+
+#![warn(missing_docs)]
+
+pub mod autotune;
+pub mod backend;
+pub mod cell;
+pub mod fused;
+pub mod gru;
+pub mod pure;
+pub mod step;
+pub mod unfused;
+
+pub use autotune::{autotune, AutotuneReport};
+pub use backend::{LstmBackend, LstmParams, LstmStack};
+pub use cell::{lstm_step_backward, lstm_step_forward, LstmStepGrads};
+pub use fused::{CudnnLstmStack, FusedLstmLayer};
+pub use gru::GruStep;
+pub use pure::{pure_lstm_times, PureLstmConfig};
+pub use step::LstmStep;

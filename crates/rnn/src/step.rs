@@ -1,0 +1,224 @@
+//! A single fused LSTM step — the decoder-side cell.
+//!
+//! NMT decoders interleave the LSTM cell with attention, so they cannot use
+//! the full-sequence fused layers; Sockeye steps its decoder cell one word
+//! at a time. [`LstmStep`] is that cell as one graph node: fused pointwise
+//! math (one kernel instead of the Default backend's ~10) but still one
+//! node per time step.
+
+use crate::cell::{lstm_step_backward, lstm_step_forward};
+use echo_cachesim::TiledGemmSpec;
+use echo_device::{KernelCategory, KernelCost};
+use echo_graph::{GraphError, KernelLaunch, Operator, Result, StashNeeds};
+use echo_tensor::{Shape, Tensor};
+
+/// One fused LSTM step.
+///
+/// Inputs: `x [B x In], h_prev [B x H], c_prev [B x H], Wx [4H x In],
+/// Wh [4H x H], b [4H]`. Output: the packed state `[2, B, H]` with slice 0
+/// the new hidden state and slice 1 the new cell state (split downstream
+/// with `SliceAxis0`).
+#[derive(Debug, Clone)]
+pub struct LstmStep {
+    hidden: usize,
+}
+
+impl LstmStep {
+    /// A step cell with hidden dimension `hidden`.
+    pub fn new(hidden: usize) -> Self {
+        LstmStep { hidden }
+    }
+
+    /// Hidden dimension.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    fn dims(&self, inputs: &[&Shape]) -> Result<(usize, usize)> {
+        if inputs.len() != 6 {
+            return Err(GraphError::Operator {
+                op: "lstm_step".to_string(),
+                message: format!("expected 6 inputs, got {}", inputs.len()),
+            });
+        }
+        let (b, in_dim) = inputs[0].as_matrix();
+        let (bh, h) = inputs[1].as_matrix();
+        if bh != b || h != self.hidden {
+            return Err(GraphError::Operator {
+                op: "lstm_step".to_string(),
+                message: format!("h_prev {} incompatible with x {}", inputs[1], inputs[0]),
+            });
+        }
+        Ok((b, in_dim))
+    }
+}
+
+impl Operator for LstmStep {
+    fn name(&self) -> &str {
+        "lstm_step"
+    }
+    fn category(&self) -> KernelCategory {
+        KernelCategory::FullyConnected
+    }
+    fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        let (b, _) = self.dims(inputs)?;
+        Ok(Shape::d3(2, b, self.hidden))
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Vec<Tensor>)> {
+        let (h, c, gates) = lstm_step_forward(
+            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], inputs[5],
+        )?;
+        let b = h.shape().dim(0);
+        let mut packed = Tensor::zeros(Shape::d3(2, b, self.hidden));
+        packed.set_axis0(0, &h)?;
+        packed.set_axis0(1, &c)?;
+        Ok((packed, vec![gates]))
+    }
+    fn backward(
+        &self,
+        inputs: &[Option<&Tensor>],
+        output: Option<&Tensor>,
+        saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let x = inputs[0].expect("lstm_step stashes inputs");
+        let h_prev = inputs[1].expect("lstm_step stashes inputs");
+        let c_prev = inputs[2].expect("lstm_step stashes inputs");
+        let wx = inputs[3].expect("lstm_step stashes inputs");
+        let wh = inputs[4].expect("lstm_step stashes inputs");
+        let packed = output.expect("lstm_step stashes output");
+        let c_new = packed.index_axis0(1)?;
+        let dh = dy.index_axis0(0)?;
+        let dc = dy.index_axis0(1)?;
+        let grads = lstm_step_backward(x, h_prev, c_prev, wx, wh, &saved[0], &c_new, &dh, &dc)?;
+        Ok(vec![
+            Some(grads.dx),
+            Some(grads.dh_prev),
+            Some(grads.dc_prev),
+            Some(grads.dwx),
+            Some(grads.dwh),
+            Some(grads.db),
+        ])
+    }
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::BOTH
+    }
+    fn saved_bytes(&self, inputs: &[&Shape], _output: &Shape) -> u64 {
+        let Ok((b, _)) = self.dims(inputs) else {
+            return 0;
+        };
+        (b * 4 * self.hidden * 4) as u64
+    }
+    fn forward_launches(&self, inputs: &[&Shape], _output: &Shape) -> Vec<KernelLaunch> {
+        let Ok((b, in_dim)) = self.dims(inputs) else {
+            return Vec::new();
+        };
+        vec![
+            KernelLaunch::gemm(
+                "sgemm_step_input",
+                TiledGemmSpec::fc_row_major(b, in_dim, 4 * self.hidden),
+            ),
+            KernelLaunch::gemm(
+                "sgemm_step_recurrent",
+                TiledGemmSpec::fc_row_major(b, self.hidden, 4 * self.hidden),
+            ),
+            KernelLaunch::kernel(
+                "lstm_step_pointwise",
+                KernelCategory::Elementwise,
+                KernelCost::elementwise(b * 4 * self.hidden, 3),
+            ),
+        ]
+    }
+    fn backward_launches(&self, inputs: &[&Shape], _output: &Shape) -> Vec<KernelLaunch> {
+        let Ok((b, in_dim)) = self.dims(inputs) else {
+            return Vec::new();
+        };
+        vec![
+            KernelLaunch::kernel(
+                "lstm_step_pointwise_bwd",
+                KernelCategory::Elementwise,
+                KernelCost::elementwise(b * 4 * self.hidden, 4),
+            ),
+            KernelLaunch::gemm(
+                "sgemm_step_dx",
+                TiledGemmSpec::new(b, in_dim, 4 * self.hidden),
+            ),
+            KernelLaunch::gemm(
+                "sgemm_step_dh",
+                TiledGemmSpec::new(b, self.hidden, 4 * self.hidden),
+            ),
+            KernelLaunch::gemm(
+                "sgemm_step_dw",
+                TiledGemmSpec::new(4 * self.hidden, in_dim + self.hidden, b),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echo_tensor::init::{seeded_rng, uniform};
+
+    #[test]
+    fn packed_output_holds_h_and_c() {
+        let mut rng = seeded_rng(9);
+        let (b, h) = (2, 3);
+        let x = uniform(Shape::d2(b, h), 1.0, &mut rng);
+        let h0 = Tensor::zeros(Shape::d2(b, h));
+        let c0 = Tensor::zeros(Shape::d2(b, h));
+        let wx = uniform(Shape::d2(4 * h, h), 0.5, &mut rng);
+        let wh = uniform(Shape::d2(4 * h, h), 0.5, &mut rng);
+        let bias = uniform(Shape::d1(4 * h), 0.2, &mut rng);
+        let op = LstmStep::new(h);
+        let (packed, saved) = op.forward(&[&x, &h0, &c0, &wx, &wh, &bias]).unwrap();
+        let (h_ref, c_ref, gates_ref) = lstm_step_forward(&x, &h0, &c0, &wx, &wh, &bias).unwrap();
+        assert_eq!(packed.index_axis0(0).unwrap(), h_ref);
+        assert_eq!(packed.index_axis0(1).unwrap(), c_ref);
+        assert_eq!(saved[0], gates_ref);
+    }
+
+    #[test]
+    fn backward_routes_packed_gradients() {
+        let mut rng = seeded_rng(10);
+        let (b, h) = (1, 2);
+        let x = uniform(Shape::d2(b, h), 1.0, &mut rng);
+        let h0 = uniform(Shape::d2(b, h), 1.0, &mut rng);
+        let c0 = uniform(Shape::d2(b, h), 1.0, &mut rng);
+        let wx = uniform(Shape::d2(4 * h, h), 0.6, &mut rng);
+        let wh = uniform(Shape::d2(4 * h, h), 0.6, &mut rng);
+        let bias = uniform(Shape::d1(4 * h), 0.2, &mut rng);
+        let op = LstmStep::new(h);
+        let all = [&x, &h0, &c0, &wx, &wh, &bias];
+        let (packed, saved) = op.forward(&all).unwrap();
+        // Only dh flows in (dc = 0) — loss = sum(h).
+        let mut dy = Tensor::zeros(packed.shape().clone());
+        dy.set_axis0(0, &Tensor::full(Shape::d2(b, h), 1.0))
+            .unwrap();
+        let opt: Vec<Option<&Tensor>> = all.iter().map(|t| Some(*t)).collect();
+        let grads = op.backward(&opt, Some(&packed), &saved, &dy).unwrap();
+        // Matches the raw cell backward.
+        let reference = lstm_step_backward(
+            &x,
+            &h0,
+            &c0,
+            &wx,
+            &wh,
+            &saved[0],
+            &packed.index_axis0(1).unwrap(),
+            &Tensor::full(Shape::d2(b, h), 1.0),
+            &Tensor::zeros(Shape::d2(b, h)),
+        )
+        .unwrap();
+        assert_eq!(grads[0].as_ref().unwrap(), &reference.dx);
+        assert_eq!(grads[3].as_ref().unwrap(), &reference.dwx);
+        assert_eq!(grads[5].as_ref().unwrap(), &reference.db);
+    }
+
+    #[test]
+    fn arity_validation() {
+        let op = LstmStep::new(4);
+        let s = Shape::d2(2, 4);
+        assert!(op.infer_shape(&[&s, &s]).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! The MXNet-"Default" unfused LSTM: a per-step subgraph of small
+//! operators.
+//!
+//! This is a faithful structural port of MXNet's Python `LSTMCell`
+//! (`rnn_cell.py`): every time step issues two fully-connected layers, an
+//! element-wise add, four gate slices, four activations and four
+//! element-wise combines — each its own kernel. The resulting ~15 launches
+//! per step are what Figure 7(a) shows drowning the GPU in `cudaLaunch`
+//! overhead.
+
+use echo_graph::{Graph, NodeId};
+use echo_memory::LayerKind;
+use echo_ops::{Activation, Add, FullyConnected, Mul, SliceAxis0, SliceLastDim, StackAxis0};
+use std::sync::Arc;
+
+/// Handles to one unfused layer's parameter nodes and initial states.
+#[derive(Debug, Clone)]
+pub struct UnfusedLayer {
+    /// `[T, B, H]` hidden-sequence output node.
+    pub output: NodeId,
+    /// Input-projection weight node (`[4H x In]`).
+    pub wx: NodeId,
+    /// Recurrent weight node (`[4H x H]`).
+    pub wh: NodeId,
+    /// Bias node (`[4H]`).
+    pub b: NodeId,
+    /// Initial hidden state input node (bind to zeros `[B x H]`).
+    pub h0: NodeId,
+    /// Initial cell state input node (bind to zeros `[B x H]`).
+    pub c0: NodeId,
+}
+
+/// Builds one unfused LSTM layer over `x_seq` (`[T, B, In]`), creating its
+/// parameter and initial-state nodes.
+///
+/// `seq_len` must match the runtime extent of `x_seq`'s axis 0 — the graph
+/// is statically unrolled, exactly like MXNet's symbolic executor.
+pub fn build_unfused_lstm_layer(
+    g: &mut Graph,
+    x_seq: NodeId,
+    seq_len: usize,
+    hidden: usize,
+    prefix: &str,
+    layer: LayerKind,
+) -> UnfusedLayer {
+    let wx = g.param(format!("{prefix}_wx"), layer);
+    let wh = g.param(format!("{prefix}_wh"), layer);
+    let b = g.param(format!("{prefix}_b"), layer);
+    let h0 = g.input(format!("{prefix}_h0"), layer);
+    let c0 = g.input(format!("{prefix}_c0"), layer);
+
+    let fc_x: Arc<dyn echo_graph::Operator + Send + Sync> =
+        Arc::new(FullyConnected::new(4 * hidden));
+    let fc_h: Arc<dyn echo_graph::Operator + Send + Sync> =
+        Arc::new(FullyConnected::new(4 * hidden).without_bias());
+    let sigmoid: Arc<dyn echo_graph::Operator + Send + Sync> = Arc::new(Activation::sigmoid());
+    let tanh: Arc<dyn echo_graph::Operator + Send + Sync> = Arc::new(Activation::tanh());
+
+    let mut h_prev = h0;
+    let mut c_prev = c0;
+    let mut steps = Vec::with_capacity(seq_len);
+    for t in 0..seq_len {
+        let x_t = g.apply(
+            format!("{prefix}_x{t}"),
+            Arc::new(SliceAxis0 { index: t }),
+            &[x_seq],
+            layer,
+        );
+        let ix = g.apply(
+            format!("{prefix}_ix{t}"),
+            Arc::clone(&fc_x),
+            &[x_t, wx, b],
+            layer,
+        );
+        let hx = g.apply(
+            format!("{prefix}_hx{t}"),
+            Arc::clone(&fc_h),
+            &[h_prev, wh],
+            layer,
+        );
+        let pre = g.apply(format!("{prefix}_pre{t}"), Arc::new(Add), &[ix, hx], layer);
+        let slice = |g: &mut Graph, name: &str, lo: usize, hi: usize| {
+            g.apply(
+                format!("{prefix}_{name}{t}"),
+                Arc::new(SliceLastDim::new(lo * hidden, hi * hidden)),
+                &[pre],
+                layer,
+            )
+        };
+        let i_pre = slice(g, "ipre", 0, 1);
+        let f_pre = slice(g, "fpre", 1, 2);
+        let g_pre = slice(g, "gpre", 2, 3);
+        let o_pre = slice(g, "opre", 3, 4);
+        let i_g = g.apply(
+            format!("{prefix}_i{t}"),
+            Arc::clone(&sigmoid),
+            &[i_pre],
+            layer,
+        );
+        let f_g = g.apply(
+            format!("{prefix}_f{t}"),
+            Arc::clone(&sigmoid),
+            &[f_pre],
+            layer,
+        );
+        let g_g = g.apply(format!("{prefix}_g{t}"), Arc::clone(&tanh), &[g_pre], layer);
+        let o_g = g.apply(
+            format!("{prefix}_o{t}"),
+            Arc::clone(&sigmoid),
+            &[o_pre],
+            layer,
+        );
+        let fc = g.apply(
+            format!("{prefix}_fc{t}"),
+            Arc::new(Mul),
+            &[f_g, c_prev],
+            layer,
+        );
+        let ig = g.apply(format!("{prefix}_ig{t}"), Arc::new(Mul), &[i_g, g_g], layer);
+        let c_t = g.apply(format!("{prefix}_c{t}"), Arc::new(Add), &[fc, ig], layer);
+        let tc = g.apply(format!("{prefix}_tc{t}"), Arc::clone(&tanh), &[c_t], layer);
+        let h_t = g.apply(format!("{prefix}_h{t}"), Arc::new(Mul), &[o_g, tc], layer);
+        steps.push(h_t);
+        h_prev = h_t;
+        c_prev = c_t;
+    }
+    let output = g.apply(
+        format!("{prefix}_hseq"),
+        Arc::new(StackAxis0),
+        &steps,
+        layer,
+    );
+    UnfusedLayer {
+        output,
+        wx,
+        wh,
+        b,
+        h0,
+        c0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fused::FusedLstmLayer;
+    use echo_graph::{Executor, Operator, StashPlan};
+    use echo_memory::DeviceMemory;
+    use echo_tensor::init::{seeded_rng, uniform};
+    use echo_tensor::{Shape, Tensor};
+    use std::collections::HashMap;
+
+    #[test]
+    fn unfused_matches_fused_numerically() {
+        let (t, b, h) = (4usize, 2usize, 3usize);
+        let mut g = Graph::new();
+        let x = g.input("x", LayerKind::Rnn);
+        let layer = build_unfused_lstm_layer(&mut g, x, t, h, "l0", LayerKind::Rnn);
+        let graph = Arc::new(g);
+
+        let mut rng = seeded_rng(33);
+        let wx = uniform(Shape::d2(4 * h, h), 0.5, &mut rng);
+        let wh = uniform(Shape::d2(4 * h, h), 0.5, &mut rng);
+        let bias = uniform(Shape::d1(4 * h), 0.2, &mut rng);
+        let x_val = uniform(Shape::d3(t, b, h), 1.0, &mut rng);
+
+        let mem = DeviceMemory::with_overhead_model(1 << 30, 0, 0.0);
+        let mut exec = Executor::new(Arc::clone(&graph), StashPlan::stash_all(), mem);
+        exec.bind_param(layer.wx, wx.clone()).unwrap();
+        exec.bind_param(layer.wh, wh.clone()).unwrap();
+        exec.bind_param(layer.b, bias.clone()).unwrap();
+        let mut bindings = HashMap::new();
+        bindings.insert(x, x_val.clone());
+        bindings.insert(layer.h0, Tensor::zeros(Shape::d2(b, h)));
+        bindings.insert(layer.c0, Tensor::zeros(Shape::d2(b, h)));
+        let out = exec
+            .forward(&bindings, layer.output, Default::default(), None)
+            .unwrap();
+
+        let fused = FusedLstmLayer::new(h);
+        let (reference, _) = fused.forward(&[&x_val, &wx, &wh, &bias]).unwrap();
+        assert!(
+            out.approx_eq(&reference, 1e-5).unwrap(),
+            "unfused and fused backends must agree"
+        );
+    }
+
+    #[test]
+    fn unfused_layer_emits_many_nodes() {
+        let mut g = Graph::new();
+        let x = g.input("x", LayerKind::Rnn);
+        let before = g.len();
+        build_unfused_lstm_layer(&mut g, x, 10, 8, "l0", LayerKind::Rnn);
+        let per_step = (g.len() - before - 4) as f64 / 10.0;
+        assert!(
+            per_step >= 14.0,
+            "Default backend must issue ~15 ops per step, got {per_step}"
+        );
+    }
+}

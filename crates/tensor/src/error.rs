@@ -1,0 +1,126 @@
+//! Error type for tensor operations.
+
+use crate::shape::Shape;
+use std::fmt;
+
+/// Errors produced by tensor construction and kernels.
+///
+/// All fallible entry points in this crate return
+/// [`Result<T, TensorError>`](crate::Result); kernels that cannot fail (e.g.
+/// element-wise maps over an owned tensor) are infallible by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the provided
+    /// buffer length.
+    LengthMismatch {
+        /// Shape the caller asked for.
+        shape: Shape,
+        /// Length of the buffer that was supplied.
+        len: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Shape,
+        /// Shape of the right-hand operand.
+        right: Shape,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// Shape of the tensor being indexed.
+        shape: Shape,
+    },
+    /// A matrix-product dimension did not line up.
+    GemmDimension {
+        /// `(rows, cols)` of the left operand after any transpose.
+        a: (usize, usize),
+        /// `(rows, cols)` of the right operand after any transpose.
+        b: (usize, usize),
+        /// `(rows, cols)` of the output.
+        c: (usize, usize),
+    },
+    /// The requested axis does not exist for the tensor's rank.
+    InvalidAxis {
+        /// Axis requested.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// A reshape asked for a different number of elements.
+    ReshapeMismatch {
+        /// Original shape.
+        from: Shape,
+        /// Requested shape.
+        to: Shape,
+    },
+    /// An operation received an empty input where at least one element is
+    /// required (e.g. `argmax` over zero elements).
+    Empty {
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { shape, len } => write!(
+                f,
+                "buffer of length {len} cannot back shape {shape} ({} elements)",
+                shape.num_elements()
+            ),
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in `{op}`: {left} vs {right}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape}")
+            }
+            TensorError::GemmDimension { a, b, c } => write!(
+                f,
+                "GEMM dimensions do not agree: a={}x{}, b={}x{}, c={}x{}",
+                a.0, a.1, b.0, b.1, c.0, c.1
+            ),
+            TensorError::InvalidAxis { axis, rank } => {
+                write!(f, "axis {axis} is invalid for rank-{rank} tensor")
+            }
+            TensorError::ReshapeMismatch { from, to } => write!(
+                f,
+                "cannot reshape {from} ({} elements) into {to} ({} elements)",
+                from.num_elements(),
+                to.num_elements()
+            ),
+            TensorError::Empty { op } => write!(f, "`{op}` requires a non-empty input"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            left: Shape::d2(2, 3),
+            right: Shape::d2(3, 2),
+            op: "add",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[3, 2]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! Weight initialization.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG used across the reproduction so every experiment is
+/// exactly repeatable.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniform initialization in `[-scale, scale]`.
+pub fn uniform(shape: Shape, scale: f32, rng: &mut StdRng) -> Tensor {
+    let n = shape.num_elements();
+    let data = (0..n).map(|_| rng.gen_range(-scale..=scale)).collect();
+    Tensor::from_vec(shape, data).expect("generated buffer matches shape")
+}
+
+/// Xavier/Glorot uniform initialization for a `[fan_out x fan_in]` weight.
+pub fn xavier(fan_out: usize, fan_in: usize, rng: &mut StdRng) -> Tensor {
+    let scale = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+    uniform(Shape::d2(fan_out, fan_in), scale, rng)
+}
+
+/// LSTM-style initialization: uniform in `[-1/sqrt(H), 1/sqrt(H)]`, the
+/// default used by MXNet's RNN layers.
+pub fn lstm_uniform(shape: Shape, hidden: usize, rng: &mut StdRng) -> Tensor {
+    let scale = 1.0 / (hidden as f32).sqrt();
+    uniform(shape, scale, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut r1 = seeded_rng(42);
+        let mut r2 = seeded_rng(42);
+        let a = uniform(Shape::d2(4, 4), 0.5, &mut r1);
+        let b = uniform(Shape::d2(4, 4), 0.5, &mut r2);
+        assert_eq!(a, b);
+        let mut r3 = seeded_rng(43);
+        let c = uniform(Shape::d2(4, 4), 0.5, &mut r3);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = seeded_rng(7);
+        let t = uniform(Shape::d1(1000), 0.1, &mut rng);
+        assert!(t.data().iter().all(|&v| (-0.1..=0.1).contains(&v)));
+        // Mean should be near zero.
+        assert!(t.sum().abs() / 1000.0 < 0.01);
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_fan() {
+        let mut rng = seeded_rng(7);
+        let small = xavier(4, 4, &mut rng);
+        let big = xavier(1024, 1024, &mut rng);
+        assert!(big.max_abs() < small.max_abs());
+    }
+}

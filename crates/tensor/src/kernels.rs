@@ -1,0 +1,523 @@
+//! Neural-network kernels: activations, softmax/cross-entropy, embedding,
+//! layer normalization and optimizer updates.
+//!
+//! Forward kernels come paired with the backward kernels that consume the
+//! stashed feature maps — the exact values whose storage the Echo pass
+//! trades for recomputation.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of sigmoid expressed in terms of its *output* `y = σ(x)`.
+///
+/// Expressing derivatives in terms of outputs is why frameworks stash the
+/// activation output as a feature map (paper §3.2).
+#[inline]
+pub fn sigmoid_grad_from_output(y: f32) -> f32 {
+    y * (1.0 - y)
+}
+
+/// Derivative of tanh expressed in terms of its output `y = tanh(x)`.
+#[inline]
+pub fn tanh_grad_from_output(y: f32) -> f32 {
+    1.0 - y * y
+}
+
+/// Element-wise tanh.
+#[must_use]
+pub fn tanh(x: &Tensor) -> Tensor {
+    x.map(f32::tanh)
+}
+
+/// Element-wise sigmoid.
+#[must_use]
+pub fn sigmoid_t(x: &Tensor) -> Tensor {
+    x.map(sigmoid)
+}
+
+/// Element-wise ReLU.
+#[must_use]
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Backward of tanh given the stashed output and incoming gradient.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn tanh_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    y.zip_map(dy, |y, g| g * tanh_grad_from_output(y))
+}
+
+/// Backward of sigmoid given the stashed output and incoming gradient.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn sigmoid_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    y.zip_map(dy, |y, g| g * sigmoid_grad_from_output(y))
+}
+
+/// Row-wise softmax over the last axis of a `[rows x cols]`-flattened tensor.
+#[must_use]
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let (rows, cols) = x.shape().as_matrix();
+    let mut out = Tensor::zeros(x.shape().clone());
+    for r in 0..rows {
+        let row = &x.data()[r * cols..(r + 1) * cols];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0f32;
+        let out_row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        for (o, &v) in out_row.iter_mut().zip(row) {
+            let e = (v - max).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in out_row.iter_mut() {
+            *o *= inv;
+        }
+    }
+    out
+}
+
+/// Backward of row-wise softmax given stashed output `y` and gradient `dy`:
+/// `dx = y ⊙ (dy − (y · dy))` per row.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn softmax_rows_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    if y.shape() != dy.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: y.shape().clone(),
+            right: dy.shape().clone(),
+            op: "softmax_backward",
+        });
+    }
+    let (rows, cols) = y.shape().as_matrix();
+    let mut dx = Tensor::zeros(y.shape().clone());
+    for r in 0..rows {
+        let yr = &y.data()[r * cols..(r + 1) * cols];
+        let gr = &dy.data()[r * cols..(r + 1) * cols];
+        let dot: f32 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
+        let dr = &mut dx.data_mut()[r * cols..(r + 1) * cols];
+        for ((d, &yv), &gv) in dr.iter_mut().zip(yr).zip(gr) {
+            *d = yv * (gv - dot);
+        }
+    }
+    Ok(dx)
+}
+
+/// Softmax + cross-entropy loss over rows, with integer targets.
+///
+/// Returns `(mean_loss_nats, probabilities)`. Targets equal to `ignore_index`
+/// (e.g. padding) contribute neither loss nor gradient.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if `targets.len()` differs from
+/// the number of rows.
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    targets: &[usize],
+    ignore_index: Option<usize>,
+) -> Result<(f32, Tensor)> {
+    let (rows, cols) = logits.shape().as_matrix();
+    if targets.len() != rows {
+        return Err(TensorError::LengthMismatch {
+            shape: logits.shape().clone(),
+            len: targets.len(),
+        });
+    }
+    let probs = softmax_rows(logits);
+    let mut loss = 0.0f64;
+    let mut counted = 0usize;
+    for (r, &t) in targets.iter().enumerate() {
+        if Some(t) == ignore_index {
+            continue;
+        }
+        let p = probs.data()[r * cols + t].max(1e-12);
+        loss -= f64::from(p.ln());
+        counted += 1;
+    }
+    let mean = if counted == 0 {
+        0.0
+    } else {
+        (loss / counted as f64) as f32
+    };
+    Ok((mean, probs))
+}
+
+/// Gradient of [`softmax_cross_entropy`] w.r.t. the logits, given the stashed
+/// probabilities: `(p − 1{target}) / counted`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if `targets.len()` differs from
+/// the number of rows.
+pub fn softmax_cross_entropy_backward(
+    probs: &Tensor,
+    targets: &[usize],
+    ignore_index: Option<usize>,
+) -> Result<Tensor> {
+    let (rows, cols) = probs.shape().as_matrix();
+    if targets.len() != rows {
+        return Err(TensorError::LengthMismatch {
+            shape: probs.shape().clone(),
+            len: targets.len(),
+        });
+    }
+    let counted = targets
+        .iter()
+        .filter(|&&t| Some(t) != ignore_index)
+        .count()
+        .max(1) as f32;
+    let mut grad = probs.clone();
+    for (r, &t) in targets.iter().enumerate() {
+        let row = &mut grad.data_mut()[r * cols..(r + 1) * cols];
+        if Some(t) == ignore_index {
+            row.fill(0.0);
+        } else {
+            row[t] -= 1.0;
+            for v in row.iter_mut() {
+                *v /= counted;
+            }
+        }
+    }
+    Ok(grad)
+}
+
+/// Embedding lookup: gathers rows of `table` (`[V x H]`) for each id.
+///
+/// Returns a `[ids.len() x H]` tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfBounds`] for an id `>= V`.
+pub fn embedding_lookup(table: &Tensor, ids: &[usize]) -> Result<Tensor> {
+    let (v, h) = table.shape().as_matrix();
+    let mut out = Tensor::zeros(Shape::d2(ids.len(), h));
+    for (r, &id) in ids.iter().enumerate() {
+        if id >= v {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![id],
+                shape: table.shape().clone(),
+            });
+        }
+        out.data_mut()[r * h..(r + 1) * h].copy_from_slice(&table.data()[id * h..(id + 1) * h]);
+    }
+    Ok(out)
+}
+
+/// Scatter-add gradient of [`embedding_lookup`] into `d_table`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfBounds`] for an id out of range and
+/// [`TensorError::ShapeMismatch`] if `d_out` has the wrong number of rows.
+pub fn embedding_backward(d_table: &mut Tensor, ids: &[usize], d_out: &Tensor) -> Result<()> {
+    let (v, h) = d_table.shape().as_matrix();
+    let (rows, hc) = d_out.shape().as_matrix();
+    if rows != ids.len() || hc != h {
+        return Err(TensorError::ShapeMismatch {
+            left: d_table.shape().clone(),
+            right: d_out.shape().clone(),
+            op: "embedding_backward",
+        });
+    }
+    for (r, &id) in ids.iter().enumerate() {
+        if id >= v {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![id],
+                shape: d_table.shape().clone(),
+            });
+        }
+        let src = &d_out.data()[r * h..(r + 1) * h];
+        let dst = &mut d_table.data_mut()[id * h..(id + 1) * h];
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+    Ok(())
+}
+
+/// Feature maps stashed by [`layer_norm`] for its backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerNormSaved {
+    /// Normalized activations `x̂` (`[rows x cols]`).
+    pub normalized: Tensor,
+    /// Per-row `1 / sqrt(var + eps)`.
+    pub inv_std: Vec<f32>,
+}
+
+/// Row-wise layer normalization with learned `gamma`/`beta` (`[cols]`).
+///
+/// Returns the output and the stashed values the backward pass needs — the
+/// kind of feature map the attention scoring function accumulates at every
+/// decoder step.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `gamma`/`beta` do not have
+/// `cols` elements.
+pub fn layer_norm(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> Result<(Tensor, LayerNormSaved)> {
+    let (rows, cols) = x.shape().as_matrix();
+    if gamma.len() != cols || beta.len() != cols {
+        return Err(TensorError::ShapeMismatch {
+            left: x.shape().clone(),
+            right: gamma.shape().clone(),
+            op: "layer_norm",
+        });
+    }
+    let mut out = Tensor::zeros(x.shape().clone());
+    let mut normalized = Tensor::zeros(x.shape().clone());
+    let mut inv_std = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &x.data()[r * cols..(r + 1) * cols];
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        inv_std.push(istd);
+        for (c, &x) in row.iter().enumerate() {
+            let xh = (x - mean) * istd;
+            normalized.data_mut()[r * cols + c] = xh;
+            out.data_mut()[r * cols + c] = xh * gamma.data()[c] + beta.data()[c];
+        }
+    }
+    Ok((
+        out,
+        LayerNormSaved {
+            normalized,
+            inv_std,
+        },
+    ))
+}
+
+/// Backward of [`layer_norm`]; returns `(dx, dgamma, dbeta)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `dy` does not match the
+/// stashed shape.
+pub fn layer_norm_backward(
+    saved: &LayerNormSaved,
+    gamma: &Tensor,
+    dy: &Tensor,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let (rows, cols) = saved.normalized.shape().as_matrix();
+    if dy.shape() != saved.normalized.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: saved.normalized.shape().clone(),
+            right: dy.shape().clone(),
+            op: "layer_norm_backward",
+        });
+    }
+    let mut dx = Tensor::zeros(dy.shape().clone());
+    let mut dgamma = Tensor::zeros(Shape::d1(cols));
+    let mut dbeta = Tensor::zeros(Shape::d1(cols));
+    for r in 0..rows {
+        let xh = &saved.normalized.data()[r * cols..(r + 1) * cols];
+        let g = &dy.data()[r * cols..(r + 1) * cols];
+        // dL/dx̂ = dy * gamma
+        let dxh: Vec<f32> = (0..cols).map(|c| g[c] * gamma.data()[c]).collect();
+        let mean_dxh = dxh.iter().sum::<f32>() / cols as f32;
+        let mean_dxh_xh = dxh.iter().zip(xh).map(|(&a, &b)| a * b).sum::<f32>() / cols as f32;
+        let istd = saved.inv_std[r];
+        for c in 0..cols {
+            dx.data_mut()[r * cols + c] = istd * (dxh[c] - mean_dxh - xh[c] * mean_dxh_xh);
+            dgamma.data_mut()[c] += g[c] * xh[c];
+            dbeta.data_mut()[c] += g[c];
+        }
+    }
+    Ok((dx, dgamma, dbeta))
+}
+
+/// Scales gradients in place so their global L2 norm is at most `max_norm`.
+///
+/// Returns the pre-clip norm.
+pub fn clip_global_norm(grads: &mut [&mut Tensor], max_norm: f64) -> f64 {
+    let total: f64 = grads
+        .iter()
+        .map(|g| g.norm_l2().powi(2))
+        .sum::<f64>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = (max_norm / total) as f32;
+        for g in grads.iter_mut() {
+            g.scale_inplace(scale);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_stable_and_bounded() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!(sigmoid(-100.0) < 1e-20);
+    }
+
+    #[test]
+    fn activation_backward_matches_finite_difference() {
+        let x = Tensor::from_vec(Shape::d1(4), vec![-1.5, -0.2, 0.3, 2.0]).unwrap();
+        let dy = Tensor::full(Shape::d1(4), 1.0);
+        let y = tanh(&x);
+        let dx = tanh_backward(&y, &dy).unwrap();
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (tanh(&xp).data()[i] - tanh(&xm).data()[i]) / (2.0 * eps);
+            assert!((dx.data()[i] - fd).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., -1., 0., 1.]).unwrap();
+        let y = softmax_rows(&x);
+        for r in 0..2 {
+            let s: f32 = y.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Invariance to a constant shift per row.
+        let shifted = x.map(|v| v + 10.0);
+        assert!(y.approx_eq(&softmax_rows(&shifted), 1e-6).unwrap());
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits =
+            Tensor::from_vec(Shape::d2(2, 3), vec![0.5, -0.3, 0.1, 1.0, 0.0, -1.0]).unwrap();
+        let targets = [2usize, 0usize];
+        let (_, probs) = softmax_cross_entropy(&logits, &targets, None).unwrap();
+        let grad = softmax_cross_entropy_backward(&probs, &targets, None).unwrap();
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &targets, None).unwrap();
+            let (fm, _) = softmax_cross_entropy(&lm, &targets, None).unwrap();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (grad.data()[i] - fd).abs() < 1e-3,
+                "elem {i}: analytic {} vs fd {fd}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn ignore_index_masks_loss_and_grad() {
+        let logits = Tensor::from_vec(Shape::d2(2, 2), vec![5.0, -5.0, -5.0, 5.0]).unwrap();
+        let (loss, probs) = softmax_cross_entropy(&logits, &[0, 1], Some(1)).unwrap();
+        let (loss_all, _) = softmax_cross_entropy(&logits, &[0, 1], None).unwrap();
+        assert!(loss <= loss_all + 1e-6);
+        let grad = softmax_cross_entropy_backward(&probs, &[0, 1], Some(1)).unwrap();
+        assert_eq!(&grad.data()[2..4], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn embedding_round_trip() {
+        let table = Tensor::from_fn(Shape::d2(4, 3), |i| i as f32);
+        let out = embedding_lookup(&table, &[2, 0, 2]).unwrap();
+        assert_eq!(out.get(&[0, 0]).unwrap(), 6.0);
+        assert_eq!(out.get(&[1, 2]).unwrap(), 2.0);
+        let mut dtab = Tensor::zeros(Shape::d2(4, 3));
+        let dout = Tensor::full(Shape::d2(3, 3), 1.0);
+        embedding_backward(&mut dtab, &[2, 0, 2], &dout).unwrap();
+        assert_eq!(dtab.get(&[2, 1]).unwrap(), 2.0); // id 2 appears twice
+        assert_eq!(dtab.get(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(dtab.get(&[3, 0]).unwrap(), 0.0);
+        assert!(embedding_lookup(&table, &[4]).is_err());
+    }
+
+    #[test]
+    fn layer_norm_normalizes_rows() {
+        let x = Tensor::from_vec(Shape::d2(2, 4), vec![1., 2., 3., 4., -2., 0., 2., 8.]).unwrap();
+        let gamma = Tensor::full(Shape::d1(4), 1.0);
+        let beta = Tensor::zeros(Shape::d1(4));
+        let (y, _) = layer_norm(&x, &gamma, &beta, 1e-5).unwrap();
+        for r in 0..2 {
+            let row = &y.data()[r * 4..(r + 1) * 4];
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layer_norm_backward_matches_finite_difference() {
+        let x = Tensor::from_vec(Shape::d2(1, 4), vec![0.5, -1.0, 2.0, 0.0]).unwrap();
+        let gamma = Tensor::from_vec(Shape::d1(4), vec![1.0, 0.5, 2.0, 1.5]).unwrap();
+        let beta = Tensor::from_vec(Shape::d1(4), vec![0.1, -0.1, 0.0, 0.2]).unwrap();
+        let (_, saved) = layer_norm(&x, &gamma, &beta, 1e-5).unwrap();
+        // Loss = sum(y).
+        let dy = Tensor::full(Shape::d2(1, 4), 1.0);
+        let (dx, dgamma, dbeta) = layer_norm_backward(&saved, &gamma, &dy).unwrap();
+        let eps = 1e-3;
+        let loss = |x: &Tensor, g: &Tensor, b: &Tensor| -> f32 {
+            let (y, _) = layer_norm(x, g, b, 1e-5).unwrap();
+            y.sum() as f32
+        };
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp, &gamma, &beta) - loss(&xm, &gamma, &beta)) / (2.0 * eps);
+            assert!((dx.data()[i] - fd).abs() < 1e-2, "dx[{i}]");
+            let mut gp = gamma.clone();
+            gp.data_mut()[i] += eps;
+            let mut gm = gamma.clone();
+            gm.data_mut()[i] -= eps;
+            let fd = (loss(&x, &gp, &beta) - loss(&x, &gm, &beta)) / (2.0 * eps);
+            assert!((dgamma.data()[i] - fd).abs() < 1e-2, "dgamma[{i}]");
+            assert!((dbeta.data()[i] - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn clip_global_norm_scales() {
+        let mut a = Tensor::full(Shape::d1(4), 3.0);
+        let mut b = Tensor::full(Shape::d1(4), 4.0);
+        let norm = clip_global_norm(&mut [&mut a, &mut b], 1.0);
+        assert!((norm - 10.0).abs() < 1e-6);
+        let after: f64 = (a.norm_l2().powi(2) + b.norm_l2().powi(2)).sqrt();
+        assert!((after - 1.0).abs() < 1e-5);
+        // Below the threshold nothing changes.
+        let mut c = Tensor::full(Shape::d1(1), 0.5);
+        clip_global_norm(&mut [&mut c], 1.0);
+        assert_eq!(c.data()[0], 0.5);
+    }
+}

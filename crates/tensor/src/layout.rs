@@ -1,0 +1,171 @@
+//! Matrix data layouts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a logical 2-D matrix is laid out in linear memory.
+///
+/// This is the object of the paper's *data layout optimization*: for the
+/// skewed matrices of an LSTM's fully-connected layers, computing the product
+/// under one layout can be substantially faster than under the other even
+/// though the mathematics is identical (paper §4.2, Figure 9).
+///
+/// # Example
+///
+/// ```
+/// use echo_tensor::MatrixLayout;
+///
+/// let l = MatrixLayout::RowMajor;
+/// assert_eq!(l.flip(), MatrixLayout::ColMajor);
+/// // Offset of element (row=1, col=2) in a 3x4 matrix:
+/// assert_eq!(l.offset(1, 2, 3, 4), 1 * 4 + 2);
+/// assert_eq!(l.flip().offset(1, 2, 3, 4), 2 * 3 + 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum MatrixLayout {
+    /// Elements of the same row are contiguous (`A[i][j]` next to `A[i][j+1]`).
+    #[default]
+    RowMajor,
+    /// Elements of the same column are contiguous.
+    ColMajor,
+}
+
+impl MatrixLayout {
+    /// Returns the opposite layout.
+    #[must_use]
+    pub fn flip(self) -> MatrixLayout {
+        match self {
+            MatrixLayout::RowMajor => MatrixLayout::ColMajor,
+            MatrixLayout::ColMajor => MatrixLayout::RowMajor,
+        }
+    }
+
+    /// Linear offset of element `(row, col)` in an `rows x cols` matrix
+    /// stored in this layout.
+    pub fn offset(self, row: usize, col: usize, rows: usize, cols: usize) -> usize {
+        match self {
+            MatrixLayout::RowMajor => {
+                debug_assert!(row < rows && col < cols);
+                row * cols + col
+            }
+            MatrixLayout::ColMajor => {
+                debug_assert!(row < rows && col < cols);
+                col * rows + row
+            }
+        }
+    }
+
+    /// Stride (in elements) between consecutive elements of the same row.
+    pub fn col_stride(self, rows: usize, _cols: usize) -> usize {
+        match self {
+            MatrixLayout::RowMajor => 1,
+            MatrixLayout::ColMajor => rows,
+        }
+    }
+
+    /// Stride (in elements) between consecutive elements of the same column.
+    pub fn row_stride(self, _rows: usize, cols: usize) -> usize {
+        match self {
+            MatrixLayout::RowMajor => cols,
+            MatrixLayout::ColMajor => 1,
+        }
+    }
+}
+
+impl fmt::Display for MatrixLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixLayout::RowMajor => write!(f, "row-major"),
+            MatrixLayout::ColMajor => write!(f, "column-major"),
+        }
+    }
+}
+
+/// Layout of a batched RNN input sequence tensor.
+///
+/// MXNet's default feeds the LSTM a `[T, B, H]` (time-major) tensor; EcoRNN's
+/// layout optimization instead uses `[T, H, B]` so that the per-time-step
+/// matrix slice is hidden-major, which coalesces GPU accesses across the
+/// batch dimension (paper §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SequenceLayout {
+    /// `[T, B, H]`: each time-step slice is a `[B, H]` row-major matrix.
+    #[default]
+    TimeBatchHidden,
+    /// `[T, H, B]`: each time-step slice is a `[B, H]` column-major matrix.
+    TimeHiddenBatch,
+}
+
+impl SequenceLayout {
+    /// The per-time-step matrix layout implied by this sequence layout, when
+    /// the slice is viewed as a logical `[B, H]` matrix.
+    pub fn step_matrix_layout(self) -> MatrixLayout {
+        match self {
+            SequenceLayout::TimeBatchHidden => MatrixLayout::RowMajor,
+            SequenceLayout::TimeHiddenBatch => MatrixLayout::ColMajor,
+        }
+    }
+}
+
+impl fmt::Display for SequenceLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SequenceLayout::TimeBatchHidden => write!(f, "[T, B, H]"),
+            SequenceLayout::TimeHiddenBatch => write!(f, "[T, H, B]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involution() {
+        for l in [MatrixLayout::RowMajor, MatrixLayout::ColMajor] {
+            assert_eq!(l.flip().flip(), l);
+        }
+    }
+
+    #[test]
+    fn offsets_cover_matrix_exactly_once() {
+        for layout in [MatrixLayout::RowMajor, MatrixLayout::ColMajor] {
+            let (rows, cols) = (3, 5);
+            let mut seen = vec![false; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    let off = layout.offset(r, c, rows, cols);
+                    assert!(!seen[off], "{layout} offset {off} visited twice");
+                    seen[off] = true;
+                }
+            }
+            assert!(seen.iter().all(|&v| v));
+        }
+    }
+
+    #[test]
+    fn strides_match_offsets() {
+        for layout in [MatrixLayout::RowMajor, MatrixLayout::ColMajor] {
+            let (rows, cols) = (4, 6);
+            let rs = layout.row_stride(rows, cols);
+            let cs = layout.col_stride(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(layout.offset(r, c, rows, cols), r * rs + c * cs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_layout_slice_views() {
+        assert_eq!(
+            SequenceLayout::TimeBatchHidden.step_matrix_layout(),
+            MatrixLayout::RowMajor
+        );
+        assert_eq!(
+            SequenceLayout::TimeHiddenBatch.step_matrix_layout(),
+            MatrixLayout::ColMajor
+        );
+    }
+}

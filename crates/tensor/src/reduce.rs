@@ -1,0 +1,152 @@
+//! Reductions over tensors.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Sums over `axis`, producing a tensor with that axis removed.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidAxis`] when `axis >= rank`.
+pub fn sum_axis(x: &Tensor, axis: usize) -> Result<Tensor> {
+    let rank = x.shape().rank();
+    if axis >= rank {
+        return Err(TensorError::InvalidAxis { axis, rank });
+    }
+    let dims = x.shape().dims();
+    let outer: usize = dims[..axis].iter().product();
+    let mid = dims[axis];
+    let inner: usize = dims[axis + 1..].iter().product();
+    let mut out = Tensor::zeros(x.shape().without_axis(axis));
+    for o in 0..outer {
+        for m in 0..mid {
+            let base = (o * mid + m) * inner;
+            let out_base = o * inner;
+            for i in 0..inner {
+                out.data_mut()[out_base + i] += x.data()[base + i];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Mean over `axis` (see [`sum_axis`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidAxis`] when `axis >= rank`.
+pub fn mean_axis(x: &Tensor, axis: usize) -> Result<Tensor> {
+    let n = x.shape().dim(axis) as f32;
+    let mut s = sum_axis(x, axis)?;
+    s.scale_inplace(1.0 / n);
+    Ok(s)
+}
+
+/// Index of the maximum element in each row of the flattened matrix view.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Empty`] for a tensor with zero columns.
+pub fn argmax_rows(x: &Tensor) -> Result<Vec<usize>> {
+    let (rows, cols) = x.shape().as_matrix();
+    if cols == 0 {
+        return Err(TensorError::Empty { op: "argmax_rows" });
+    }
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &x.data()[r * cols..(r + 1) * cols];
+        let mut best = 0usize;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        out.push(best);
+    }
+    Ok(out)
+}
+
+/// Broadcast-adds a `[cols]` bias to every row of the flattened matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `bias.len()` is not the column
+/// count.
+pub fn add_bias_rows(x: &mut Tensor, bias: &Tensor) -> Result<()> {
+    let (rows, cols) = x.shape().as_matrix();
+    if bias.len() != cols {
+        return Err(TensorError::ShapeMismatch {
+            left: x.shape().clone(),
+            right: bias.shape().clone(),
+            op: "add_bias_rows",
+        });
+    }
+    for r in 0..rows {
+        let row = &mut x.data_mut()[r * cols..(r + 1) * cols];
+        for (v, &b) in row.iter_mut().zip(bias.data()) {
+            *v += b;
+        }
+    }
+    Ok(())
+}
+
+/// Sums each column of the flattened matrix into a `[cols]` tensor (the
+/// gradient of [`add_bias_rows`]).
+#[must_use]
+pub fn sum_rows(x: &Tensor) -> Tensor {
+    let (rows, cols) = x.shape().as_matrix();
+    let mut out = Tensor::zeros(Shape::d1(cols));
+    for r in 0..rows {
+        let row = &x.data()[r * cols..(r + 1) * cols];
+        for (o, &v) in out.data_mut().iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_axis_matches_manual() {
+        let x = Tensor::from_fn(Shape::d3(2, 3, 2), |i| i as f32);
+        let s0 = sum_axis(&x, 0).unwrap();
+        assert_eq!(s0.shape(), &Shape::d2(3, 2));
+        assert_eq!(s0.get(&[0, 0]).unwrap(), 0.0 + 6.0);
+        let s1 = sum_axis(&x, 1).unwrap();
+        assert_eq!(s1.shape(), &Shape::d2(2, 2));
+        assert_eq!(s1.get(&[0, 1]).unwrap(), 1.0 + 3.0 + 5.0);
+        let s2 = sum_axis(&x, 2).unwrap();
+        assert_eq!(s2.get(&[1, 2]).unwrap(), 10.0 + 11.0);
+        assert!(sum_axis(&x, 3).is_err());
+    }
+
+    #[test]
+    fn mean_axis_divides() {
+        let x = Tensor::from_vec(Shape::d2(2, 2), vec![1., 3., 5., 7.]).unwrap();
+        let m = mean_axis(&x, 0).unwrap();
+        assert_eq!(m.data(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max() {
+        let x = Tensor::from_vec(Shape::d2(2, 3), vec![1., 5., 5., -1., -2., 0.]).unwrap();
+        assert_eq!(argmax_rows(&x).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn bias_round_trip() {
+        let mut x = Tensor::zeros(Shape::d2(3, 2));
+        let bias = Tensor::from_vec(Shape::d1(2), vec![1.0, -1.0]).unwrap();
+        add_bias_rows(&mut x, &bias).unwrap();
+        assert_eq!(x.get(&[2, 0]).unwrap(), 1.0);
+        let g = sum_rows(&x);
+        assert_eq!(g.data(), &[3.0, -3.0]);
+        let bad = Tensor::zeros(Shape::d1(3));
+        assert!(add_bias_rows(&mut x, &bad).is_err());
+    }
+}

@@ -1,0 +1,606 @@
+//! The owned dense tensor type.
+
+use crate::error::TensorError;
+use crate::gemm;
+use crate::layout::MatrixLayout;
+use crate::matrix::{MatView, MatViewMut};
+use crate::shape::Shape;
+use crate::Result;
+
+/// An owned, contiguous, row-major `f32` tensor.
+///
+/// `Tensor` is the value type flowing through the Echo graph: inputs,
+/// weights, feature maps and gradients are all `Tensor`s. It implements the
+/// small set of operations an LSTM training stack needs; anything fancier is
+/// built in the operator crate on top of these primitives.
+///
+/// # Example
+///
+/// ```
+/// use echo_tensor::{Tensor, Shape};
+///
+/// let a = Tensor::zeros(Shape::d2(2, 2));
+/// let b = Tensor::from_vec(Shape::d2(2, 2), vec![1., 2., 3., 4.])?;
+/// let c = a.zip_map(&b, |x, y| x + y)?;
+/// assert_eq!(c.data(), b.data());
+/// # Ok::<(), echo_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: Shape) -> Self {
+        let n = shape.num_elements();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        let n = shape.num_elements();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates a rank-0 tensor holding one value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// Creates a tensor from a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// `shape.num_elements()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self> {
+        if data.len() != shape.num_elements() {
+            return Err(TensorError::LengthMismatch {
+                shape,
+                len: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f` at every row-major linear index.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(usize) -> f32) -> Self {
+        let n = shape.num_elements();
+        Tensor {
+            shape,
+            data: (0..n).map(&mut f).collect(),
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the tensor's storage in bytes.
+    pub fn num_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The backing row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The backing row-major buffer, mutably.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for a bad index.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        self.shape
+            .linear_index(index)
+            .map(|i| self.data[i])
+            .ok_or_else(|| TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.shape.clone(),
+            })
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for a bad index.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        match self.shape.linear_index(index) {
+            Some(i) => {
+                self.data[i] = value;
+                Ok(())
+            }
+            None => Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.shape.clone(),
+            }),
+        }
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeMismatch`] if element counts differ.
+    pub fn reshape(&self, shape: Shape) -> Result<Tensor> {
+        if shape.num_elements() != self.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.shape.clone(),
+                to: shape,
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two same-shaped tensors element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+                op: "zip_map",
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// `self += alpha * other` (shapes must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+                op: "axpy",
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `alpha`.
+    pub fn scale_inplace(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements (f64 accumulation).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| f64::from(v)).sum()
+    }
+
+    /// Maximum absolute element, or 0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// L2 norm of all elements.
+    pub fn norm_l2(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Views the tensor as a 2-D row-major matrix `[rows x cols]` using
+    /// [`Shape::as_matrix`] flattening.
+    pub fn as_mat(&self) -> MatView<'_> {
+        let (r, c) = self.shape.as_matrix();
+        MatView::new(&self.data, r, c, MatrixLayout::RowMajor)
+    }
+
+    /// Mutable 2-D row-major view (see [`Tensor::as_mat`]).
+    pub fn as_mat_mut(&mut self) -> MatViewMut<'_> {
+        let (r, c) = self.shape.as_matrix();
+        MatViewMut::new(&mut self.data, r, c, MatrixLayout::RowMajor)
+    }
+
+    /// Views the tensor's flattened matrix under an explicit layout, i.e.
+    /// reinterprets the same bytes as `[rows x cols]` in `layout`.
+    ///
+    /// The caller asserts that the element count matches `rows * cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols != self.len()`.
+    pub fn view_as(&self, rows: usize, cols: usize, layout: MatrixLayout) -> MatView<'_> {
+        MatView::new(&self.data, rows, cols, layout)
+    }
+
+    /// Matrix product `self · other` with optional transposes, producing a
+    /// new row-major tensor.
+    ///
+    /// Both operands are flattened to matrices via [`Shape::as_matrix`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::GemmDimension`] when shapes do not line up.
+    pub fn matmul(&self, other: &Tensor, t_self: bool, t_other: bool) -> Result<Tensor> {
+        let a = if t_self {
+            self.as_mat().t()
+        } else {
+            self.as_mat()
+        };
+        let b = if t_other {
+            other.as_mat().t()
+        } else {
+            other.as_mat()
+        };
+        let mut out = Tensor::zeros(Shape::d2(a.rows(), b.cols()));
+        gemm::gemm(1.0, a, b, 0.0, &mut out.as_mat_mut())?;
+        Ok(out)
+    }
+
+    /// Extracts the `i`-th slice along axis 0 (e.g. one time step of a
+    /// `[T, B, H]` tensor) as an owned tensor of shape `shape[1..]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when `i` exceeds axis 0, or
+    /// [`TensorError::InvalidAxis`] for a rank-0 tensor.
+    pub fn index_axis0(&self, i: usize) -> Result<Tensor> {
+        if self.shape.rank() == 0 {
+            return Err(TensorError::InvalidAxis { axis: 0, rank: 0 });
+        }
+        let t = self.shape.dim(0);
+        if i >= t {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![i],
+                shape: self.shape.clone(),
+            });
+        }
+        let inner: usize = self.shape.dims()[1..].iter().product();
+        let slice = &self.data[i * inner..(i + 1) * inner];
+        Ok(Tensor {
+            shape: Shape::new(self.shape.dims()[1..].to_vec()),
+            data: slice.to_vec(),
+        })
+    }
+
+    /// Writes `value` into the `i`-th slice along axis 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `value`'s shape is not
+    /// `shape[1..]`, or [`TensorError::IndexOutOfBounds`] for a bad `i`.
+    pub fn set_axis0(&mut self, i: usize, value: &Tensor) -> Result<()> {
+        if self.shape.rank() == 0 {
+            return Err(TensorError::InvalidAxis { axis: 0, rank: 0 });
+        }
+        let t = self.shape.dim(0);
+        let expected = Shape::new(self.shape.dims()[1..].to_vec());
+        if i >= t {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![i],
+                shape: self.shape.clone(),
+            });
+        }
+        if value.shape != expected {
+            return Err(TensorError::ShapeMismatch {
+                left: expected,
+                right: value.shape.clone(),
+                op: "set_axis0",
+            });
+        }
+        let inner = value.len();
+        self.data[i * inner..(i + 1) * inner].copy_from_slice(&value.data);
+        Ok(())
+    }
+
+    /// Concatenates tensors along axis 0. All inputs must share `shape[1..]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty input list and
+    /// [`TensorError::ShapeMismatch`] for ragged inputs.
+    pub fn concat_axis0(tensors: &[&Tensor]) -> Result<Tensor> {
+        let first = tensors.first().ok_or(TensorError::Empty { op: "concat" })?;
+        if first.shape.rank() == 0 {
+            return Err(TensorError::InvalidAxis { axis: 0, rank: 0 });
+        }
+        let tail = first.shape.dims()[1..].to_vec();
+        let mut total0 = 0usize;
+        for t in tensors {
+            if t.shape.rank() == 0 || t.shape.dims()[1..] != tail[..] {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.shape.clone(),
+                    right: t.shape.clone(),
+                    op: "concat",
+                });
+            }
+            total0 += t.shape.dim(0);
+        }
+        let mut dims = vec![total0];
+        dims.extend_from_slice(&tail);
+        let mut data = Vec::with_capacity(dims.iter().product());
+        for t in tensors {
+            data.extend_from_slice(&t.data);
+        }
+        Ok(Tensor {
+            shape: Shape::new(dims),
+            data,
+        })
+    }
+
+    /// Transposes a rank-2 tensor, producing a new row-major tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidAxis`] for tensors that are not rank 2.
+    pub fn transpose2(&self) -> Result<Tensor> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::InvalidAxis {
+                axis: 1,
+                rank: self.shape.rank(),
+            });
+        }
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Tensor::zeros(Shape::d2(c, r));
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Permutes the axes of a rank-3 tensor, producing a new row-major
+    /// tensor. `perm` maps output axis → input axis, e.g. `[0, 2, 1]` turns
+    /// `[T, B, H]` into `[T, H, B]` (the EcoRNN sequence layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidAxis`] for non-rank-3 tensors or an
+    /// invalid permutation.
+    pub fn permute3(&self, perm: [usize; 3]) -> Result<Tensor> {
+        if self.shape.rank() != 3 {
+            return Err(TensorError::InvalidAxis {
+                axis: 2,
+                rank: self.shape.rank(),
+            });
+        }
+        let mut seen = [false; 3];
+        for &p in &perm {
+            if p >= 3 || seen[p] {
+                return Err(TensorError::InvalidAxis { axis: p, rank: 3 });
+            }
+            seen[p] = true;
+        }
+        let d = self.shape.dims();
+        let out_shape = Shape::d3(d[perm[0]], d[perm[1]], d[perm[2]]);
+        let in_strides = self.shape.strides();
+        let mut out = Tensor::zeros(out_shape);
+        let (o0, o1, o2) = (out.shape.dim(0), out.shape.dim(1), out.shape.dim(2));
+        let mut idx = 0usize;
+        for a in 0..o0 {
+            for b in 0..o1 {
+                for c in 0..o2 {
+                    let mut input_index = [0usize; 3];
+                    input_index[perm[0]] = a;
+                    input_index[perm[1]] = b;
+                    input_index[perm[2]] = c;
+                    let off = input_index[0] * in_strides[0]
+                        + input_index[1] * in_strides[1]
+                        + input_index[2] * in_strides[2];
+                    out.data[idx] = self.data[off];
+                    idx += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `true` when every element differs from `other`'s by at most `tol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> Result<bool> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+                op: "approx_eq",
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .all(|(&a, &b)| (a - b).abs() <= tol))
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(Shape::scalar())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        assert_eq!(t.get(&[1, 0]).unwrap(), 4.0);
+        assert_eq!(t.len(), 6);
+        assert!(Tensor::from_vec(Shape::d2(2, 3), vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let x = Tensor::from_vec(Shape::d2(2, 2), vec![1., 2., 3., 4.]).unwrap();
+        let eye = Tensor::from_vec(Shape::d2(2, 2), vec![1., 0., 0., 1.]).unwrap();
+        let y = x.matmul(&eye, false, false).unwrap();
+        assert_eq!(y, x);
+        let yt = x.matmul(&eye, true, false).unwrap();
+        assert_eq!(yt, x.transpose2().unwrap());
+    }
+
+    #[test]
+    fn index_axis0_and_set() {
+        let mut t = Tensor::zeros(Shape::d3(3, 2, 2));
+        let step = Tensor::from_vec(Shape::d2(2, 2), vec![1., 2., 3., 4.]).unwrap();
+        t.set_axis0(1, &step).unwrap();
+        assert_eq!(t.index_axis0(1).unwrap(), step);
+        assert_eq!(t.index_axis0(0).unwrap().sum(), 0.0);
+        assert!(t.index_axis0(3).is_err());
+    }
+
+    #[test]
+    fn concat_axis0_shapes() {
+        let a = Tensor::full(Shape::d2(1, 3), 1.0);
+        let b = Tensor::full(Shape::d2(2, 3), 2.0);
+        let c = Tensor::concat_axis0(&[&a, &b]).unwrap();
+        assert_eq!(c.shape(), &Shape::d2(3, 3));
+        assert_eq!(c.get(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(c.get(&[2, 2]).unwrap(), 2.0);
+        let ragged = Tensor::full(Shape::d2(1, 4), 0.0);
+        assert!(Tensor::concat_axis0(&[&a, &ragged]).is_err());
+        assert!(Tensor::concat_axis0(&[]).is_err());
+    }
+
+    #[test]
+    fn permute3_tbh_to_thb() {
+        // [T=2, B=2, H=3]
+        let t = Tensor::from_fn(Shape::d3(2, 2, 3), |i| i as f32);
+        let p = t.permute3([0, 2, 1]).unwrap();
+        assert_eq!(p.shape(), &Shape::d3(2, 3, 2));
+        for ti in 0..2 {
+            for b in 0..2 {
+                for h in 0..3 {
+                    assert_eq!(t.get(&[ti, b, h]).unwrap(), p.get(&[ti, h, b]).unwrap());
+                }
+            }
+        }
+        // Permuting back restores the original.
+        let back = p.permute3([0, 2, 1]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let a = Tensor::full(Shape::d1(4), 2.0);
+        let b = Tensor::full(Shape::d1(4), 3.0);
+        assert_eq!(a.add(&b).unwrap().data(), &[5.0; 4]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[6.0; 4]);
+        let mut c = a.clone();
+        c.axpy(0.5, &b).unwrap();
+        assert_eq!(c.data(), &[3.5; 4]);
+        assert!((a.norm_l2() - 4.0).abs() < 1e-6);
+        assert_eq!(b.max_abs(), 3.0);
+    }
+
+    #[test]
+    fn reshape_checks_element_count() {
+        let t = Tensor::zeros(Shape::d2(2, 3));
+        assert!(t.reshape(Shape::d1(6)).is_ok());
+        assert!(t.reshape(Shape::d1(7)).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Memory profiling walkthrough (paper §3.2): run the full-scale NMT
+//! model on the symbolic plane against the simulated 12 GB Titan Xp and
+//! print the two-axis memory breakdown — then recompile with Echo and
+//! watch the attention share collapse.
+//!
+//! ```sh
+//! cargo run -p echo --example memory_profile --release
+//! ```
+
+use echo::{EchoCompiler, EchoConfig};
+use echo_graph::{ExecOptions, Executor, StashPlan};
+use echo_memory::{DeviceMemory, MemoryBreakdown};
+use echo_models::{NmtHyper, NmtModel};
+use echo_rnn::LstmBackend;
+use std::sync::Arc;
+
+fn profile(echo: bool) -> Result<MemoryBreakdown, Box<dyn std::error::Error>> {
+    let model = NmtModel::build(NmtHyper::zhu(LstmBackend::Default));
+    let batch = 128usize;
+    let bindings = model.symbolic_bindings(batch);
+    let plan = if echo {
+        EchoCompiler::new(EchoConfig::default())
+            .compile(
+                &model.graph,
+                &bindings,
+                &model.param_shapes(),
+                &[model.loss, model.logits],
+            )?
+            .plan
+    } else {
+        StashPlan::stash_all()
+    };
+    let mem = DeviceMemory::titan_xp();
+    let mut exec = Executor::new(Arc::clone(&model.graph), plan, mem.clone());
+    model.bind_param_shapes(&mut exec)?;
+    exec.train_step(
+        &bindings,
+        model.loss,
+        ExecOptions {
+            training: true,
+            numeric: false,
+        },
+        None,
+    )?;
+    Ok(MemoryBreakdown::at_peak(&mem))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("NMT (Zhu et al. setting), batch 128, simulated 12 GB Titan Xp\n");
+    println!("--- framework default (stash everything) ---");
+    println!("{}", profile(false)?);
+    println!("--- after the Echo recomputation pass ---");
+    println!("{}", profile(true)?);
+    println!(
+        "The symbolic plane executed no arithmetic: these byte-exact numbers come\n\
+         from the allocator observing the exact tensor lifetimes the plan implies."
+    );
+    Ok(())
+}

@@ -1,0 +1,191 @@
+//! Cross-crate integration: the full Echo pipeline from corpus to
+//! compiled, trained model — data → graph → compiler pass → dual-plane
+//! executor → optimizer → metrics.
+
+use echo::{EchoCompiler, EchoConfig};
+use echo_data::{BpttBatches, LmCorpus, NmtBatch, ParallelCorpus, Vocab};
+use echo_graph::{ExecOptions, Executor, StashPlan};
+use echo_memory::DeviceMemory;
+use echo_models::{perplexity, NmtHyper, NmtModel, Sgd, WordLm, WordLmHyper};
+use echo_rnn::LstmBackend;
+use std::sync::Arc;
+
+fn mem() -> DeviceMemory {
+    DeviceMemory::with_overhead_model(8 << 30, 0, 0.0)
+}
+
+/// The repository's headline invariant: compiling with Echo changes
+/// nothing about learning and everything about memory.
+#[test]
+fn compiled_nmt_trains_bit_exactly_with_smaller_footprint() {
+    let corpus = ParallelCorpus::synthetic(Vocab::new(80), Vocab::new(70), 120, 4..=10, 9);
+    let model = NmtModel::build(NmtHyper::tiny(80, 70));
+    let batches = NmtBatch::bucketed(corpus.pairs(), 8);
+    let compiled = EchoCompiler::new(EchoConfig::default())
+        .compile(
+            &model.graph,
+            &model.bindings(&batches[0]),
+            &model.param_shapes(),
+            &[model.loss, model.logits],
+        )
+        .expect("compile");
+    assert_eq!(
+        compiled.report.segments.len(),
+        model.hyper.decoder_steps(),
+        "one O-shape segment per decoder step"
+    );
+
+    let run = |plan: StashPlan| {
+        let m = mem();
+        let mut exec = Executor::new(Arc::clone(&model.graph), plan, m.clone());
+        model.bind_params(&mut exec, 31).expect("bind");
+        let mut sgd = Sgd::new(0.5).with_clip_norm(5.0);
+        let mut losses = Vec::new();
+        for _ in 0..2 {
+            for batch in batches.iter().take(4) {
+                let stats = exec
+                    .train_step(
+                        &model.bindings(batch),
+                        model.loss,
+                        ExecOptions::default(),
+                        None,
+                    )
+                    .expect("step");
+                losses.push(stats.loss.unwrap());
+                sgd.step(&mut exec);
+            }
+        }
+        (losses, m.peak_bytes())
+    };
+
+    let (loss_base, peak_base) = run(StashPlan::stash_all());
+    let (loss_echo, peak_echo) = run(compiled.plan.clone());
+    assert_eq!(
+        loss_base, loss_echo,
+        "multi-step training must be bit-exact"
+    );
+    assert!(
+        (peak_echo as f64) < peak_base as f64 * 0.9,
+        "echo peak {peak_echo} vs baseline {peak_base}"
+    );
+}
+
+/// The LM path: every backend trains, learns, and agrees numerically.
+#[test]
+fn word_lm_learns_on_every_backend() {
+    let vocab = Vocab::new(40);
+    let corpus = LmCorpus::synthetic(vocab, 4000, 0.95, 17);
+    for backend in LstmBackend::ALL {
+        let lm = WordLm::build(WordLmHyper::tiny(vocab.size(), backend));
+        let mut exec = Executor::new(Arc::clone(&lm.graph), StashPlan::stash_all(), mem());
+        lm.bind_params(&mut exec, 3).expect("bind");
+        let mut sgd = Sgd::new(0.5).with_clip_norm(5.0);
+        let mut first = None;
+        let mut last = 0.0;
+        for _epoch in 0..2 {
+            let batches = BpttBatches::new(corpus.tokens(), 8, lm.hyper.seq_len);
+            for batch in batches {
+                let stats = exec
+                    .train_step(&lm.bindings(&batch), lm.loss, ExecOptions::default(), None)
+                    .expect("step");
+                last = stats.loss.unwrap();
+                first.get_or_insert(last);
+                sgd.step(&mut exec);
+            }
+        }
+        assert!(
+            perplexity(last) < perplexity(first.unwrap()),
+            "{backend}: perplexity must fall"
+        );
+    }
+}
+
+/// The pass is a no-op where there is nothing O-shaped: a pure LSTM LM
+/// has no recomputation opportunity that passes the ratio test.
+#[test]
+fn echo_pass_leaves_pure_lstm_alone() {
+    let lm = WordLm::build(WordLmHyper::tiny(60, LstmBackend::CuDnn));
+    let compiled = EchoCompiler::new(EchoConfig::default())
+        .compile(
+            &lm.graph,
+            &lm.symbolic_bindings(8),
+            &lm.param_shapes(),
+            &[lm.loss, lm.logits],
+        )
+        .expect("compile");
+    assert_eq!(
+        compiled.plan.recompute_count(),
+        0,
+        "no O-shape segments in an LM: {:?}",
+        compiled.report.segments
+    );
+}
+
+/// Symbolic and numeric planes agree on the memory story.
+#[test]
+fn planes_agree_on_peak_memory() {
+    let model = NmtModel::build(NmtHyper::tiny(80, 70));
+    let corpus = ParallelCorpus::synthetic(Vocab::new(80), Vocab::new(70), 16, 4..=10, 9);
+    let batch = NmtBatch::bucketed(corpus.pairs(), 8).remove(0);
+    let bindings = model.bindings(&batch);
+    let peak = |numeric: bool| {
+        let m = mem();
+        let mut exec = Executor::new(Arc::clone(&model.graph), StashPlan::stash_all(), m.clone());
+        if numeric {
+            model.bind_params(&mut exec, 1).expect("bind");
+        } else {
+            model.bind_param_shapes(&mut exec).expect("bind");
+        }
+        exec.train_step(
+            &bindings,
+            model.loss,
+            ExecOptions {
+                training: true,
+                numeric,
+            },
+            None,
+        )
+        .expect("step");
+        m.peak_bytes()
+    };
+    assert_eq!(peak(true), peak(false));
+}
+
+/// Inference keeps no feature maps at all: its footprint is far below
+/// training's, whatever the plan (the paper's optimizations also apply to
+/// inference, §4.2).
+#[test]
+fn inference_footprint_is_far_below_training() {
+    let corpus = ParallelCorpus::synthetic(Vocab::new(80), Vocab::new(70), 16, 4..=10, 9);
+    let model = NmtModel::build(NmtHyper::tiny(80, 70));
+    let batch = NmtBatch::bucketed(corpus.pairs(), 8).remove(0);
+    let bindings = model.bindings(&batch);
+
+    let peak = |training: bool| {
+        let m = mem();
+        let mut exec = Executor::new(Arc::clone(&model.graph), StashPlan::stash_all(), m.clone());
+        model.bind_params(&mut exec, 4).expect("bind");
+        if training {
+            exec.train_step(&bindings, model.loss, ExecOptions::default(), None)
+                .expect("step");
+        } else {
+            exec.forward(
+                &bindings,
+                model.logits,
+                ExecOptions {
+                    training: false,
+                    numeric: true,
+                },
+                None,
+            )
+            .expect("forward");
+        }
+        m.peak_bytes()
+    };
+    let train_peak = peak(true);
+    let infer_peak = peak(false);
+    assert!(
+        (infer_peak as f64) < train_peak as f64 * 0.6,
+        "inference {infer_peak} vs training {train_peak}"
+    );
+}
