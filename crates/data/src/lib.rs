@@ -25,5 +25,7 @@ pub mod vocab;
 
 pub use batch::{BpttBatches, LmBatch, NmtBatch};
 pub use lm::LmCorpus;
-pub use parallel::{ParallelCorpus, SentencePair};
+pub use parallel::{
+    shard_lm_batch, slice_lm_lanes, MicrobatchPlan, ParallelCorpus, SentencePair, Sharding,
+};
 pub use vocab::{Vocab, BOS, EOS, PAD, UNK};

@@ -1,9 +1,202 @@
-//! The synthetic parallel (translation) corpus standing in for IWSLT15
-//! English–Vietnamese.
+//! Parallelism support: the synthetic parallel (translation) corpus
+//! standing in for IWSLT15 English–Vietnamese, and the batch-sharding
+//! layer that carves global batches across data-parallel replicas.
 
+use crate::batch::LmBatch;
 use crate::vocab::{Vocab, NUM_SPECIAL};
+use echo_tensor::{Shape, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// A contiguous partition of `total` samples into `parts` shards.
+///
+/// Shard sizes are near-equal: the first `total % parts` shards receive
+/// one extra sample. Every sample lands in exactly one shard and shards
+/// preserve sample order, so concatenating the shards reproduces the
+/// global batch. Degenerate inputs are well-defined rather than panics:
+/// with `parts > total` the tail shards are simply empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sharding {
+    counts: Vec<usize>,
+}
+
+impl Sharding {
+    /// Splits `total` samples into `parts` contiguous shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero.
+    pub fn contiguous(total: usize, parts: usize) -> Sharding {
+        assert!(parts > 0, "cannot shard into zero parts");
+        let base = total / parts;
+        let extra = total % parts;
+        Sharding {
+            counts: (0..parts).map(|p| base + usize::from(p < extra)).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn parts(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of samples in shard `part`.
+    pub fn len(&self, part: usize) -> usize {
+        self.counts[part]
+    }
+
+    /// Whether shard `part` received no samples (`parts > total`).
+    pub fn is_empty(&self, part: usize) -> bool {
+        self.counts[part] == 0
+    }
+
+    /// The half-open global index range owned by shard `part`.
+    pub fn range(&self, part: usize) -> std::ops::Range<usize> {
+        let start: usize = self.counts[..part].iter().sum();
+        start..start + self.counts[part]
+    }
+
+    /// All shard ranges, in order.
+    pub fn ranges(&self) -> Vec<std::ops::Range<usize>> {
+        (0..self.parts()).map(|p| self.range(p)).collect()
+    }
+}
+
+/// Extracts lanes `[lo, hi)` of a `[T, B]` language-modeling batch as a
+/// standalone batch (used to hand each replica its shard).
+///
+/// # Panics
+///
+/// Panics if the lane range is out of bounds.
+pub fn slice_lm_lanes(batch: &LmBatch, lanes: std::ops::Range<usize>) -> LmBatch {
+    assert!(
+        lanes.start <= lanes.end && lanes.end <= batch.batch,
+        "lane range {lanes:?} out of bounds for batch {}",
+        batch.batch
+    );
+    let nb = lanes.len();
+    let t_len = batch.seq_len;
+    let mut input = Tensor::zeros(Shape::d2(t_len, nb));
+    let mut targets = Tensor::zeros(Shape::d1(t_len * nb));
+    for t in 0..t_len {
+        for (out_lane, src_lane) in lanes.clone().enumerate() {
+            input.data_mut()[t * nb + out_lane] = batch.input.data()[t * batch.batch + src_lane];
+            targets.data_mut()[t * nb + out_lane] =
+                batch.targets.data()[t * batch.batch + src_lane];
+        }
+    }
+    LmBatch {
+        input,
+        targets,
+        batch: nb,
+        seq_len: t_len,
+    }
+}
+
+/// Shards an LM batch lane-wise across `parts` replicas (near-equal
+/// contiguous shards; empty shards when `parts` exceeds the lane count).
+pub fn shard_lm_batch(batch: &LmBatch, parts: usize) -> Vec<LmBatch> {
+    Sharding::contiguous(batch.batch, parts)
+        .ranges()
+        .into_iter()
+        .map(|r| slice_lm_lanes(batch, r))
+        .collect()
+}
+
+/// The micro-batch schedule that makes data-parallel gradients bit-exact.
+///
+/// Float addition is not associative, so "sum the replica gradients" has
+/// as many answers as there are ways to parenthesize the sum. This plan
+/// removes the ambiguity by *defining* the gradient of a global batch as
+/// a balanced binary tree fold over `micro` fixed micro-batches (`micro`
+/// a power of two that divides the lane count). A serial trainer folds
+/// the leaves left-to-right through the same tree; `replicas` workers
+/// (any power of two dividing `micro`) each own a contiguous, aligned
+/// subtree of leaves, and the cross-replica all-reduce walks the
+/// remaining tree levels — reproducing the serial association exactly,
+/// for every replica count, down to the last ULP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicrobatchPlan {
+    micro: usize,
+    lanes_per_micro: usize,
+}
+
+impl MicrobatchPlan {
+    /// Plans `micro` micro-batches over a `lanes`-lane global batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint if `micro` is
+    /// not a power of two or does not evenly divide `lanes`.
+    pub fn new(lanes: usize, micro: usize) -> Result<MicrobatchPlan, String> {
+        if micro == 0 || !micro.is_power_of_two() {
+            return Err(format!("micro-batch count {micro} must be a power of two"));
+        }
+        if lanes == 0 || !lanes.is_multiple_of(micro) {
+            return Err(format!(
+                "micro-batch count {micro} must evenly divide the {lanes} batch lanes"
+            ));
+        }
+        Ok(MicrobatchPlan {
+            micro,
+            lanes_per_micro: lanes / micro,
+        })
+    }
+
+    /// Number of micro-batches (tree leaves).
+    pub fn micro(&self) -> usize {
+        self.micro
+    }
+
+    /// Lanes per micro-batch.
+    pub fn lanes_per_micro(&self) -> usize {
+        self.lanes_per_micro
+    }
+
+    /// Whether `replicas` workers can own aligned subtrees under this
+    /// plan (power of two, at most `micro`).
+    pub fn supports_replicas(&self, replicas: usize) -> bool {
+        replicas > 0 && replicas.is_power_of_two() && self.micro.is_multiple_of(replicas)
+    }
+
+    /// Cuts the global batch into the plan's micro-batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` does not have the planned lane count.
+    pub fn cut(&self, batch: &LmBatch) -> Vec<LmBatch> {
+        assert_eq!(
+            batch.batch,
+            self.micro * self.lanes_per_micro,
+            "batch does not match plan"
+        );
+        (0..self.micro)
+            .map(|m| {
+                slice_lm_lanes(
+                    batch,
+                    m * self.lanes_per_micro..(m + 1) * self.lanes_per_micro,
+                )
+            })
+            .collect()
+    }
+
+    /// The contiguous leaf span owned by `replica` of `replicas`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica count is unsupported (see
+    /// [`supports_replicas`](Self::supports_replicas)).
+    pub fn replica_leaves(&self, replica: usize, replicas: usize) -> std::ops::Range<usize> {
+        assert!(
+            self.supports_replicas(replicas),
+            "{replicas} replicas cannot own aligned subtrees of {} leaves",
+            self.micro
+        );
+        assert!(replica < replicas, "replica {replica} of {replicas}");
+        let per = self.micro / replicas;
+        replica * per..(replica + 1) * per
+    }
+}
 
 /// One sentence pair (token ids, without BOS/EOS framing).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -183,5 +376,111 @@ mod tests {
         let a = ParallelCorpus::synthetic(Vocab::new(50), Vocab::new(40), 50, 4..=8, 1);
         let b = ParallelCorpus::synthetic(Vocab::new(50), Vocab::new(40), 50, 4..=8, 1);
         assert_eq!(a.pairs(), b.pairs());
+    }
+
+    fn numbered_batch(seq_len: usize, lanes: usize) -> LmBatch {
+        // input[t][b] = 100t + b so any mis-slice is visible.
+        let mut input = Tensor::zeros(Shape::d2(seq_len, lanes));
+        let mut targets = Tensor::zeros(Shape::d1(seq_len * lanes));
+        for t in 0..seq_len {
+            for b in 0..lanes {
+                input.data_mut()[t * lanes + b] = (100 * t + b) as f32;
+                targets.data_mut()[t * lanes + b] = (100 * t + b + 1) as f32;
+            }
+        }
+        LmBatch {
+            input,
+            targets,
+            batch: lanes,
+            seq_len,
+        }
+    }
+
+    #[test]
+    fn sharding_partitions_without_loss() {
+        for (total, parts) in [(8, 4), (10, 3), (3, 7), (0, 2), (5, 5)] {
+            let s = Sharding::contiguous(total, parts);
+            let ranges = s.ranges();
+            assert_eq!(ranges.len(), parts);
+            let mut covered = Vec::new();
+            for r in &ranges {
+                covered.extend(r.clone());
+            }
+            assert_eq!(covered, (0..total).collect::<Vec<_>>());
+            // Near-equal: sizes differ by at most one.
+            let sizes: Vec<usize> = (0..parts).map(|p| s.len(p)).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "{sizes:?}");
+        }
+    }
+
+    #[test]
+    fn lane_slices_reassemble_the_batch() {
+        let batch = numbered_batch(3, 10);
+        let shards = shard_lm_batch(&batch, 4);
+        assert_eq!(shards.iter().map(|s| s.batch).sum::<usize>(), 10);
+        for (shard, range) in shards.iter().zip(Sharding::contiguous(10, 4).ranges()) {
+            for t in 0..batch.seq_len {
+                for (i, b) in range.clone().enumerate() {
+                    assert_eq!(
+                        shard.input.data()[t * shard.batch + i],
+                        batch.input.data()[t * batch.batch + b]
+                    );
+                    assert_eq!(
+                        shard.targets.data()[t * shard.batch + i],
+                        batch.targets.data()[t * batch.batch + b]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_sharding_yields_empty_tail_shards() {
+        let batch = numbered_batch(2, 3);
+        let shards = shard_lm_batch(&batch, 8);
+        assert_eq!(shards.len(), 8);
+        assert_eq!(shards.iter().filter(|s| s.batch == 0).count(), 5);
+        assert_eq!(shards.iter().map(|s| s.batch).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn microbatch_plan_validates_inputs() {
+        assert!(MicrobatchPlan::new(8, 3).is_err()); // not a power of two
+        assert!(MicrobatchPlan::new(6, 4).is_err()); // does not divide
+        assert!(MicrobatchPlan::new(0, 1).is_err());
+        let plan = MicrobatchPlan::new(8, 4).unwrap();
+        assert_eq!(plan.lanes_per_micro(), 2);
+        assert!(plan.supports_replicas(1));
+        assert!(plan.supports_replicas(2));
+        assert!(plan.supports_replicas(4));
+        assert!(!plan.supports_replicas(3));
+        assert!(!plan.supports_replicas(8));
+    }
+
+    #[test]
+    fn replica_leaves_tile_the_tree() {
+        let plan = MicrobatchPlan::new(16, 8).unwrap();
+        for replicas in [1, 2, 4, 8] {
+            let mut leaves = Vec::new();
+            for r in 0..replicas {
+                leaves.extend(plan.replica_leaves(r, replicas));
+            }
+            assert_eq!(leaves, (0..8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn microbatch_cut_is_a_lane_partition() {
+        let batch = numbered_batch(4, 8);
+        let plan = MicrobatchPlan::new(8, 4).unwrap();
+        let micros = plan.cut(&batch);
+        assert_eq!(micros.len(), 4);
+        for m in &micros {
+            assert_eq!(m.batch, 2);
+            assert_eq!(m.seq_len, 4);
+        }
+        // Lane 5 lives in micro-batch 2, local lane 1.
+        assert_eq!(micros[2].input.data()[1], batch.input.data()[5]);
     }
 }

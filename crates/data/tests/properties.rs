@@ -1,6 +1,8 @@
 //! Property tests for the synthetic-data crate.
 
-use echo_data::{BpttBatches, LmCorpus, NmtBatch, ParallelCorpus, Vocab, BOS, EOS, PAD};
+use echo_data::{
+    shard_lm_batch, BpttBatches, LmCorpus, NmtBatch, ParallelCorpus, Sharding, Vocab, BOS, EOS, PAD,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -84,6 +86,61 @@ proptest! {
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(a.len(), src.len());
         prop_assert!(a.iter().all(|&t| corpus.tgt_vocab().is_word(t)));
+    }
+
+    /// Sharding partitions any batch: every sample appears in exactly one
+    /// shard, order is preserved, and shard sizes are near-equal. The
+    /// degenerate case (more replicas than samples) must not panic — it
+    /// yields empty tail shards.
+    #[test]
+    fn sharding_is_a_partition(total in 0usize..200, parts in 1usize..24) {
+        let s = Sharding::contiguous(total, parts);
+        let mut seen = Vec::new();
+        for p in 0..s.parts() {
+            let r = s.range(p);
+            prop_assert_eq!(r.len(), s.len(p));
+            prop_assert_eq!(s.is_empty(p), r.is_empty());
+            seen.extend(r);
+        }
+        // No dropped or duplicated sample, order preserved.
+        prop_assert_eq!(seen, (0..total).collect::<Vec<_>>());
+        let sizes: Vec<usize> = (0..parts).map(|p| s.len(p)).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced shards: {:?}", sizes);
+    }
+
+    /// Sharding an actual LM batch moves every (t, lane) cell into exactly
+    /// one shard, unchanged, including when replicas exceed lanes.
+    #[test]
+    fn lm_batch_sharding_loses_no_cell(
+        lanes in 1usize..12, seq in 1usize..6, parts in 1usize..16, seed in 0u64..100,
+    ) {
+        let corpus = LmCorpus::synthetic(Vocab::new(30), lanes * (seq + 2), 0.5, seed);
+        let Some(batch) = BpttBatches::new(corpus.tokens(), lanes, seq).next() else {
+            // Stream too short for a full window — nothing to shard.
+            return Ok(());
+        };
+        let shards = shard_lm_batch(&batch, parts);
+        prop_assert_eq!(shards.len(), parts);
+        prop_assert_eq!(shards.iter().map(|s| s.batch).sum::<usize>(), lanes);
+        let mut lane = 0usize;
+        for shard in &shards {
+            prop_assert_eq!(shard.seq_len, seq);
+            for b in 0..shard.batch {
+                for t in 0..seq {
+                    prop_assert_eq!(
+                        shard.input.data()[t * shard.batch + b],
+                        batch.input.data()[t * batch.batch + lane + b]
+                    );
+                    prop_assert_eq!(
+                        shard.targets.data()[t * shard.batch + b],
+                        batch.targets.data()[t * batch.batch + lane + b]
+                    );
+                }
+            }
+            lane += shard.batch;
+        }
     }
 
     /// Zipf structure: rank-0 words are at least as frequent as deep-tail

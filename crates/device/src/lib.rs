@@ -35,9 +35,11 @@
 #![warn(missing_docs)]
 
 pub mod kernel;
+pub mod scaling;
 pub mod sim;
 pub mod spec;
 
 pub use kernel::{KernelCategory, KernelCost};
+pub use scaling::{CommModel, ScalingPoint, ScalingReport};
 pub use sim::{ApiStats, DeviceSim, KernelRecord, TraceSummary};
 pub use spec::DeviceSpec;

@@ -1,0 +1,237 @@
+//! Multi-GPU scaling projection from per-replica simulated step times.
+//!
+//! The paper's multi-GPU evaluation ([§6.6], Figure 17) reports
+//! throughput at 1–4 GPUs with gradients all-reduced every step. The
+//! host-side data-parallel trainer measures each replica's *simulated*
+//! compute time per step; this module folds those measurements together
+//! with an analytic interconnect model into the projected step time of a
+//! synchronous data-parallel system:
+//!
+//! ```text
+//! step(K) = max_r compute_ns(r) + all_reduce_ns(grad_bytes, K)
+//! ```
+//!
+//! The all-reduce term mirrors the trainer's binary-tree topology: a
+//! `log2 K`-level reduce followed by a `log2 K`-level broadcast, each
+//! level moving the full gradient payload across one link. A ring model
+//! is also provided for comparison (it is bandwidth-optimal but pays
+//! `2(K-1)` latency hops).
+//!
+//! [§6.6]: https://arxiv.org/abs/1805.08899
+
+use serde::Serialize;
+use std::fmt;
+
+/// An interconnect: point-to-point bandwidth plus per-transfer latency.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CommModel {
+    /// Effective point-to-point bandwidth in bytes per second.
+    pub link_bandwidth: f64,
+    /// Per-transfer fixed cost in nanoseconds (driver + DMA setup).
+    pub latency_ns: u64,
+}
+
+impl CommModel {
+    /// PCIe 3.0 x16 as on the paper's single-machine testbed:
+    /// ~12 GB/s effective, ~10 µs per transfer.
+    pub fn pcie_gen3() -> Self {
+        CommModel {
+            link_bandwidth: 12.0e9,
+            latency_ns: 10_000,
+        }
+    }
+
+    /// NVLink-class interconnect: ~150 GB/s effective, ~5 µs.
+    pub fn nvlink() -> Self {
+        CommModel {
+            link_bandwidth: 150.0e9,
+            latency_ns: 5_000,
+        }
+    }
+
+    /// One point-to-point transfer of `bytes`.
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        self.latency_ns + (bytes as f64 / self.link_bandwidth * 1e9).ceil() as u64
+    }
+
+    /// Binary-tree all-reduce of `bytes` across `replicas` devices:
+    /// `log2 K` reduce levels plus `log2 K` broadcast levels, each
+    /// moving the full payload. Zero for a single replica.
+    pub fn tree_all_reduce_ns(&self, bytes: u64, replicas: usize) -> u64 {
+        assert!(replicas > 0, "at least one replica");
+        let levels = replicas.next_power_of_two().trailing_zeros() as u64;
+        2 * levels * self.transfer_ns(bytes)
+    }
+
+    /// Ring all-reduce of `bytes` across `replicas` devices:
+    /// bandwidth-optimal `2(K-1)/K · bytes` on the wire, `2(K-1)`
+    /// latency hops. Zero for a single replica.
+    pub fn ring_all_reduce_ns(&self, bytes: u64, replicas: usize) -> u64 {
+        assert!(replicas > 0, "at least one replica");
+        if replicas == 1 {
+            return 0;
+        }
+        let hops = 2 * (replicas as u64 - 1);
+        let chunk = (bytes as f64 / replicas as f64).ceil() as u64;
+        hops * self.transfer_ns(chunk)
+    }
+}
+
+/// The projected behaviour of one replica count.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingPoint {
+    /// Device count.
+    pub replicas: usize,
+    /// Slowest replica's simulated compute time per step.
+    pub compute_ns: u64,
+    /// Tree all-reduce time per step.
+    pub comm_ns: u64,
+    /// `compute + comm`.
+    pub step_ns: u64,
+    /// Serial step time divided by this step time.
+    pub speedup: f64,
+    /// `speedup / replicas`.
+    pub efficiency: f64,
+}
+
+/// A table of [`ScalingPoint`]s against a fixed serial baseline —
+/// the repo's analogue of the paper's Figure 17.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingReport {
+    /// Simulated single-replica, full-batch step time.
+    pub serial_step_ns: u64,
+    /// Bytes all-reduced per step (sum of gradient tensor sizes).
+    pub grad_bytes: u64,
+    /// Interconnect model used for the communication term.
+    pub comm: CommModel,
+    /// Measured points, in insertion order.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingReport {
+    /// Starts an empty report against a serial baseline.
+    pub fn new(serial_step_ns: u64, grad_bytes: u64, comm: CommModel) -> Self {
+        ScalingReport {
+            serial_step_ns,
+            grad_bytes,
+            comm,
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds a measurement: the per-replica simulated compute times of
+    /// one (averaged) step at `per_replica_ns.len()` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_replica_ns` is empty.
+    pub fn push_measurement(&mut self, per_replica_ns: &[u64]) {
+        let replicas = per_replica_ns.len();
+        assert!(replicas > 0, "at least one replica measurement");
+        let compute_ns = *per_replica_ns.iter().max().expect("non-empty");
+        let comm_ns = if replicas == 1 {
+            0
+        } else {
+            self.comm.tree_all_reduce_ns(self.grad_bytes, replicas)
+        };
+        let step_ns = compute_ns + comm_ns;
+        let speedup = self.serial_step_ns as f64 / step_ns.max(1) as f64;
+        self.points.push(ScalingPoint {
+            replicas,
+            compute_ns,
+            comm_ns,
+            step_ns,
+            speedup,
+            efficiency: speedup / replicas as f64,
+        });
+    }
+}
+
+impl fmt::Display for ScalingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serial step {:.3} ms | all-reduce payload {:.2} MiB | link {:.0} GB/s + {} us",
+            self.serial_step_ns as f64 * 1e-6,
+            self.grad_bytes as f64 / (1 << 20) as f64,
+            self.comm.link_bandwidth * 1e-9,
+            self.comm.latency_ns / 1000,
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>12} {:>12} {:>12} {:>9} {:>11}",
+            "gpus", "compute(ms)", "comm(ms)", "step(ms)", "speedup", "efficiency"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>8} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x {:>10.0}%",
+                p.replicas,
+                p.compute_ns as f64 * 1e-6,
+                p.comm_ns as f64 * 1e-6,
+                p.step_ns as f64 * 1e-6,
+                p.speedup,
+                p.efficiency * 100.0,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_combines_latency_and_bandwidth() {
+        let m = CommModel {
+            link_bandwidth: 1e9,
+            latency_ns: 1_000,
+        };
+        // 1 GB at 1 GB/s = 1 s plus latency.
+        assert_eq!(m.transfer_ns(1_000_000_000), 1_000_000_000 + 1_000);
+    }
+
+    #[test]
+    fn tree_all_reduce_scales_with_levels() {
+        let m = CommModel {
+            link_bandwidth: 1e9,
+            latency_ns: 0,
+        };
+        let one = m.tree_all_reduce_ns(1_000, 2);
+        assert_eq!(m.tree_all_reduce_ns(1_000, 4), 2 * one);
+        assert_eq!(m.tree_all_reduce_ns(1_000, 1), 0);
+    }
+
+    #[test]
+    fn ring_beats_tree_on_bandwidth_at_scale() {
+        let m = CommModel {
+            link_bandwidth: 12e9,
+            latency_ns: 0,
+        };
+        let bytes = 100 << 20;
+        assert!(m.ring_all_reduce_ns(bytes, 8) < m.tree_all_reduce_ns(bytes, 8));
+    }
+
+    #[test]
+    fn report_computes_speedup_against_serial() {
+        let mut r = ScalingReport::new(
+            8_000_000,
+            1 << 20,
+            CommModel {
+                link_bandwidth: 1e12,
+                latency_ns: 0,
+            },
+        );
+        r.push_measurement(&[8_000_000]);
+        r.push_measurement(&[4_000_000, 4_100_000]);
+        assert_eq!(r.points[0].comm_ns, 0);
+        assert!((r.points[0].speedup - 1.0).abs() < 1e-9);
+        // Max over replicas is the critical path.
+        assert_eq!(r.points[1].compute_ns, 4_100_000);
+        assert!(r.points[1].speedup > 1.5 && r.points[1].speedup < 2.0);
+        assert!(r.points[1].efficiency < 1.0);
+        // The table renders one row per point.
+        assert_eq!(r.to_string().lines().count(), 2 + r.points.len());
+    }
+}

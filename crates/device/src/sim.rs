@@ -185,7 +185,7 @@ impl DeviceSim {
         let end_ns = start_ns + duration;
 
         // Energy: idle gap then busy kernel.
-        let gap_ns = start_ns.saturating_sub(self.last_kernel_end_ns.max(0));
+        let gap_ns = start_ns.saturating_sub(self.last_kernel_end_ns);
         self.energy_j += self.spec.idle_power_w * gap_ns as f64 * 1e-9;
         let eff = self.spec.compute_efficiency(cost.parallelism);
         let t_compute = cost.flops as f64 / (self.spec.peak_flops * eff) * 1e9;

@@ -176,13 +176,92 @@ impl Executor {
 
     /// Visits every `(param_id, value, grad)` triple mutably, for
     /// optimizers.
+    ///
+    /// Visit order is ascending [`NodeId`], not hash order: optimizers
+    /// accumulate reductions (e.g. the clip-norm sum) while visiting, and
+    /// float addition is non-associative, so a hash-ordered walk would
+    /// give different executors bitwise-different updates for identical
+    /// gradients. Data-parallel replicas rely on this order being fixed.
     pub fn for_each_param_grad(&mut self, mut f: impl FnMut(NodeId, &mut Tensor, &mut Tensor)) {
+        let mut ids: Vec<NodeId> = self.params.keys().copied().collect();
+        ids.sort_unstable();
         let grads = &mut self.grads;
-        for (&id, value) in self.params.iter_mut() {
-            if let Some(grad) = grads.get_mut(&id) {
+        for id in ids {
+            if let (Some(value), Some(grad)) = (self.params.get_mut(&id), grads.get_mut(&id)) {
                 f(id, value, grad);
             }
         }
+    }
+
+    /// The bound parameter ids in ascending order.
+    pub fn param_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.params.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Snapshots every bound parameter value, sorted by id.
+    pub fn export_params(&self) -> Vec<(NodeId, Tensor)> {
+        let mut out: Vec<(NodeId, Tensor)> =
+            self.params.iter().map(|(&id, t)| (id, t.clone())).collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Overwrites bound parameter values from a snapshot (ids that are
+    /// not bound here are ignored). Used to broadcast updated weights to
+    /// data-parallel replicas.
+    pub fn import_params(&mut self, snapshot: &[(NodeId, Tensor)]) {
+        for (id, tensor) in snapshot {
+            if let Some(value) = self.params.get_mut(id) {
+                *value = tensor.clone();
+            }
+        }
+    }
+
+    /// Snapshots every parameter gradient, sorted by id.
+    pub fn export_grads(&self) -> Vec<(NodeId, Tensor)> {
+        let mut out: Vec<(NodeId, Tensor)> =
+            self.grads.iter().map(|(&id, t)| (id, t.clone())).collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Overwrites parameter gradients from a snapshot, e.g. with the
+    /// result of an all-reduce before an optimizer step.
+    pub fn import_grads(&mut self, snapshot: &[(NodeId, Tensor)]) {
+        for (id, tensor) in snapshot {
+            if let Some(grad) = self.grads.get_mut(id) {
+                *grad = tensor.clone();
+            }
+        }
+    }
+
+    /// Clones this executor into its own [`DeviceMemory`]: same graph
+    /// (shared), same stash plan, and a deep copy of every bound
+    /// parameter (values and zeroed gradients re-allocated in `mem`).
+    /// This is how data-parallel replicas are born.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `mem` cannot hold the parameter set.
+    pub fn clone_replica(&self, mem: DeviceMemory) -> Result<Executor> {
+        let mut replica = Executor::new(self.graph.clone(), self.plan.clone(), mem);
+        for id in self.param_ids() {
+            replica.bind_param(id, self.params[&id].clone())?;
+        }
+        // Symbolic-only bindings (shape, no value).
+        let mut shape_only: Vec<NodeId> = self
+            .param_shapes
+            .keys()
+            .filter(|id| !self.params.contains_key(id))
+            .copied()
+            .collect();
+        shape_only.sort_unstable();
+        for id in shape_only {
+            replica.bind_param_shape(id, self.param_shapes[&id].clone())?;
+        }
+        Ok(replica)
     }
 
     /// Zeroes all parameter gradients.

@@ -15,12 +15,16 @@
 
 pub mod metrics;
 pub mod nmt;
+pub mod parallel;
 pub mod resnet;
 pub mod trainer;
 pub mod word_lm;
 
 pub use metrics::{bleu, perplexity};
 pub use nmt::{NmtHyper, NmtModel};
+pub use parallel::{
+    DataParallelOptions, MicrobatchTrainer, ParallelTrainer, ReplicaStepStats, StepReport,
+};
 pub use resnet::{resnet50_iteration_ns, resnet50_memory_bytes};
-pub use trainer::{Adam, Sgd, Speedometer, TrainLog};
+pub use trainer::{Adam, Optimizer, Sgd, Speedometer, TrainLog};
 pub use word_lm::{WordLm, WordLmHyper};

@@ -697,7 +697,10 @@ mod tests {
         let mut sgd = crate::trainer::Sgd::new(1.0).with_clip_norm(5.0);
         let mut first = None;
         let mut last = 0.0;
-        for _epoch in 0..4 {
+        // Five epochs: enough budget that the "markedly" threshold below
+        // holds with margin for any reasonable seeded init stream, not
+        // just one specific RNG implementation's output.
+        for _epoch in 0..5 {
             for batch in &batches {
                 let stats = exec
                     .train_step(

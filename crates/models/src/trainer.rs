@@ -5,6 +5,30 @@ use echo_graph::{Executor, NodeId};
 use echo_tensor::{kernels, Tensor};
 use std::collections::HashMap;
 
+/// A parameter-update rule over an executor's accumulated gradients.
+///
+/// Both the serial training loops and the data-parallel
+/// [`crate::parallel::ParallelTrainer`] (where the optimizer runs on rank
+/// 0 after the gradient all-reduce) drive optimizers through this trait.
+/// `Send` is required so rank 0's worker thread can own the state.
+pub trait Optimizer: Send {
+    /// Applies one update to every parameter of `exec` from its
+    /// accumulated gradients. Returns the pre-clip gradient norm.
+    fn apply(&mut self, exec: &mut Executor) -> f64;
+}
+
+impl Optimizer for Sgd {
+    fn apply(&mut self, exec: &mut Executor) -> f64 {
+        self.step(exec)
+    }
+}
+
+impl Optimizer for Adam {
+    fn apply(&mut self, exec: &mut Executor) -> f64 {
+        self.step(exec)
+    }
+}
+
 /// SGD with optional momentum and global-norm gradient clipping — the
 /// optimizer used by the MXNet word-LM example and (modulo Adam) close
 /// enough to Sockeye's for curve-shape purposes.

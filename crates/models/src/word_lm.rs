@@ -57,7 +57,7 @@ impl WordLmHyper {
 }
 
 /// A built word-level LM graph plus node handles.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WordLm {
     /// The model graph.
     pub graph: Arc<Graph>,

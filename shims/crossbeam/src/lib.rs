@@ -1,0 +1,266 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Two submodules are provided: `thread` (scoped threads, a thin
+//! wrapper over `std::thread::scope` with crossbeam's closure-take-scope
+//! signature) and `channel` (cloneable MPMC channels built on a
+//! `Mutex` + `Condvar` queue with sender/receiver disconnection
+//! tracking).
+
+pub mod thread {
+    /// Result of a scope: `Err` would carry a child panic payload in the
+    /// real crate. The std backend re-raises child panics when the scope
+    /// unwinds, so a returned value is always `Ok` here — callers that
+    /// `.expect()` observe the same behavior either way.
+    pub type Result<T> = std::thread::Result<T>;
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again
+        /// (crossbeam's signature, allowing nested spawns); callers that
+        /// don't nest just ignore the argument.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Sending on a channel with no remaining receivers returns the
+    /// message back. Like upstream crossbeam, `Debug` does not require
+    /// `T: Debug` (the payload is elided).
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Receiving from an empty channel with no remaining senders fails.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: Option<usize>,
+    }
+
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let shared = &self.0;
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match shared.capacity {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = shared.not_full.wait(st).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let shared = &self.0;
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = shared.not_empty.wait(st).unwrap();
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let shared = &self.0;
+            let mut st = shared.state.lock().unwrap();
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking iterator: yields until all senders disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Wake receivers blocked on an empty queue so they can
+                // observe the disconnect.
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// A bounded channel; capacity 0 is treated as capacity 1 rather
+    /// than implementing rendezvous semantics.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(capacity.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn mpmc_fan_in_fan_out() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        std::thread::spawn(move || {
+            for i in 0..50 {
+                tx.send(i).unwrap();
+            }
+        });
+        std::thread::spawn(move || {
+            for i in 50..100 {
+                tx2.send(i).unwrap();
+            }
+        });
+        let h = std::thread::spawn(move || rx2.iter().count());
+        let mine = rx.iter().count();
+        assert_eq!(mine + h.join().unwrap(), 100);
+    }
+
+    #[test]
+    fn disconnect_is_observable() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,484 @@
+//! Offline shim for the `serde` crate.
+//!
+//! Instead of the real crate's visitor-based data model, this shim
+//! serializes through an owned JSON [`Value`] tree: `Serialize` lowers
+//! a type to a `Value`, `Deserialize` raises one back. The derive
+//! macros (re-exported from the local `serde_derive` shim) generate
+//! those impls for named structs, tuple structs, and unit-variant
+//! enums. Output is self-consistent — everything this workspace writes
+//! it can read back — which is all the repository requires.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+/// A JSON number, kept in its native width so integers round-trip
+/// exactly (bytes counts in this workspace exceed `f64`'s 53-bit
+/// integer range in principle).
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+}
+
+impl PartialEq for Number {
+    /// Numeric equality across variants: `I64(2)` written as `"2"` parses
+    /// back as `U64(2)`, and the two must still compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        use Number::*;
+        match (*self, *other) {
+            (U64(a), U64(b)) => a == b,
+            (I64(a), I64(b)) => a == b,
+            (F64(a), F64(b)) => a == b,
+            (U64(a), I64(b)) | (I64(b), U64(a)) => b >= 0 && a == b as u64,
+            (U64(a), F64(b)) | (F64(b), U64(a)) => b == a as f64,
+            (I64(a), F64(b)) | (F64(b), I64(a)) => b == a as f64,
+        }
+    }
+}
+
+/// Object storage. A `BTreeMap` keeps key order deterministic so
+/// serialized output is stable run to run.
+pub type Map = BTreeMap<String, Value>;
+
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn from_json_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Free-function form used by generated code and by `serde_json`.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Looks up and deserializes one struct field; used by generated code.
+pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    match value {
+        Value::Object(map) => match map.get(name) {
+            Some(v) => T::from_json_value(v).map_err(|e| Error(format!("field `{name}`: {}", e.0))),
+            // A missing key deserializes like an explicit null so that
+            // `Option` fields tolerate omission.
+            None => T::from_json_value(&Value::Null)
+                .map_err(|_| Error(format!("missing field `{name}`"))),
+        },
+        other => Err(Error(format!(
+            "expected object with field `{name}`, got {}",
+            kind_name(other)
+        ))),
+    }
+}
+
+/// Deserializes element `index` of a tuple struct; used by generated code.
+pub fn element<T: Deserialize>(value: &Value, index: usize) -> Result<T, Error> {
+    match value {
+        Value::Array(items) => match items.get(index) {
+            Some(v) => T::from_json_value(v),
+            None => Err(Error(format!("missing tuple element {index}"))),
+        },
+        other => Err(Error(format!("expected array, got {}", kind_name(other)))),
+    }
+}
+
+pub fn kind_name(value: &Value) -> &'static str {
+    match value {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F64(v)) => Some(*v),
+            Value::Number(Number::U64(v)) => Some(*v as f64),
+            Value::Number(Number::I64(v)) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v),
+            Value::Number(Number::I64(v)) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v),
+            Value::Number(Number::U64(v)) if *v <= i64::MAX as u64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error(format!("expected bool, got {}", kind_name(value))))
+    }
+}
+
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_u64().ok_or_else(|| {
+                    Error(format!("expected unsigned integer, got {}", kind_name(value)))
+                })?;
+                <$t>::try_from(raw).map_err(|_| Error(format!("{raw} overflows")))
+            }
+        }
+    )*};
+}
+
+uint_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! sint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_i64().ok_or_else(|| {
+                    Error(format!("expected integer, got {}", kind_name(value)))
+                })?;
+                <$t>::try_from(raw).map_err(|_| Error(format!("{raw} overflows")))
+            }
+        }
+    )*};
+}
+
+sint_impls!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error(format!("expected number, got {}", kind_name(value))))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        f64::from_json_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error(format!("expected string, got {}", kind_name(value))))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error(format!("expected array, got {}", kind_name(other)))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![to_value(&self.0), to_value(&self.1)])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) if items.len() == 2 => Ok((
+                A::from_json_value(&items[0])?,
+                B::from_json_value(&items[1])?,
+            )),
+            other => Err(Error(format!(
+                "expected 2-element array, got {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![
+            to_value(&self.0),
+            to_value(&self.1),
+            to_value(&self.2),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_json_value(&items[0])?,
+                B::from_json_value(&items[1])?,
+                C::from_json_value(&items[2])?,
+            )),
+            other => Err(Error(format!(
+                "expected 3-element array, got {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+/// Serializes a map key: JSON object keys must be strings, so the key's
+/// own serialization must produce one (strings and unit-enum variants do).
+fn key_string<K: Serialize>(key: &K) -> String {
+    match key.to_json_value() {
+        Value::String(s) => s,
+        other => panic!(
+            "map key must serialize to a string, got {}",
+            kind_name(&other)
+        ),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k), to_value(v)))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| {
+                    let key = K::from_json_value(&Value::String(k.clone()))?;
+                    Ok((key, V::from_json_value(v)?))
+                })
+                .collect(),
+            other => Err(Error(format!("expected object, got {}", kind_name(other)))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k), to_value(v)))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| {
+                    let key = K::from_json_value(&Value::String(k.clone()))?;
+                    Ok((key, V::from_json_value(v)?))
+                })
+                .collect(),
+            other => Err(Error(format!("expected object, got {}", kind_name(other)))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0u64, 1, u64::MAX] {
+            assert_eq!(u64::from_json_value(&v.to_json_value()).unwrap(), v);
+        }
+        assert_eq!(f64::from_json_value(&1.5f64.to_json_value()).unwrap(), 1.5);
+        assert_eq!(Option::<u32>::from_json_value(&Value::Null).unwrap(), None);
+        let pairs = vec![(1u32, 2u64), (3, 4)];
+        let back: Vec<(u32, u64)> = Deserialize::from_json_value(&pairs.to_json_value()).unwrap();
+        assert_eq!(back, pairs);
+    }
+
+    #[test]
+    fn maps_use_string_keys() {
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), 1u32);
+        let v = m.to_json_value();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        let back: HashMap<String, u32> = Deserialize::from_json_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,309 @@
+//! Offline shim for the `serde_derive` proc-macro crate.
+//!
+//! The real crate parses items with `syn`; neither `syn` nor `quote`
+//! is available offline, so this shim walks the raw `TokenStream` by
+//! hand and emits the generated impls as source text (parsed back via
+//! `str::parse`). Supported shapes — the only ones this workspace
+//! derives on:
+//!
+//! - named-field structs, honoring `#[serde(skip)]` (skipped on
+//!   serialize, `Default::default()` on deserialize)
+//! - tuple structs (newtypes serialize as their inner value, wider
+//!   tuples as arrays)
+//! - enums whose variants are all unit variants (serialized as the
+//!   variant-name string)
+//!
+//! Generics are not supported and produce a compile error naming the
+//! offending type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut lines = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                lines.push_str(&format!(
+                    "map.insert(::std::string::String::from(\"{0}\"), \
+                     ::serde::to_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut map = ::serde::Map::new();\n{lines}\
+                 ::serde::Value::Object(map)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{}::{v} => \"{v}\"", item.name))
+                .collect();
+            format!(
+                "::serde::Value::String(::std::string::String::from(match self {{\n{}\n}}))",
+                arms.join(",\n")
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        item.name
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else {
+                        format!("{0}: ::serde::field(value, \"{0}\")?", f.name)
+                    }
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{\n{}\n}})",
+                inits.join(",\n")
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(value)?))"
+        ),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::element(value, {i})?"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{}\n,\n\
+                 other => ::std::result::Result::Err(::serde::Error(format!(\n\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}},\n\
+                 other => ::std::result::Result::Err(::serde::Error(format!(\n\
+                 \"expected string for {name}, got {{}}\", ::serde::kind_name(other)))),\n}}",
+                arms.join(",\n")
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n",
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility ahead of the item keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            other => panic!("serde_derive: unexpected token before item keyword: {other:?}"),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    let group = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde_derive: expected item body for `{name}`, got {other:?}"),
+    };
+
+    let shape = match (kind.as_str(), group.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(parse_named_fields(group.stream())),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(count_tuple_fields(group.stream())),
+        ("enum", Delimiter::Brace) => Shape::UnitEnum(parse_unit_variants(group.stream(), &name)),
+        other => panic!("serde_derive: unsupported item shape for `{name}`: {other:?}"),
+    };
+    Item { name, shape }
+}
+
+/// Parses `{ attr* vis? name: Type, ... }`, detecting `#[serde(skip)]`.
+/// Commas inside generic arguments (`HashMap<K, V>`) are skipped by
+/// tracking angle-bracket depth — generics are token soup, not groups.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        // Attributes.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                skip |= attr_is_serde_skip(g.stream());
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Consume the type up to the next depth-0 comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0;
+    let mut pending = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    fields + usize::from(pending)
+}
+
+/// Parses `{ attr* Name, attr* Name = disc, ... }`; any variant payload
+/// is a hard error since data-carrying variants have no obvious JSON
+/// mapping in this shim.
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name in `{enum_name}`, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Skip the discriminant expression.
+                i += 1;
+                while let Some(tok) = tokens.get(i) {
+                    i += 1;
+                    if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive shim: enum `{enum_name}` variant `{name}` carries data; \
+                 only unit variants are supported"
+            ),
+            other => panic!("serde_derive: unexpected token after variant `{name}`: {other:?}"),
+        }
+        variants.push(name);
+    }
+    variants
+}

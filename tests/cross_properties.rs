@@ -144,12 +144,8 @@ fn chen_plans_are_bit_exact_for_any_stride() {
     };
     let (base_loss, base_peak) = run(StashPlan::stash_all());
     for stride in [3usize, 7, 20, 60] {
-        let (plan, _) = echo::chen_sqrt_plan(
-            &model.graph,
-            &shapes,
-            &[model.loss, model.logits],
-            stride,
-        );
+        let (plan, _) =
+            echo::chen_sqrt_plan(&model.graph, &shapes, &[model.loss, model.logits], stride);
         let (loss, peak) = run(plan);
         assert_eq!(base_loss, loss, "stride {stride}");
         assert!(peak <= base_peak, "stride {stride}: {peak} > {base_peak}");

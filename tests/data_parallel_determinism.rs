@@ -1,0 +1,179 @@
+//! The data-parallel headline invariant: for the same global batch,
+//! seed, and optimizer, training with `K ∈ {1, 2, 4}` replicas is
+//! **bit-exact** equal to the serial micro-batch reference — per-step
+//! losses, gradient norms, and every final parameter — with the Echo
+//! pass both off (stash-all) and on, and under a recomputation-heavy
+//! Chen √N plan (so segment replays are also covered by the invariant).
+
+use echo::analysis::infer_shapes;
+use echo::{chen_sqrt_plan, sqrt_stride, EchoCompiler, EchoConfig};
+use echo_data::{BpttBatches, LmBatch, LmCorpus, Vocab};
+use echo_graph::{Executor, StashPlan};
+use echo_memory::DeviceMemory;
+use echo_models::{
+    DataParallelOptions, MicrobatchTrainer, ParallelTrainer, Sgd, WordLm, WordLmHyper,
+};
+use echo_rnn::LstmBackend;
+use std::sync::Arc;
+
+const LANES: usize = 8;
+const MICRO: usize = 4;
+const STEPS: usize = 2;
+const PARAM_SEED: u64 = 11;
+
+fn mem() -> DeviceMemory {
+    DeviceMemory::with_overhead_model(1 << 30, 0, 0.0)
+}
+
+fn model() -> WordLm {
+    WordLm::build(WordLmHyper::tiny(40, LstmBackend::CuDnn))
+}
+
+fn batches(lm: &WordLm) -> Vec<LmBatch> {
+    let corpus = LmCorpus::synthetic(Vocab::new(40), 2400, 0.9, 7);
+    BpttBatches::new(corpus.tokens(), LANES, lm.hyper.seq_len)
+        .take(STEPS)
+        .collect()
+}
+
+fn optimizer() -> Sgd {
+    Sgd::new(0.5).with_momentum(0.9).with_clip_norm(5.0)
+}
+
+fn template(lm: &WordLm, plan: &StashPlan) -> Executor {
+    let mut exec = Executor::new(Arc::clone(&lm.graph), plan.clone(), mem());
+    lm.bind_params(&mut exec, PARAM_SEED).expect("bind");
+    exec
+}
+
+/// The stash plans the invariant must hold under: Echo off, the Echo
+/// pass's own output for this graph, and a Chen √N plan that forces
+/// genuine segment replays during backward.
+fn plans(lm: &WordLm) -> Vec<(&'static str, StashPlan)> {
+    let compiled = EchoCompiler::new(EchoConfig::default())
+        .compile(
+            &lm.graph,
+            &lm.symbolic_bindings(LANES / MICRO),
+            &lm.param_shapes(),
+            &[lm.loss, lm.logits],
+        )
+        .expect("echo compile");
+    let shapes = infer_shapes(
+        &lm.graph,
+        &lm.symbolic_bindings(LANES / MICRO),
+        &lm.param_shapes(),
+    )
+    .expect("shapes");
+    let (chen, _) = chen_sqrt_plan(
+        &lm.graph,
+        &shapes,
+        &[lm.loss, lm.logits],
+        sqrt_stride(&lm.graph),
+    );
+    vec![
+        ("echo-off", StashPlan::stash_all()),
+        ("echo-on", compiled.plan),
+        ("chen-sqrt", chen),
+    ]
+}
+
+/// Runs the serial micro-batch reference and returns its per-step
+/// fingerprints plus final parameters.
+fn serial_run(lm: &WordLm, plan: &StashPlan) -> (Vec<(u32, u64)>, Vec<Vec<u32>>) {
+    let mut trainer = MicrobatchTrainer::for_word_lm(
+        lm,
+        template(lm, plan),
+        LANES,
+        MICRO,
+        Box::new(optimizer()),
+        None,
+    )
+    .expect("serial trainer");
+    let mut fingerprints = Vec::new();
+    for batch in batches(lm) {
+        let report = trainer.step(&batch).expect("serial step");
+        fingerprints.push((report.loss.to_bits(), report.grad_norm.to_bits()));
+    }
+    (fingerprints, param_bits(&trainer.export_params()))
+}
+
+fn param_bits(params: &[(echo_graph::NodeId, echo_tensor::Tensor)]) -> Vec<Vec<u32>> {
+    params
+        .iter()
+        .map(|(_, t)| t.data().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn parallel_training_is_bit_exact_for_every_replica_count() {
+    let lm = model();
+    for (plan_name, plan) in plans(&lm) {
+        let (serial_fp, serial_params) = serial_run(&lm, &plan);
+        for replicas in [1usize, 2, 4] {
+            let mut trainer = ParallelTrainer::for_word_lm(
+                &lm,
+                &template(&lm, &plan),
+                LANES,
+                &DataParallelOptions::new(replicas, MICRO),
+                Box::new(optimizer()),
+            )
+            .expect("parallel trainer");
+            let mut saw_replays = 0u64;
+            for (step, batch) in batches(&lm).iter().enumerate() {
+                let report = trainer.step(batch);
+                saw_replays += report.replicas.iter().map(|r| r.replays).sum::<u64>();
+                assert_eq!(
+                    (report.loss.to_bits(), report.grad_norm.to_bits()),
+                    serial_fp[step],
+                    "{plan_name}: step {step} diverged at K={replicas} \
+                     (loss {} vs serial)",
+                    report.loss,
+                );
+            }
+            // Every replica must hold the exact serial parameters — the
+            // broadcast keeps the fleet in lockstep.
+            for r in 0..replicas {
+                assert_eq!(
+                    param_bits(&trainer.export_replica_params(r)),
+                    serial_params,
+                    "{plan_name}: K={replicas} replica {r} parameters diverged"
+                );
+            }
+            // The Chen plan must actually exercise recomputation, or the
+            // replay half of the invariant is vacuous.
+            if plan_name == "chen-sqrt" {
+                assert!(saw_replays > 0, "chen plan produced no replays");
+            }
+        }
+    }
+}
+
+/// Degenerate-but-legal configurations stay well-behaved, and illegal
+/// ones fail fast with a diagnostic instead of deadlocking the fleet.
+#[test]
+fn parallel_trainer_rejects_unsupported_layouts() {
+    let lm = model();
+    let plan = StashPlan::stash_all();
+    // 8 replicas over 4 leaves cannot own aligned subtrees.
+    let err = ParallelTrainer::for_word_lm(
+        &lm,
+        &template(&lm, &plan),
+        LANES,
+        &DataParallelOptions::new(8, MICRO),
+        Box::new(optimizer()),
+    )
+    .err()
+    .expect("must reject");
+    assert!(err.contains("replicas"), "unhelpful error: {err}");
+    // 3 micro-batches are not a power of two.
+    let err = ParallelTrainer::for_word_lm(
+        &lm,
+        &template(&lm, &plan),
+        LANES,
+        &DataParallelOptions::new(1, 3),
+        Box::new(optimizer()),
+    )
+    .err()
+    .expect("must reject");
+    assert!(err.contains("power of two"), "unhelpful error: {err}");
+}
