@@ -38,8 +38,10 @@
 
 pub mod alloc;
 pub mod profiler;
+pub mod scratch;
 pub mod workspace;
 
 pub use alloc::{Allocation, AllocationTag, DataStructureKind, DeviceMemory, LayerKind, OomError};
 pub use profiler::{BreakdownRow, MemoryBreakdown};
+pub use scratch::ScratchArena;
 pub use workspace::{WorkspaceLease, WorkspacePool};

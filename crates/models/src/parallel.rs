@@ -491,6 +491,15 @@ impl ParallelTrainer {
             ));
         }
 
+        // Warm the shared kernel worker pool before spawning replicas.
+        // Replica threads funnel every GEMM / element-wise kernel through
+        // this one pool instead of spawning their own threads per call, so
+        // K replicas contend for a fixed set of kernel lanes rather than
+        // oversubscribing the host with K × cores transient spawns; doing
+        // the lazy initialization here keeps it off the first step's
+        // critical path.
+        let _ = echo_tensor::pool::global();
+
         // Per-worker command channels and the shared completion channel.
         let (done_tx, done_rx) = unbounded::<WorkerDone>();
         let mut cmd_txs = Vec::with_capacity(replicas);

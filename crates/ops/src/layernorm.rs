@@ -1,4 +1,10 @@
 //! Layer normalization — part of the attention scoring composite.
+//!
+//! The forward kernel is row-banded over the shared kernel worker pool
+//! for large batches (bit-identical for any worker count); the backward
+//! kernel stays serial because `dgamma`/`dbeta` accumulate across rows
+//! and parallelizing them would change the FP accumulation order — see
+//! `echo_tensor::kernels::layer_norm_backward`.
 
 use echo_device::{KernelCategory, KernelCost};
 use echo_graph::{GraphError, KernelLaunch, Operator, Result, StashNeeds};

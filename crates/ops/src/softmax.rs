@@ -1,4 +1,9 @@
 //! Softmax operators: the attention-weight softmax and the output loss.
+//!
+//! Numerics delegate to `echo_tensor::kernels`, whose row-wise softmax
+//! (forward and backward) is banded over the shared kernel worker pool
+//! for large batches — each row is produced by exactly one band, so the
+//! results are bit-identical for any worker count.
 
 use echo_device::{KernelCategory, KernelCost};
 use echo_graph::{GraphError, KernelLaunch, Operator, Result, StashNeeds};

@@ -1,0 +1,382 @@
+//! Kernel and train-step benchmark harness — the perf trajectory anchor.
+//!
+//! Times the GEMM backends on LSTM-shaped products from the paper's
+//! configurations (word-LM: B=64, H=512 → 4H gate blocks; NMT: H=1024)
+//! plus end-to-end `word_lm`/`nmt` train steps under the naive-pinned and
+//! autotuned matmul policies, and writes `BENCH_kernels.json` at the repo
+//! root so every future PR can be compared against this baseline.
+//!
+//! Flags:
+//!
+//! * `--quick` — fewer reps / steps (the CI configuration);
+//! * `--gate`  — exit non-zero unless the packed-parallel kernel is at
+//!   least 2× the naive kernel on the large word-LM-shaped GEMM (a
+//!   coarse anti-regression gate).
+//!
+//! Every run also re-checks the bit-exactness contract (packed bands
+//! {1, 2, 4, 8} and end-to-end losses across policies) — a benchmark
+//! that silently changed numerics would be worse than a slow one.
+
+use echo_data::{BpttBatches, LmCorpus, NmtBatch, ParallelCorpus, Vocab};
+use echo_graph::{ExecOptions, Executor, StashPlan};
+use echo_memory::DeviceMemory;
+use echo_models::{NmtHyper, NmtModel, Sgd, WordLm, WordLmHyper};
+use echo_rnn::LstmBackend;
+use echo_tensor::init::{seeded_rng, uniform};
+use echo_tensor::{
+    gemm, gemm_packed_parallel, set_matmul_policy, MatViewMut, MatmulBackend, MatmulPolicy,
+    MatrixLayout, Shape,
+};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Median wall time of `reps` runs of `f`, in microseconds (one unmeasured
+/// warm-up run first).
+fn median_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    times[times.len() / 2]
+}
+
+struct GemmShapeResult {
+    name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    naive_us: f64,
+    blocked_us: f64,
+    packed_us: f64,
+}
+
+fn bench_gemm_shape(
+    name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    reps: usize,
+) -> GemmShapeResult {
+    let mut rng = seeded_rng(9);
+    let a = uniform(Shape::d2(m, k), 1.0, &mut rng);
+    let b = uniform(Shape::d2(k, n), 1.0, &mut rng);
+    let mut c = vec![0.0f32; m * n];
+    let ways = echo_tensor::pool::global().num_threads();
+
+    let naive_us = median_us(reps, || {
+        gemm::gemm(
+            1.0,
+            a.as_mat(),
+            b.as_mat(),
+            0.0,
+            &mut MatViewMut::new(&mut c, m, n, MatrixLayout::RowMajor),
+        )
+        .expect("gemm");
+    });
+    let blocked_us = median_us(reps, || {
+        gemm::gemm_blocked(
+            1.0,
+            a.as_mat(),
+            b.as_mat(),
+            0.0,
+            &mut MatViewMut::new(&mut c, m, n, MatrixLayout::RowMajor),
+        )
+        .expect("gemm");
+    });
+    let packed_us = median_us(reps, || {
+        gemm_packed_parallel(
+            1.0,
+            a.as_mat(),
+            b.as_mat(),
+            0.0,
+            &mut MatViewMut::new(&mut c, m, n, MatrixLayout::RowMajor),
+            ways,
+        )
+        .expect("gemm");
+    });
+    GemmShapeResult {
+        name,
+        m,
+        k,
+        n,
+        naive_us,
+        blocked_us,
+        packed_us,
+    }
+}
+
+/// Packed bands {1, 2, 4, 8} must produce the same bits on the big shape.
+fn check_band_bitexactness(m: usize, k: usize, n: usize) -> bool {
+    let mut rng = seeded_rng(17);
+    let a = uniform(Shape::d2(m, k), 1.0, &mut rng);
+    let b = uniform(Shape::d2(k, n), 1.0, &mut rng);
+    let mut reference = vec![0.0f32; m * n];
+    gemm::gemm(
+        1.0,
+        a.as_mat(),
+        b.as_mat(),
+        0.0,
+        &mut MatViewMut::new(&mut reference, m, n, MatrixLayout::RowMajor),
+    )
+    .expect("gemm");
+    for ways in [1usize, 2, 4, 8] {
+        let mut c = vec![0.0f32; m * n];
+        gemm_packed_parallel(
+            1.0,
+            a.as_mat(),
+            b.as_mat(),
+            0.0,
+            &mut MatViewMut::new(&mut c, m, n, MatrixLayout::RowMajor),
+            ways,
+        )
+        .expect("gemm");
+        if c.iter()
+            .zip(&reference)
+            .any(|(x, y)| x.to_bits() != y.to_bits())
+        {
+            return false;
+        }
+    }
+    true
+}
+
+fn mem() -> DeviceMemory {
+    DeviceMemory::with_overhead_model(4 << 30, 0, 0.0)
+}
+
+/// Times `steps` word-LM train steps under a policy; returns per-step
+/// milliseconds and per-step loss bits (fresh executor per call, so runs
+/// under different policies see identical work).
+fn word_lm_steps(policy: MatmulPolicy, steps: usize) -> (Vec<f64>, Vec<u32>) {
+    set_matmul_policy(policy);
+    let hyper = WordLmHyper {
+        vocab: 500,
+        embed: 128,
+        hidden: 256,
+        layers: 1,
+        seq_len: 16,
+        backend: LstmBackend::CuDnn,
+    };
+    let lm = WordLm::build(hyper);
+    let mut exec = Executor::new(Arc::clone(&lm.graph), StashPlan::stash_all(), mem());
+    lm.bind_params(&mut exec, 3).expect("bind");
+    let corpus = LmCorpus::synthetic(Vocab::new(500), 6000, 0.9, 5);
+    let batches: Vec<_> = BpttBatches::new(corpus.tokens(), 16, lm.hyper.seq_len)
+        .take(steps)
+        .collect();
+    let mut sgd = Sgd::new(0.5).with_clip_norm(5.0);
+    let mut step_ms = Vec::new();
+    let mut loss_bits = Vec::new();
+    for batch in &batches {
+        let start = Instant::now();
+        let stats = exec
+            .train_step(&lm.bindings(batch), lm.loss, ExecOptions::default(), None)
+            .expect("train step");
+        sgd.step(&mut exec);
+        step_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        loss_bits.push(stats.loss.expect("loss").to_bits());
+    }
+    (step_ms, loss_bits)
+}
+
+/// Same as [`word_lm_steps`] for the NMT model (encoder + attention
+/// decoder — the shape mix that stresses both GEMM and softmax paths).
+fn nmt_steps(policy: MatmulPolicy, steps: usize) -> (Vec<f64>, Vec<u32>) {
+    set_matmul_policy(policy);
+    let corpus = ParallelCorpus::synthetic(Vocab::new(120), Vocab::new(110), 400, 6..=10, 5);
+    let mut hyper = NmtHyper::tiny(corpus.src_vocab().size(), corpus.tgt_vocab().size());
+    hyper.hidden = 256;
+    hyper.embed = 128;
+    hyper.src_len = 10;
+    hyper.tgt_len = 11;
+    let model = NmtModel::build(hyper);
+    let mut exec = Executor::new(Arc::clone(&model.graph), StashPlan::stash_all(), mem());
+    model.bind_params(&mut exec, 2).expect("bind");
+    let batches: Vec<_> = NmtBatch::bucketed(corpus.pairs(), 16)
+        .into_iter()
+        .take(steps)
+        .collect();
+    let mut sgd = Sgd::new(1.0).with_clip_norm(5.0);
+    let mut step_ms = Vec::new();
+    let mut loss_bits = Vec::new();
+    for batch in &batches {
+        let start = Instant::now();
+        let stats = exec
+            .train_step(
+                &model.bindings(batch),
+                model.loss,
+                ExecOptions::default(),
+                None,
+            )
+            .expect("train step");
+        sgd.step(&mut exec);
+        step_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        loss_bits.push(stats.loss.expect("loss").to_bits());
+    }
+    (step_ms, loss_bits)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = args.iter().any(|a| a == "--gate");
+    let reps = if quick { 3 } else { 7 };
+    let steps = if quick { 3 } else { 6 };
+
+    let threads = echo_tensor::pool::global().num_threads();
+    println!("kernel worker pool: {threads} thread(s)");
+
+    // ---- GEMM shapes from the paper's LSTM configurations -------------
+    // word-LM (Zhu et al. setting): B=64, H=512 → the fused gate product
+    // is [B x H] · [H x 4H]. NMT: H=1024. The dW backward shape has the
+    // reduction over the batch. Attention scoring is a skinny product.
+    let shapes: Vec<(&'static str, usize, usize, usize)> = vec![
+        ("wordlm_gates_64x512x2048", 64, 512, 2048),
+        ("wordlm_dw_512x64x2048", 512, 64, 2048),
+        ("nmt_gates_64x1024x4096", 64, 1024, 4096),
+        ("attention_scores_64x1024x50", 64, 1024, 50),
+    ];
+    let mut gemm_rows = Vec::new();
+    let mut gemm_json = Vec::new();
+    let mut packed_speedups = Vec::new();
+    for &(name, m, k, n) in &shapes {
+        let r = bench_gemm_shape(name, m, k, n, reps);
+        let speedup_packed = r.naive_us / r.packed_us;
+        let speedup_blocked = r.naive_us / r.blocked_us;
+        packed_speedups.push(speedup_packed);
+        gemm_rows.push(vec![
+            r.name.to_string(),
+            format!("{:.0}", r.naive_us),
+            format!("{:.0}", r.blocked_us),
+            format!("{:.0}", r.packed_us),
+            format!("{speedup_packed:.2}x"),
+        ]);
+        gemm_json.push(json!({
+            "name": r.name,
+            "m": r.m, "k": r.k, "n": r.n,
+            "naive_us": r.naive_us,
+            "blocked_us": r.blocked_us,
+            "packed_us": r.packed_us,
+            "speedup_blocked_vs_naive": speedup_blocked,
+            "speedup_packed_vs_naive": speedup_packed,
+        }));
+    }
+    echo_repro::print_table(
+        "GEMM backends (median us)",
+        &["shape", "naive", "blocked", "packed", "packed-speedup"],
+        &gemm_rows,
+    );
+
+    // ---- Bit-exactness re-checks --------------------------------------
+    let bands_ok = check_band_bitexactness(64, 512, 2048);
+    assert!(bands_ok, "packed bands {{1,2,4,8}} diverged — numerics bug");
+
+    // ---- End-to-end train steps ---------------------------------------
+    let (lm_naive_ms, lm_naive_loss) =
+        word_lm_steps(MatmulPolicy::Fixed(MatmulBackend::Naive), steps);
+    let (lm_auto_ms, lm_auto_loss) = word_lm_steps(MatmulPolicy::Auto, steps);
+    assert_eq!(
+        lm_naive_loss, lm_auto_loss,
+        "word_lm losses diverged across matmul policies — numerics bug"
+    );
+    let (nmt_naive_ms, nmt_naive_loss) =
+        nmt_steps(MatmulPolicy::Fixed(MatmulBackend::Naive), steps);
+    let (nmt_auto_ms, nmt_auto_loss) = nmt_steps(MatmulPolicy::Auto, steps);
+    assert_eq!(
+        nmt_naive_loss, nmt_auto_loss,
+        "nmt losses diverged across matmul policies — numerics bug"
+    );
+    set_matmul_policy(MatmulPolicy::Auto);
+
+    let lm_speedup = mean(&lm_naive_ms) / mean(&lm_auto_ms);
+    let nmt_speedup = mean(&nmt_naive_ms) / mean(&nmt_auto_ms);
+    echo_repro::print_table(
+        "end-to-end train step (mean ms)",
+        &["model", "naive policy", "auto policy", "speedup"],
+        &[
+            vec![
+                "word_lm".into(),
+                format!("{:.1}", mean(&lm_naive_ms)),
+                format!("{:.1}", mean(&lm_auto_ms)),
+                format!("{lm_speedup:.2}x"),
+            ],
+            vec![
+                "nmt".into(),
+                format!("{:.1}", mean(&nmt_naive_ms)),
+                format!("{:.1}", mean(&nmt_auto_ms)),
+                format!("{nmt_speedup:.2}x"),
+            ],
+        ],
+    );
+
+    let autotune = echo_tensor::policy::autotune_outcome().map(|o| {
+        json!({
+            "chosen": o.chosen.name(),
+            "blocked_ns": o.blocked_ns,
+            "packed_ns": o.packed_ns,
+            "shape": [o.shape.0, o.shape.1, o.shape.2],
+            "measured": o.measured,
+        })
+    });
+
+    let out = json!({
+        "harness": "bench_kernels",
+        "quick": quick,
+        "pool_threads": threads,
+        "autotune": autotune,
+        "gemm": gemm_json,
+        "bitexact": {
+            "packed_bands_identical": bands_ok,
+            "word_lm_loss_bits_identical_across_policies": true,
+            "nmt_loss_bits_identical_across_policies": true,
+        },
+        "train_steps": {
+            "word_lm": {
+                "naive_ms": lm_naive_ms,
+                "auto_ms": lm_auto_ms,
+                "speedup": lm_speedup,
+                "loss_bits": lm_auto_loss,
+            },
+            "nmt": {
+                "naive_ms": nmt_naive_ms,
+                "auto_ms": nmt_auto_ms,
+                "speedup": nmt_speedup,
+                "loss_bits": nmt_auto_loss,
+            },
+        },
+    });
+
+    // BENCH_kernels.json lives at the repo root (not $ECHO_RESULTS_DIR):
+    // it is the cross-PR perf baseline, versioned alongside the code.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let path = root.join("BENCH_kernels.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&out).expect("json"))
+        .expect("write BENCH_kernels.json");
+    println!("wrote {}", path.display());
+
+    if gate {
+        let speedup = packed_speedups[0];
+        assert!(
+            speedup >= 2.0,
+            "perf gate: packed kernel is only {speedup:.2}x naive on {} (need >= 2x)",
+            shapes[0].0
+        );
+        println!("perf gate passed: {speedup:.2}x >= 2x on {}", shapes[0].0);
+    }
+}

@@ -22,6 +22,11 @@ pub struct AutotuneReport {
     pub times_ns: Vec<(LstmBackend, u64)>,
     /// The hyperparameters benchmarked.
     pub config: PureLstmConfig,
+    /// The host matmul policy the numeric plane dispatches under (see
+    /// `echo_tensor::policy`) — recorded so a report pins down *both*
+    /// tuning decisions that affect wall time: the simulated LSTM backend
+    /// and the real host GEMM kernel executing it.
+    pub host_matmul: String,
 }
 
 impl AutotuneReport {
@@ -79,6 +84,7 @@ pub fn autotune(
             layers,
             seq_len,
         },
+        host_matmul: echo_tensor::matmul_policy().name().to_string(),
     })
 }
 

@@ -91,13 +91,13 @@ pub fn gemm(
 
     // i-k-j loop order with a scalar hoisted out of the innermost loop; this
     // streams B and C along their column strides, which is contiguous in the
-    // common row-major case.
+    // common row-major case. There is deliberately no `aval == 0` skip: it
+    // would drop `0 × NaN` / `0 × ∞` products, producing finite outputs
+    // where IEEE propagation yields NaN (and it would also break the
+    // bit-exactness contract between this kernel and the packed backend).
     for i in 0..m {
         for p in 0..k {
             let aval = alpha * ad[i * ars + p * acs];
-            if aval == 0.0 {
-                continue;
-            }
             let brow = p * brs;
             let crow = i * crs;
             for j in 0..n {
@@ -108,7 +108,7 @@ pub fn gemm(
     Ok(())
 }
 
-fn check_dims(a: &MatView<'_>, b: &MatView<'_>, c: &MatViewMut<'_>) -> Result<()> {
+pub(crate) fn check_dims(a: &MatView<'_>, b: &MatView<'_>, c: &MatViewMut<'_>) -> Result<()> {
     if a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols() {
         return Err(TensorError::GemmDimension {
             a: (a.rows(), a.cols()),
@@ -186,10 +186,8 @@ pub fn gemm_blocked(
                 let j1 = (j0 + NC).min(n);
                 for i in i0..i1 {
                     for p in p0..p1 {
+                        // No zero-skip: see `gemm` for the IEEE rationale.
                         let aval = alpha * ad[i * ars + p * acs];
-                        if aval == 0.0 {
-                            continue;
-                        }
                         let brow = p * brs;
                         let crow = i * crs;
                         for j in j0..j1 {
@@ -204,9 +202,13 @@ pub fn gemm_blocked(
 }
 
 /// Multi-threaded blocked GEMM: `C = alpha*A*B + beta*C`, splitting the
-/// output rows across `threads` workers (crossbeam scoped threads).
+/// output rows across at most `threads` bands run on the shared
+/// [worker pool](crate::pool) (no per-call thread spawning).
 ///
-/// Requires a row-major `C` so each worker owns a contiguous row band.
+/// Requires a row-major `C` so each band owns a contiguous slice. Each
+/// output element is produced by exactly one band with the same serial
+/// inner loop as [`gemm_blocked`]'s k-panel order, so the result is
+/// bit-identical for every `threads` value.
 ///
 /// # Errors
 ///
@@ -231,17 +233,22 @@ pub fn gemm_parallel(
     let threads = threads.max(1);
     let m = a.rows();
     let n = b.cols();
-    if threads == 1 || m < 2 * threads {
+    // Degenerate shapes: an empty output means nothing to band (and
+    // `chunks_mut(rows_per * n)` would panic on a zero chunk size when
+    // n == 0); k == 0 still needs the beta-scale, which gemm_blocked does.
+    if m == 0 || n == 0 || threads == 1 || m < 2 * threads {
         return gemm_blocked(alpha, a, b, beta, c);
     }
     let rows_per = m.div_ceil(threads);
     let cd = c.data_mut();
-    let bands = cd.chunks_mut(rows_per * n);
-    crossbeam::thread::scope(|scope| {
-        for (band_idx, band) in bands.enumerate() {
+    let bands: Vec<&mut [f32]> = cd.chunks_mut(rows_per * n).collect();
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = bands
+        .into_iter()
+        .enumerate()
+        .map(|(band_idx, band)| {
             let row0 = band_idx * rows_per;
             let band_rows = band.len() / n;
-            scope.spawn(move |_| {
+            Box::new(move || {
                 // Re-view A's band; A may be any layout, so carve by rows
                 // logically rather than physically.
                 let a_band = BandView {
@@ -251,10 +258,10 @@ pub fn gemm_parallel(
                 };
                 let mut c_band = MatViewMut::new(band, band_rows, n, MatrixLayout::RowMajor);
                 band_gemm(alpha, &a_band, b, beta, &mut c_band);
-            });
-        }
-    })
-    .expect("gemm worker panicked");
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    crate::pool::global().run(jobs);
     Ok(())
 }
 
@@ -278,10 +285,8 @@ fn band_gemm(alpha: f32, a: &BandView<'_>, b: MatView<'_>, beta: f32, c: &mut Ma
         let p1 = (p0 + KC).min(k);
         for i in 0..a.rows {
             for p in p0..p1 {
+                // No zero-skip: see `gemm` for the IEEE rationale.
                 let aval = alpha * a.inner.get(a.row0 + i, p);
-                if aval == 0.0 {
-                    continue;
-                }
                 let brow = p * brs;
                 let crow = i * n;
                 for j in 0..n {
@@ -408,6 +413,103 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn zero_times_nan_propagates_nan() {
+        // A zero in A must not short-circuit past a NaN (or ∞) in B:
+        // IEEE 754 says 0 × NaN = NaN and 0 × ∞ = NaN.
+        let a_data = vec![0.0f32, 0.0, 1.0, 2.0]; // row 0 is all zeros
+        let b_data = vec![f32::NAN, 1.0, f32::INFINITY, 2.0];
+        for kernel in [gemm, gemm_blocked] {
+            let mut c = vec![0.0f32; 4];
+            kernel(
+                1.0,
+                rm(&a_data, 2, 2),
+                rm(&b_data, 2, 2),
+                0.0,
+                &mut MatViewMut::new(&mut c, 2, 2, RowMajor),
+            )
+            .unwrap();
+            // Column 0 holds the specials: 0·NaN + 0·∞ → NaN, not 0.
+            assert!(c[0].is_nan(), "0·NaN + 0·∞ must be NaN");
+            assert!(c[2].is_nan(), "1·NaN + 2·∞ must be NaN");
+            // Column 1 is finite everywhere.
+            assert_eq!(c[1], 0.0);
+            assert_eq!(c[3], 1.0 * 1.0 + 2.0 * 2.0);
+        }
+        // band_gemm (via gemm_parallel with banding forced) as well.
+        let a_big = vec![0.0f32; 8 * 2];
+        let b_nan = vec![f32::NAN, 1.0, 1.0, 1.0];
+        let mut c = vec![0.0f32; 8 * 2];
+        gemm_parallel(
+            1.0,
+            rm(&a_big, 8, 2),
+            rm(&b_nan, 2, 2),
+            0.0,
+            &mut MatViewMut::new(&mut c, 8, 2, RowMajor),
+            4,
+        )
+        .unwrap();
+        assert!(c[0].is_nan(), "banded kernel must propagate NaN too");
+    }
+
+    #[test]
+    fn parallel_handles_degenerate_shapes() {
+        // n == 0 used to divide by zero when computing band rows.
+        let a_data = vec![1.0f32; 8];
+        let b_data: Vec<f32> = vec![];
+        let mut c: Vec<f32> = vec![];
+        gemm_parallel(
+            1.0,
+            rm(&a_data, 8, 1),
+            rm(&b_data, 1, 0),
+            0.0,
+            &mut MatViewMut::new(&mut c, 8, 0, RowMajor),
+            4,
+        )
+        .unwrap();
+
+        // m == 0: empty output, nothing to do.
+        let b2 = vec![1.0f32; 6];
+        let mut c2: Vec<f32> = vec![];
+        gemm_parallel(
+            1.0,
+            rm(&[], 0, 2),
+            rm(&b2, 2, 3),
+            0.0,
+            &mut MatViewMut::new(&mut c2, 0, 3, RowMajor),
+            4,
+        )
+        .unwrap();
+
+        // k == 0: C = beta * C exactly (no products contribute).
+        let mut c3 = vec![2.0f32; 6];
+        gemm_parallel(
+            1.0,
+            rm(&[], 2, 0),
+            rm(&[], 0, 3),
+            0.5,
+            &mut MatViewMut::new(&mut c3, 2, 3, RowMajor),
+            4,
+        )
+        .unwrap();
+        assert_eq!(c3, vec![1.0f32; 6]);
+
+        // m smaller than the band count must not mis-band.
+        let a4 = vec![1.0f32, 2.0, 3.0, 4.0];
+        let b4 = vec![1.0f32, 0.0, 0.0, 1.0];
+        let mut c4 = vec![0.0f32; 4];
+        gemm_parallel(
+            1.0,
+            rm(&a4, 2, 2),
+            rm(&b4, 2, 2),
+            0.0,
+            &mut MatViewMut::new(&mut c4, 2, 2, RowMajor),
+            8,
+        )
+        .unwrap();
+        assert_eq!(c4, a4);
     }
 
     #[test]

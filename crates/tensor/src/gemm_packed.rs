@@ -1,0 +1,495 @@
+//! Packed, register-blocked GEMM — the training hot path's fast kernel.
+//!
+//! The naive i-k-j [`gemm`](crate::gemm::gemm) loads and stores every
+//! `C[i, j]` once per `p` iteration: the innermost statement is
+//! `c[j] += aval * b[j]`, three memory operations per FLOP pair. This
+//! module uses the classic GotoBLAS decomposition instead:
+//!
+//! 1. the k dimension is cut into `KC`-deep panels;
+//! 2. each panel of `B` is **packed** into contiguous `NR`-column strips
+//!    (`kc × NR` values each, zero-padded at the right edge) and each
+//!    `MC`-row block of `A` into `MR`-row strips with `alpha`
+//!    pre-multiplied;
+//! 3. an unrolled **micro-kernel** computes an `MR × NR` tile of `C`
+//!    entirely in register accumulators, touching `C` memory only to load
+//!    the tile once per panel and store it once per panel.
+//!
+//! `MR = 4, NR = 8` keeps the 4×2 accumulator vectors plus the `A`/`B`
+//! operands within the 16 XMM registers of the baseline x86-64 target.
+//! Pack buffers are leased from a thread-local
+//! [`ScratchArena`](echo_memory::ScratchArena), so steady-state training
+//! performs **zero** heap allocation per GEMM call.
+//!
+//! # Bit-exactness
+//!
+//! Every kernel in this crate computes each output element with the same
+//! floating-point operation sequence: `c ← beta·c`, then
+//! `c ← c + (alpha·a[i,p])·b[p,j]` for `p` strictly ascending. The
+//! micro-kernel preserves it — the accumulator is *loaded from* `C`, so
+//! storing the tile between k-panels round-trips the exact f32 value —
+//! and row-band parallelism assigns each output element to exactly one
+//! band. Naive, blocked, packed, and packed-parallel at any `ways` are
+//! therefore **bit-identical**, which is what lets the dispatch layer
+//! pick a backend per problem size without perturbing training.
+
+use crate::error::TensorError;
+use crate::layout::MatrixLayout;
+use crate::matrix::{MatView, MatViewMut};
+use crate::pool::{self, band_count};
+use crate::Result;
+use echo_memory::ScratchArena;
+
+/// Rows per A strip / micro-tile.
+pub const MR: usize = 4;
+/// Columns per B strip / micro-tile.
+pub const NR: usize = 8;
+/// Depth of one packed k-panel.
+const KC: usize = 256;
+/// Rows of A packed per block (bounds the A pack buffer at `MC × KC`).
+const MC: usize = 128;
+
+thread_local! {
+    /// Per-thread pack-buffer arena: each pool worker (and the caller)
+    /// reuses its own high-water buffers for the life of the process.
+    static PACK_ARENA: ScratchArena = const { ScratchArena::new() };
+}
+
+/// Statistics of the calling thread's pack arena (for tests/benchmarks).
+pub fn pack_arena_stats() -> (u64, u64, usize) {
+    PACK_ARENA.with(|a| (a.lease_count(), a.reuse_hits(), a.high_water_elems()))
+}
+
+/// Serial packed GEMM: `C = alpha*A*B + beta*C` with a row-major `C`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::GemmDimension`] when the operand shapes do not
+/// line up or `C` is not row-major.
+pub fn gemm_packed(
+    alpha: f32,
+    a: MatView<'_>,
+    b: MatView<'_>,
+    beta: f32,
+    c: &mut MatViewMut<'_>,
+) -> Result<()> {
+    gemm_packed_parallel(alpha, a, b, beta, c, 1)
+}
+
+/// Packed GEMM over at most `ways` row bands run on the shared
+/// [worker pool](crate::pool).
+///
+/// `B` is packed once by the caller and shared read-only by all bands;
+/// each band packs its own rows of `A` into its thread-local arena. Bands
+/// partition **output rows only**, so the per-element accumulation order
+/// is independent of `ways` (see the module docs).
+///
+/// # Errors
+///
+/// Returns [`TensorError::GemmDimension`] when the operand shapes do not
+/// line up or `C` is not row-major.
+pub fn gemm_packed_parallel(
+    alpha: f32,
+    a: MatView<'_>,
+    b: MatView<'_>,
+    beta: f32,
+    c: &mut MatViewMut<'_>,
+    ways: usize,
+) -> Result<()> {
+    crate::gemm::check_dims(&a, &b, c)?;
+    if c.layout() != MatrixLayout::RowMajor {
+        return Err(TensorError::GemmDimension {
+            a: (a.rows(), a.cols()),
+            b: (b.rows(), b.cols()),
+            c: (c.rows(), c.cols()),
+        });
+    }
+    c.scale(beta);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(()); // beta-scale already applied; no products contribute
+    }
+
+    let n_strips = n.div_ceil(NR);
+    // Panel starting at p0 lives at offset p0 * n_strips * NR: panels are
+    // stored back to back and each holds kc * n_strips * NR values.
+    PACK_ARENA.with(|arena| {
+        arena.with_f32(k * n_strips * NR, |bpack| {
+            let mut p0 = 0;
+            while p0 < k {
+                let kc = KC.min(k - p0);
+                let panel = &mut bpack[p0 * n_strips * NR..][..kc * n_strips * NR];
+                pack_b_panel(b, p0, kc, n, n_strips, panel);
+                p0 += kc;
+            }
+
+            let bands = band_count(m, MR, ways);
+            let cd = c.data_mut();
+            if bands <= 1 {
+                packed_band(alpha, a, 0, m, bpack, k, n, n_strips, cd);
+                return;
+            }
+            let rows_per = m.div_ceil(bands);
+            let bpack: &[f32] = bpack;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = cd
+                .chunks_mut(rows_per * n)
+                .enumerate()
+                .map(|(band_idx, band)| {
+                    let row0 = band_idx * rows_per;
+                    let band_rows = band.len() / n;
+                    Box::new(move || {
+                        packed_band(alpha, a, row0, band_rows, bpack, k, n, n_strips, band);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool::global().run(jobs);
+        });
+    });
+    Ok(())
+}
+
+/// Computes rows `row0 .. row0 + rows` of `C` (a row-major `rows × n`
+/// slice) against the fully packed `B`. `alpha` is folded into the A pack.
+#[allow(clippy::too_many_arguments)]
+fn packed_band(
+    alpha: f32,
+    a: MatView<'_>,
+    row0: usize,
+    rows: usize,
+    bpack: &[f32],
+    k: usize,
+    n: usize,
+    n_strips: usize,
+    cband: &mut [f32],
+) {
+    PACK_ARENA.with(|arena| {
+        let mut p0 = 0;
+        while p0 < k {
+            let kc = KC.min(k - p0);
+            let bpanel = &bpack[p0 * n_strips * NR..][..kc * n_strips * NR];
+            let mut i0 = 0;
+            while i0 < rows {
+                let ic = MC.min(rows - i0);
+                let i_strips = ic.div_ceil(MR);
+                arena.with_f32(i_strips * MR * kc, |apack| {
+                    pack_a_block(alpha, a, row0 + i0, ic, p0, kc, apack);
+                    for js in 0..n_strips {
+                        let j0 = js * NR;
+                        let nr = NR.min(n - j0);
+                        let bstrip = &bpanel[js * kc * NR..][..kc * NR];
+                        for is in 0..i_strips {
+                            let ii = is * MR;
+                            let mr = MR.min(ic - ii);
+                            let astrip = &apack[is * kc * MR..][..kc * MR];
+                            let coff = (i0 + ii) * n + j0;
+                            if mr == MR && nr == NR {
+                                micro_full(kc, astrip, bstrip, &mut cband[coff..], n);
+                            } else {
+                                micro_edge(kc, astrip, bstrip, cband, coff, n, mr, nr);
+                            }
+                        }
+                    }
+                });
+                i0 += ic;
+            }
+            p0 += kc;
+        }
+    });
+}
+
+/// Packs the `kc`-deep panel of `B` starting at row `p0` into `NR`-column
+/// strips: strip `js` holds `kc × NR` values, row-of-panel major, with
+/// zero padding past column `n`.
+fn pack_b_panel(b: MatView<'_>, p0: usize, kc: usize, n: usize, n_strips: usize, out: &mut [f32]) {
+    let (brs, bcs) = (
+        b.layout().row_stride(b.rows(), b.cols()),
+        b.layout().col_stride(b.rows(), b.cols()),
+    );
+    let bd = b.data();
+    for js in 0..n_strips {
+        let j0 = js * NR;
+        let nr = NR.min(n - j0);
+        let strip = &mut out[js * kc * NR..][..kc * NR];
+        for p in 0..kc {
+            let brow = (p0 + p) * brs;
+            let dst = &mut strip[p * NR..p * NR + NR];
+            for (j, d) in dst.iter_mut().enumerate() {
+                *d = if j < nr {
+                    bd[brow + (j0 + j) * bcs]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs `ic` rows of `A` starting at `row0` (k range `p0 .. p0 + kc`)
+/// into `MR`-row strips with `alpha` pre-multiplied (reproducing the naive
+/// kernel's `aval = alpha * a[i, p]` rounding exactly); rows past the edge
+/// are zero.
+fn pack_a_block(
+    alpha: f32,
+    a: MatView<'_>,
+    row0: usize,
+    ic: usize,
+    p0: usize,
+    kc: usize,
+    out: &mut [f32],
+) {
+    let (ars, acs) = (
+        a.layout().row_stride(a.rows(), a.cols()),
+        a.layout().col_stride(a.rows(), a.cols()),
+    );
+    let ad = a.data();
+    let i_strips = ic.div_ceil(MR);
+    for is in 0..i_strips {
+        let ii = is * MR;
+        let mr = MR.min(ic - ii);
+        let strip = &mut out[is * kc * MR..][..kc * MR];
+        for p in 0..kc {
+            let acol = (p0 + p) * acs;
+            let dst = &mut strip[p * MR..p * MR + MR];
+            for (i, d) in dst.iter_mut().enumerate() {
+                *d = if i < mr {
+                    alpha * ad[(row0 + ii + i) * ars + acol]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Full `MR × NR` micro-kernel: loads the C tile into register
+/// accumulators, adds `kc` rank-1 updates in ascending `p`, stores back.
+/// `c` points at the tile's top-left element; `ldc` is C's row stride.
+#[inline(always)]
+fn micro_full(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (i, row) in acc.iter_mut().enumerate() {
+        row.copy_from_slice(&c[i * ldc..i * ldc + NR]);
+    }
+    let ap = &ap[..kc * MR];
+    let bp = &bp[..kc * NR];
+    for p in 0..kc {
+        let a = &ap[p * MR..p * MR + MR];
+        let b = &bp[p * NR..p * NR + NR];
+        for (i, row) in acc.iter_mut().enumerate() {
+            let ai = a[i];
+            for (j, acc_ij) in row.iter_mut().enumerate() {
+                *acc_ij += ai * b[j];
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        c[i * ldc..i * ldc + NR].copy_from_slice(row);
+    }
+}
+
+/// Edge micro-kernel for partial tiles (`mr ≤ MR`, `nr ≤ NR`): valid
+/// lanes are loaded from C and stored back; padded lanes accumulate only
+/// products of physical zeros and are discarded.
+#[allow(clippy::too_many_arguments)]
+fn micro_edge(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    coff: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (i, row) in acc.iter_mut().enumerate().take(mr) {
+        row[..nr].copy_from_slice(&c[coff + i * ldc..coff + i * ldc + nr]);
+    }
+    for p in 0..kc {
+        let a = &ap[p * MR..p * MR + MR];
+        let b = &bp[p * NR..p * NR + NR];
+        for (i, row) in acc.iter_mut().enumerate() {
+            let ai = a[i];
+            for (j, acc_ij) in row.iter_mut().enumerate() {
+                *acc_ij += ai * b[j];
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate().take(mr) {
+        c[coff + i * ldc..coff + i * ldc + nr].copy_from_slice(&row[..nr]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, gemm_blocked};
+    use crate::layout::MatrixLayout::{ColMajor, RowMajor};
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        (0..len)
+            .map(|v| {
+                (((v as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 8) % 2048) as f32
+                    / 256.0
+                    - 4.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_is_bit_identical_to_naive() {
+        // Shapes straddle MR/NR/KC edges.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (4, 8, 8),
+            (5, 7, 9),
+            (37, 300, 65),
+            (64, 257, 33),
+        ] {
+            for la in [RowMajor, ColMajor] {
+                for lb in [RowMajor, ColMajor] {
+                    let a_data = fill(m * k, 1);
+                    let b_data = fill(k * n, 2);
+                    let a = MatView::new(&a_data, m, k, la);
+                    let b = MatView::new(&b_data, k, n, lb);
+                    let mut c1 = fill(m * n, 3);
+                    let mut c2 = c1.clone();
+                    gemm(
+                        1.25,
+                        a,
+                        b,
+                        0.5,
+                        &mut MatViewMut::new(&mut c1, m, n, RowMajor),
+                    )
+                    .unwrap();
+                    gemm_packed(
+                        1.25,
+                        a,
+                        b,
+                        0.5,
+                        &mut MatViewMut::new(&mut c2, m, n, RowMajor),
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        c1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        c2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "{m}x{k}x{n} {la:?} {lb:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_parallel_bit_identical_for_every_way_count() {
+        let (m, k, n) = (61, 130, 47);
+        let a_data = fill(m * k, 7);
+        let b_data = fill(k * n, 11);
+        let mut reference = fill(m * n, 13);
+        let init = reference.clone();
+        gemm_blocked(
+            1.0,
+            MatView::new(&a_data, m, k, RowMajor),
+            MatView::new(&b_data, k, n, RowMajor),
+            1.0,
+            &mut MatViewMut::new(&mut reference, m, n, RowMajor),
+        )
+        .unwrap();
+        for ways in [1usize, 2, 4, 8] {
+            let mut c = init.clone();
+            gemm_packed_parallel(
+                1.0,
+                MatView::new(&a_data, m, k, RowMajor),
+                MatView::new(&b_data, k, n, RowMajor),
+                1.0,
+                &mut MatViewMut::new(&mut c, m, n, RowMajor),
+                ways,
+            )
+            .unwrap();
+            assert_eq!(
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "ways = {ways}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_propagates_nan_from_b() {
+        let a_data = vec![0.0f32; 4 * 2];
+        let mut b_data = vec![1.0f32; 2 * 8];
+        b_data[0] = f32::NAN;
+        let mut c = vec![0.0f32; 4 * 8];
+        gemm_packed(
+            1.0,
+            MatView::new(&a_data, 4, 2, RowMajor),
+            MatView::new(&b_data, 2, 8, RowMajor),
+            0.0,
+            &mut MatViewMut::new(&mut c, 4, 8, RowMajor),
+        )
+        .unwrap();
+        assert!(c[0].is_nan(), "0 × NaN must propagate through the pack");
+    }
+
+    #[test]
+    fn packed_handles_degenerate_shapes() {
+        let mut c = vec![3.0f32; 6];
+        gemm_packed(
+            1.0,
+            MatView::new(&[], 2, 0, RowMajor),
+            MatView::new(&[], 0, 3, RowMajor),
+            0.5,
+            &mut MatViewMut::new(&mut c, 2, 3, RowMajor),
+        )
+        .unwrap();
+        assert_eq!(c, vec![1.5f32; 6]);
+
+        let mut empty: Vec<f32> = vec![];
+        gemm_packed(
+            1.0,
+            MatView::new(&[1.0, 2.0], 2, 1, RowMajor),
+            MatView::new(&[], 1, 0, RowMajor),
+            0.0,
+            &mut MatViewMut::new(&mut empty, 2, 0, RowMajor),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn pack_buffers_are_reused_across_calls() {
+        let (m, k, n) = (16, 32, 16);
+        let a_data = fill(m * k, 1);
+        let b_data = fill(k * n, 2);
+        let before = pack_arena_stats().0;
+        for _ in 0..8 {
+            let mut c = vec![0.0f32; m * n];
+            gemm_packed(
+                1.0,
+                MatView::new(&a_data, m, k, RowMajor),
+                MatView::new(&b_data, k, n, RowMajor),
+                0.0,
+                &mut MatViewMut::new(&mut c, m, n, RowMajor),
+            )
+            .unwrap();
+        }
+        let (leases, hits, _) = pack_arena_stats();
+        let new_leases = leases - before;
+        assert_eq!(new_leases, 16, "one B pack + one A pack per call");
+        // Every lease after the first pair reuses a retained buffer.
+        assert!(hits >= new_leases - 2, "leases {new_leases}, hits {hits}");
+    }
+
+    #[test]
+    fn packed_rejects_col_major_output() {
+        let a = vec![0.0f32; 4];
+        let b = vec![0.0f32; 4];
+        let mut c = vec![0.0f32; 4];
+        assert!(gemm_packed(
+            1.0,
+            MatView::new(&a, 2, 2, RowMajor),
+            MatView::new(&b, 2, 2, RowMajor),
+            0.0,
+            &mut MatViewMut::new(&mut c, 2, 2, ColMajor),
+        )
+        .is_err());
+    }
+}

@@ -8,7 +8,56 @@
 use crate::error::TensorError;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use crate::Result;
+use crate::{pool, Result};
+
+/// Row-wise kernels on tensors smaller than this stay serial.
+const PAR_ROWS_THRESHOLD: usize = 16 * 1024;
+
+/// Number of row bands for a `[rows × cols]` kernel on the worker pool.
+fn row_bands(rows: usize, cols: usize) -> usize {
+    let threads = pool::global().num_threads();
+    if threads == 1 || rows.saturating_mul(cols) < PAR_ROWS_THRESHOLD {
+        1
+    } else {
+        pool::band_count(rows, 4, threads)
+    }
+}
+
+/// Runs `per_row(r, dst_row)` for every row of a `[rows × cols]` output
+/// buffer, banding rows over the shared worker pool when the tensor is
+/// large. Each row is produced by exactly one band with the same serial
+/// body, so results are bit-identical for any worker count.
+fn for_each_row(
+    out: &mut [f32],
+    rows: usize,
+    cols: usize,
+    per_row: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let bands = row_bands(rows, cols);
+    if bands <= 1 {
+        for (r, dst) in out.chunks_mut(cols).enumerate() {
+            per_row(r, dst);
+        }
+        return;
+    }
+    let rows_per = rows.div_ceil(bands);
+    let per_row = &per_row;
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(rows_per * cols)
+        .enumerate()
+        .map(|(bi, band)| {
+            Box::new(move || {
+                for (rr, dst) in band.chunks_mut(cols).enumerate() {
+                    per_row(bi * rows_per + rr, dst);
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool::global().run(jobs);
+}
 
 /// Numerically-stable logistic sigmoid.
 #[inline]
@@ -72,16 +121,17 @@ pub fn sigmoid_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
     y.zip_map(dy, |y, g| g * sigmoid_grad_from_output(y))
 }
 
-/// Row-wise softmax over the last axis of a `[rows x cols]`-flattened tensor.
+/// Row-wise softmax over the last axis of a `[rows x cols]`-flattened
+/// tensor (rows banded over the worker pool; see [`for_each_row`]).
 #[must_use]
 pub fn softmax_rows(x: &Tensor) -> Tensor {
     let (rows, cols) = x.shape().as_matrix();
     let mut out = Tensor::zeros(x.shape().clone());
-    for r in 0..rows {
-        let row = &x.data()[r * cols..(r + 1) * cols];
+    let xd = x.data();
+    for_each_row(out.data_mut(), rows, cols, |r, out_row| {
+        let row = &xd[r * cols..(r + 1) * cols];
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
         let mut sum = 0.0f32;
-        let out_row = &mut out.data_mut()[r * cols..(r + 1) * cols];
         for (o, &v) in out_row.iter_mut().zip(row) {
             let e = (v - max).exp();
             *o = e;
@@ -91,7 +141,7 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
         for o in out_row.iter_mut() {
             *o *= inv;
         }
-    }
+    });
     out
 }
 
@@ -111,15 +161,15 @@ pub fn softmax_rows_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
     }
     let (rows, cols) = y.shape().as_matrix();
     let mut dx = Tensor::zeros(y.shape().clone());
-    for r in 0..rows {
-        let yr = &y.data()[r * cols..(r + 1) * cols];
-        let gr = &dy.data()[r * cols..(r + 1) * cols];
+    let (yd, gd) = (y.data(), dy.data());
+    for_each_row(dx.data_mut(), rows, cols, |r, dr| {
+        let yr = &yd[r * cols..(r + 1) * cols];
+        let gr = &gd[r * cols..(r + 1) * cols];
         let dot: f32 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
-        let dr = &mut dx.data_mut()[r * cols..(r + 1) * cols];
         for ((d, &yv), &gv) in dr.iter_mut().zip(yr).zip(gr) {
             *d = yv * (gv - dot);
         }
-    }
+    });
     Ok(dx)
 }
 
@@ -291,18 +341,58 @@ pub fn layer_norm(
     }
     let mut out = Tensor::zeros(x.shape().clone());
     let mut normalized = Tensor::zeros(x.shape().clone());
-    let mut inv_std = Vec::with_capacity(rows);
-    for r in 0..rows {
-        let row = &x.data()[r * cols..(r + 1) * cols];
+    let mut inv_std = vec![0.0f32; rows];
+    let (xd, gd, bd) = (x.data(), gamma.data(), beta.data());
+    let ln_row = |row: &[f32], out_row: &mut [f32], norm_row: &mut [f32], istd_out: &mut f32| {
         let mean = row.iter().sum::<f32>() / cols as f32;
         let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
         let istd = 1.0 / (var + eps).sqrt();
-        inv_std.push(istd);
-        for (c, &x) in row.iter().enumerate() {
-            let xh = (x - mean) * istd;
-            normalized.data_mut()[r * cols + c] = xh;
-            out.data_mut()[r * cols + c] = xh * gamma.data()[c] + beta.data()[c];
+        *istd_out = istd;
+        for (c, &xv) in row.iter().enumerate() {
+            let xh = (xv - mean) * istd;
+            norm_row[c] = xh;
+            out_row[c] = xh * gd[c] + bd[c];
         }
+    };
+    // Row-band like for_each_row, but over three per-row outputs at once
+    // (out, normalized, inv_std). Each row is written by exactly one band.
+    let bands = if cols == 0 { 1 } else { row_bands(rows, cols) };
+    if bands <= 1 {
+        let norm_data = normalized.data_mut();
+        let out_data = out.data_mut();
+        for r in 0..rows {
+            let row = &xd[r * cols..(r + 1) * cols];
+            ln_row(
+                row,
+                &mut out_data[r * cols..(r + 1) * cols],
+                &mut norm_data[r * cols..(r + 1) * cols],
+                &mut inv_std[r],
+            );
+        }
+    } else {
+        let rows_per = rows.div_ceil(bands);
+        let ln_row = &ln_row;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
+            .data_mut()
+            .chunks_mut(rows_per * cols)
+            .zip(normalized.data_mut().chunks_mut(rows_per * cols))
+            .zip(inv_std.chunks_mut(rows_per))
+            .enumerate()
+            .map(|(bi, ((out_band, norm_band), istd_band))| {
+                Box::new(move || {
+                    for (rr, ((out_row, norm_row), istd)) in out_band
+                        .chunks_mut(cols)
+                        .zip(norm_band.chunks_mut(cols))
+                        .zip(istd_band.iter_mut())
+                        .enumerate()
+                    {
+                        let r = bi * rows_per + rr;
+                        ln_row(&xd[r * cols..(r + 1) * cols], out_row, norm_row, istd);
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::global().run(jobs);
     }
     Ok((
         out,
@@ -314,6 +404,11 @@ pub fn layer_norm(
 }
 
 /// Backward of [`layer_norm`]; returns `(dx, dgamma, dbeta)`.
+///
+/// Deliberately **serial**: `dgamma`/`dbeta` accumulate contributions
+/// across rows in row order, so row-banding this kernel would change the
+/// FP accumulation order and break the bit-exactness-under-parallelism
+/// contract (`dx` alone would be safe, but it shares the row loop).
 ///
 /// # Errors
 ///

@@ -32,18 +32,26 @@
 
 pub mod error;
 pub mod gemm;
+pub mod gemm_packed;
 pub mod init;
 pub mod kernels;
 pub mod layout;
 pub mod matrix;
+pub mod policy;
+pub mod pool;
 pub mod reduce;
 pub mod shape;
 pub mod tensor;
 
 pub use error::TensorError;
 pub use gemm::{gemm, gemm_parallel, Transpose};
+pub use gemm_packed::{gemm_packed, gemm_packed_parallel};
 pub use layout::MatrixLayout;
 pub use matrix::{MatView, MatViewMut};
+pub use policy::{
+    dispatch_gemm, matmul_policy, set_matmul_policy, AutotuneOutcome, MatmulBackend, MatmulPolicy,
+};
+pub use pool::WorkerPool;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,0 +1,298 @@
+//! Autotuned GEMM backend dispatch.
+//!
+//! Every matmul in the training stack funnels through [`dispatch_gemm`],
+//! which picks a kernel per problem size under the active
+//! [`MatmulPolicy`]. Because all backends are bit-identical (see
+//! [`gemm_packed`](crate::gemm_packed)), backend selection is numerically
+//! transparent: training losses and gradients do not depend on the
+//! policy, the autotune outcome, or the worker count — a property the
+//! policy-determinism integration test enforces end to end.
+//!
+//! The `Auto` policy is seeded the way `echo-rnn`'s plan autotuner seeds
+//! execution plans (run the candidates once, keep the winner): the first
+//! time a large-tier GEMM is dispatched, a one-shot microbenchmark races
+//! the blocked kernel against the packed kernel on an LSTM-shaped
+//! problem and caches the winner for the rest of the process. Set
+//! `ECHO_MATMUL_AUTOTUNE=0` to skip the measurement and take the
+//! deterministic static choice (packed); set `ECHO_MATMUL_POLICY` to
+//! `naive`, `blocked`, `packed`, or `auto` to pin the policy at startup.
+
+use crate::gemm::{gemm, gemm_blocked};
+use crate::gemm_packed::gemm_packed_parallel;
+use crate::layout::MatrixLayout;
+use crate::matrix::{MatView, MatViewMut};
+use crate::pool;
+use crate::Result;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// A concrete GEMM kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatmulBackend {
+    /// Scalar i-k-j triple loop (`gemm`).
+    Naive,
+    /// Cache-blocked serial kernel (`gemm_blocked`).
+    Blocked,
+    /// Packed register-blocked kernel, row-banded on the worker pool
+    /// (`gemm_packed_parallel`).
+    PackedParallel,
+}
+
+impl MatmulBackend {
+    /// Stable lowercase name (used in env vars, benchmark JSON, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            MatmulBackend::Naive => "naive",
+            MatmulBackend::Blocked => "blocked",
+            MatmulBackend::PackedParallel => "packed",
+        }
+    }
+}
+
+/// How [`dispatch_gemm`] chooses its backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MatmulPolicy {
+    /// Pick per problem size; the large tier is seeded by a one-shot
+    /// microbenchmark (unless `ECHO_MATMUL_AUTOTUNE=0`).
+    #[default]
+    Auto,
+    /// Always use the given backend (packed falls back to blocked for
+    /// column-major outputs, which is bit-identical anyway).
+    Fixed(MatmulBackend),
+}
+
+impl MatmulPolicy {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MatmulPolicy::Auto => "auto",
+            MatmulPolicy::Fixed(b) => b.name(),
+        }
+    }
+}
+
+/// Below this flop count (2·m·k·n) the pack/band overhead dominates and
+/// the naive kernel wins.
+const SMALL_FLOPS: usize = 1 << 14; // e.g. 16×16×16
+/// At or above this flop count the packed tier (and the one-shot
+/// autotune) kicks in. Chosen well above every debug-mode unit-test shape
+/// so tests never pay for the microbenchmark.
+const LARGE_FLOPS: usize = 1 << 22; // e.g. 64×128×256
+
+const POLICY_UNSET: u8 = u8::MAX;
+/// Runtime policy override; `POLICY_UNSET` defers to the env default.
+static POLICY_OVERRIDE: AtomicU8 = AtomicU8::new(POLICY_UNSET);
+
+fn encode(p: MatmulPolicy) -> u8 {
+    match p {
+        MatmulPolicy::Auto => 0,
+        MatmulPolicy::Fixed(MatmulBackend::Naive) => 1,
+        MatmulPolicy::Fixed(MatmulBackend::Blocked) => 2,
+        MatmulPolicy::Fixed(MatmulBackend::PackedParallel) => 3,
+    }
+}
+
+fn decode(v: u8) -> MatmulPolicy {
+    match v {
+        1 => MatmulPolicy::Fixed(MatmulBackend::Naive),
+        2 => MatmulPolicy::Fixed(MatmulBackend::Blocked),
+        3 => MatmulPolicy::Fixed(MatmulBackend::PackedParallel),
+        _ => MatmulPolicy::Auto,
+    }
+}
+
+fn env_default() -> MatmulPolicy {
+    static DEFAULT: OnceLock<MatmulPolicy> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        match std::env::var("ECHO_MATMUL_POLICY")
+            .unwrap_or_default()
+            .trim()
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "naive" => MatmulPolicy::Fixed(MatmulBackend::Naive),
+            "blocked" => MatmulPolicy::Fixed(MatmulBackend::Blocked),
+            "packed" => MatmulPolicy::Fixed(MatmulBackend::PackedParallel),
+            _ => MatmulPolicy::Auto,
+        }
+    })
+}
+
+/// The policy [`dispatch_gemm`] currently applies.
+pub fn matmul_policy() -> MatmulPolicy {
+    match POLICY_OVERRIDE.load(Ordering::Relaxed) {
+        POLICY_UNSET => env_default(),
+        v => decode(v),
+    }
+}
+
+/// Overrides the process-wide matmul policy (tests, benchmarks).
+pub fn set_matmul_policy(policy: MatmulPolicy) {
+    POLICY_OVERRIDE.store(encode(policy), Ordering::Relaxed);
+}
+
+/// Outcome of the one-shot large-tier microbenchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct AutotuneOutcome {
+    /// Winner used for the large tier under `Auto`.
+    pub chosen: MatmulBackend,
+    /// Blocked-kernel time on the probe shape, nanoseconds (0 if skipped).
+    pub blocked_ns: u64,
+    /// Packed-kernel time on the probe shape, nanoseconds (0 if skipped).
+    pub packed_ns: u64,
+    /// Probe shape `(m, k, n)`.
+    pub shape: (usize, usize, usize),
+    /// Whether the times were actually measured (`ECHO_MATMUL_AUTOTUNE`
+    /// not `0`) or the static fallback was taken.
+    pub measured: bool,
+}
+
+static AUTOTUNE: OnceLock<AutotuneOutcome> = OnceLock::new();
+
+/// The autotune outcome, if the large tier has been exercised yet.
+pub fn autotune_outcome() -> Option<AutotuneOutcome> {
+    AUTOTUNE.get().copied()
+}
+
+/// Runs (or fetches) the one-shot microbenchmark that seeds the large
+/// tier. Probe shape is one LSTM gate block from the paper's word-LM
+/// config scaled down to keep the probe under ~10 ms even in debug mode.
+fn large_tier_backend() -> MatmulBackend {
+    AUTOTUNE
+        .get_or_init(|| {
+            let enabled = std::env::var("ECHO_MATMUL_AUTOTUNE")
+                .map(|v| v.trim() != "0")
+                .unwrap_or(true);
+            let (m, k, n) = (32, 128, 256);
+            if !enabled {
+                return AutotuneOutcome {
+                    chosen: MatmulBackend::PackedParallel,
+                    blocked_ns: 0,
+                    packed_ns: 0,
+                    shape: (m, k, n),
+                    measured: false,
+                };
+            }
+            let a: Vec<f32> = (0..m * k).map(|v| (v % 17) as f32 * 0.25 - 2.0).collect();
+            let b: Vec<f32> = (0..k * n).map(|v| (v % 13) as f32 * 0.5 - 3.0).collect();
+            let av = MatView::new(&a, m, k, MatrixLayout::RowMajor);
+            let bv = MatView::new(&b, k, n, MatrixLayout::RowMajor);
+            let ways = pool::global().num_threads();
+            let time = |f: &dyn Fn(&mut MatViewMut<'_>)| {
+                let mut c = vec![0.0f32; m * n];
+                let mut cv = MatViewMut::new(&mut c, m, n, MatrixLayout::RowMajor);
+                f(&mut cv); // warm-up (also warms pack buffers / pool)
+                let reps = 3;
+                let start = std::time::Instant::now();
+                for _ in 0..reps {
+                    f(&mut cv);
+                }
+                (start.elapsed().as_nanos() / reps as u128) as u64
+            };
+            let blocked_ns = time(&|c| {
+                gemm_blocked(1.0, av, bv, 0.0, c).expect("probe gemm");
+            });
+            let packed_ns = time(&|c| {
+                gemm_packed_parallel(1.0, av, bv, 0.0, c, ways).expect("probe gemm");
+            });
+            let chosen = if packed_ns <= blocked_ns {
+                MatmulBackend::PackedParallel
+            } else {
+                MatmulBackend::Blocked
+            };
+            AutotuneOutcome {
+                chosen,
+                blocked_ns,
+                packed_ns,
+                shape: (m, k, n),
+                measured: true,
+            }
+        })
+        .chosen
+}
+
+/// The backend [`dispatch_gemm`] would use for an `m × k × n` problem
+/// under the current policy.
+pub fn backend_for(m: usize, k: usize, n: usize) -> MatmulBackend {
+    match matmul_policy() {
+        MatmulPolicy::Fixed(b) => b,
+        MatmulPolicy::Auto => {
+            let flops = 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n);
+            if flops < SMALL_FLOPS {
+                MatmulBackend::Naive
+            } else if flops < LARGE_FLOPS {
+                MatmulBackend::Blocked
+            } else {
+                large_tier_backend()
+            }
+        }
+    }
+}
+
+/// Policy-routed GEMM: `C = alpha*A*B + beta*C`.
+///
+/// This is the single entry point the training stack uses
+/// ([`Tensor::matmul`](crate::Tensor::matmul) and everything above it).
+/// The packed backend requires a row-major `C`; for column-major outputs
+/// it falls back to the blocked kernel, which is bit-identical.
+///
+/// # Errors
+///
+/// Returns [`TensorError::GemmDimension`](crate::TensorError::GemmDimension)
+/// when the operand shapes do not line up.
+pub fn dispatch_gemm(
+    alpha: f32,
+    a: MatView<'_>,
+    b: MatView<'_>,
+    beta: f32,
+    c: &mut MatViewMut<'_>,
+) -> Result<()> {
+    let backend = backend_for(a.rows(), a.cols(), b.cols());
+    match backend {
+        MatmulBackend::Naive => gemm(alpha, a, b, beta, c),
+        MatmulBackend::Blocked => gemm_blocked(alpha, a, b, beta, c),
+        MatmulBackend::PackedParallel => {
+            if c.layout() == MatrixLayout::RowMajor {
+                gemm_packed_parallel(alpha, a, b, beta, c, pool::global().num_threads())
+            } else {
+                gemm_blocked(alpha, a, b, beta, c)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_encoding_round_trips() {
+        for p in [
+            MatmulPolicy::Auto,
+            MatmulPolicy::Fixed(MatmulBackend::Naive),
+            MatmulPolicy::Fixed(MatmulBackend::Blocked),
+            MatmulPolicy::Fixed(MatmulBackend::PackedParallel),
+        ] {
+            assert_eq!(decode(encode(p)), p);
+        }
+    }
+
+    // One test, not several: the policy override is process-global state
+    // and the harness runs #[test]s concurrently.
+    #[test]
+    fn policy_tiers_and_overrides() {
+        set_matmul_policy(MatmulPolicy::Auto);
+        assert_eq!(backend_for(4, 4, 4), MatmulBackend::Naive);
+        assert_eq!(backend_for(32, 64, 64), MatmulBackend::Blocked);
+        // Large tier resolves to the autotuned winner — one of the two
+        // candidates, never naive.
+        let large = backend_for(64, 512, 2048);
+        assert_ne!(large, MatmulBackend::Naive);
+        assert!(autotune_outcome().is_some());
+
+        set_matmul_policy(MatmulPolicy::Fixed(MatmulBackend::Blocked));
+        assert_eq!(backend_for(1, 1, 1), MatmulBackend::Blocked);
+        assert_eq!(backend_for(999, 999, 999), MatmulBackend::Blocked);
+        set_matmul_policy(MatmulPolicy::Auto);
+    }
+}

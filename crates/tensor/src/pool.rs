@@ -1,0 +1,348 @@
+//! The persistent shared worker pool behind every parallel kernel.
+//!
+//! The first parallel GEMM in this repo (`gemm_parallel`) spawned fresh
+//! scoped threads on *every call* — fine for a benchmark, ruinous on a
+//! training hot path where an LSTM time step issues four GEMMs. This module
+//! replaces per-call spawning with one process-wide pool: workers are
+//! spawned lazily on first use, sized from [`std::thread::available_parallelism`]
+//! (override with `ECHO_NUM_THREADS`), and fed short-lived band jobs over a
+//! shared crossbeam channel. GEMM, the element-wise tensor kernels and the
+//! softmax/layer-norm row kernels all submit to the same pool, so `K`
+//! data-parallel model replicas contend for one fixed set of threads
+//! instead of oversubscribing the host with `K × cores` transient spawns.
+//!
+//! # Determinism
+//!
+//! The pool runs *jobs*, and every caller in this crate partitions work so
+//! that each output element is produced by exactly one job with a fixed
+//! serial loop inside it. Scheduling order therefore cannot change any
+//! floating-point result: the bit-exactness contract of the data-parallel
+//! trainer extends to "any worker count" (see `DESIGN.md`).
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of work queued on the pool. Tasks are `'static` internally; the
+/// scoped-lifetime API ([`WorkerPool::run`]) guarantees completion before
+/// borrowed data can die.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion latch for one [`WorkerPool::run`] batch.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn complete(&self, panicked: bool) {
+        if panicked {
+            self.poisoned.store(true, Ordering::Relaxed);
+        }
+        let mut remaining = self.remaining.lock().expect("latch mutex");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().expect("latch mutex") == 0
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch mutex");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("latch mutex");
+        }
+    }
+}
+
+thread_local! {
+    /// Set inside pool workers (and while a caller is helping drain the
+    /// queue) so nested `run` calls degrade to inline execution instead of
+    /// blocking a worker on a latch.
+    static IN_POOL_TASK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A persistent pool of kernel worker threads fed over a shared channel.
+///
+/// See [`global`] for the process-wide instance every kernel uses; direct
+/// construction ([`WorkerPool::with_threads`]) exists for tests.
+pub struct WorkerPool {
+    tx: Sender<Task>,
+    rx: Receiver<Task>,
+    /// Total parallelism: spawned workers + the calling thread.
+    threads: usize,
+    /// Jobs executed since the pool was built (workers + helping callers).
+    executed: Arc<AtomicUsize>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Builds a pool with `threads` total lanes of parallelism (the
+    /// calling thread counts as one; `threads - 1` workers are spawned).
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = unbounded::<Task>();
+        let executed = Arc::new(AtomicUsize::new(0));
+        for i in 1..threads {
+            let worker_rx = rx.clone();
+            let counter = executed.clone();
+            std::thread::Builder::new()
+                .name(format!("echo-kernel-{i}"))
+                .spawn(move || {
+                    IN_POOL_TASK.with(|f| f.set(true));
+                    // Exits when every Sender is gone — i.e. never for the
+                    // global pool, which is intentional: kernel workers
+                    // live for the life of the process.
+                    for task in worker_rx.iter() {
+                        task();
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .expect("spawn kernel worker");
+        }
+        WorkerPool {
+            tx,
+            rx,
+            threads,
+            executed,
+        }
+    }
+
+    /// Total parallelism (spawned workers + the calling thread).
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Jobs executed on the pool so far (observability/testing).
+    pub fn jobs_executed(&self) -> usize {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Runs every job to completion, using the pool's workers plus the
+    /// calling thread, and returns once all of them have finished.
+    ///
+    /// Jobs may borrow from the caller's stack: completion is awaited
+    /// before returning, so no job can outlive the borrowed data. Nested
+    /// calls (a job that itself calls `run`) execute inline rather than
+    /// re-entering the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job panicked (after all jobs have finished).
+    pub fn run<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        let count = jobs.len();
+        if count == 0 {
+            return;
+        }
+        if count == 1 || self.threads == 1 || IN_POOL_TASK.with(|f| f.get()) {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+
+        let latch = Arc::new(Latch::new(count));
+        for job in jobs {
+            let latch = Arc::clone(&latch);
+            let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(job));
+                latch.complete(outcome.is_err());
+            });
+            // SAFETY: the task is only extended to `'static` so it can
+            // travel through the channel; `latch.wait()` below blocks this
+            // function until every submitted task has run to completion,
+            // so no borrow inside `job` outlives `'scope`. The wrapper
+            // catches panics, so a panicking job still completes the latch
+            // instead of poisoning a worker.
+            let wrapped: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(wrapped) };
+            self.tx.send(wrapped).expect("pool receiver alive");
+        }
+
+        // Help drain the queue while waiting; the caller may execute its
+        // own jobs or another batch's — both make progress.
+        IN_POOL_TASK.with(|f| f.set(true));
+        while !latch.is_done() {
+            match self.rx.try_recv() {
+                Ok(task) => {
+                    task();
+                    self.executed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        IN_POOL_TASK.with(|f| f.set(false));
+        latch.wait();
+        assert!(
+            !latch.poisoned.load(Ordering::Relaxed),
+            "worker-pool job panicked"
+        );
+    }
+
+    /// Splits `0..total` into at most `max_bands` contiguous ranges of at
+    /// least `min_per_band` items each and runs `f(start, end)` on the
+    /// pool for every range.
+    ///
+    /// Each index lands in exactly one range, so element-wise kernels
+    /// parallelized this way are bit-identical to their serial form for
+    /// every band count.
+    pub fn for_each_band(
+        &self,
+        total: usize,
+        min_per_band: usize,
+        f: impl Fn(usize, usize) + Sync,
+    ) {
+        let bands = band_count(total, min_per_band, self.threads);
+        if bands <= 1 {
+            if total > 0 {
+                f(0, total);
+            }
+            return;
+        }
+        let per = total.div_ceil(bands);
+        let f = &f;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..bands)
+            .map(|b| {
+                let start = b * per;
+                let end = ((b + 1) * per).min(total);
+                Box::new(move || f(start, end)) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.run(jobs);
+    }
+}
+
+/// Number of bands `total` items split into, given a per-band minimum and
+/// a lane cap. At least 1, at most `max_bands`.
+pub fn band_count(total: usize, min_per_band: usize, max_bands: usize) -> usize {
+    if total == 0 {
+        return 1;
+    }
+    (total / min_per_band.max(1)).clamp(1, max_bands.max(1))
+}
+
+/// The process-wide pool. Lazily built on first use; sized from
+/// `ECHO_NUM_THREADS` if set, else [`std::thread::available_parallelism`].
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads = std::env::var("ECHO_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        WorkerPool::with_threads(threads)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let pool = WorkerPool::with_threads(4);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = hits
+            .iter()
+            .map(|h| {
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(jobs);
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn bands_cover_range_disjointly() {
+        let pool = WorkerPool::with_threads(3);
+        let total = 1000;
+        let marks: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_each_band(total, 10, |start, end| {
+            for m in &marks[start..end] {
+                m.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_run_degrades_to_inline() {
+        let pool = WorkerPool::with_threads(2);
+        let outer_done = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                let counter = &outer_done;
+                Box::new(move || {
+                    // A nested batch must not deadlock the pool.
+                    let inner = AtomicUsize::new(0);
+                    let inner_jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..3)
+                        .map(|_| {
+                            let inner = &inner;
+                            Box::new(move || {
+                                inner.fetch_add(1, Ordering::Relaxed);
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    global().run(inner_jobs);
+                    assert_eq!(inner.load(Ordering::Relaxed), 3);
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(outer_done.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn band_count_respects_bounds() {
+        assert_eq!(band_count(0, 8, 4), 1);
+        assert_eq!(band_count(7, 8, 4), 1);
+        assert_eq!(band_count(16, 8, 4), 2);
+        assert_eq!(band_count(1000, 8, 4), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker-pool job panicked")]
+    fn job_panic_is_propagated_not_deadlocked() {
+        let pool = WorkerPool::with_threads(2);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 2 {
+                        panic!("boom");
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(jobs);
+    }
+}

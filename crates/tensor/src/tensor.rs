@@ -1,11 +1,42 @@
 //! The owned dense tensor type.
 
 use crate::error::TensorError;
-use crate::gemm;
 use crate::layout::MatrixLayout;
 use crate::matrix::{MatView, MatViewMut};
 use crate::shape::Shape;
 use crate::Result;
+use crate::{policy, pool};
+
+/// Element-wise ops on tensors smaller than this stay serial; the pool
+/// dispatch overhead only pays for itself on large feature maps.
+const PAR_EWISE_THRESHOLD: usize = 32 * 1024;
+/// Minimum elements per band when an element-wise op is parallelized.
+const PAR_EWISE_MIN_BAND: usize = 8 * 1024;
+
+/// Bands an element-wise op over `out` on the worker pool, feeding each
+/// band `f(start, chunk)`. Each element belongs to exactly one band, so
+/// results are bit-identical to the serial loop for any worker count.
+fn ewise_bands(out: &mut [f32], f: impl Fn(usize, &mut [f32]) + Sync) {
+    let n = out.len();
+    let threads = pool::global().num_threads();
+    if n < PAR_EWISE_THRESHOLD || threads == 1 {
+        f(0, out);
+        return;
+    }
+    let bands = pool::band_count(n, PAR_EWISE_MIN_BAND, threads);
+    if bands <= 1 {
+        f(0, out);
+        return;
+    }
+    let per = n.div_ceil(bands);
+    let f = &f;
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(per)
+        .enumerate()
+        .map(|(bi, chunk)| Box::new(move || f(bi * per, chunk)) as Box<dyn FnOnce() + Send + '_>)
+        .collect();
+    pool::global().run(jobs);
+}
 
 /// An owned, contiguous, row-major `f32` tensor.
 ///
@@ -170,27 +201,43 @@ impl Tensor {
     }
 
     /// Applies `f` to every element, producing a new tensor.
+    ///
+    /// Large tensors are banded over the shared worker pool; each element
+    /// is computed by exactly one band, so the result is bit-identical to
+    /// the serial loop.
     #[must_use]
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut data = vec![0.0f32; self.data.len()];
+        let src = &self.data;
+        ewise_bands(&mut data, |start, chunk| {
+            let src = &src[start..start + chunk.len()];
+            for (o, &v) in chunk.iter_mut().zip(src) {
+                *o = f(v);
+            }
+        });
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
-    /// Applies `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
+    /// Applies `f` to every element in place (pool-banded like
+    /// [`Tensor::map`]).
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        ewise_bands(&mut self.data, |_, chunk| {
+            for v in chunk {
+                *v = f(*v);
+            }
+        });
     }
 
-    /// Combines two same-shaped tensors element-wise.
+    /// Combines two same-shaped tensors element-wise (pool-banded like
+    /// [`Tensor::map`]).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Result<Tensor> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
                 left: self.shape.clone(),
@@ -198,18 +245,23 @@ impl Tensor {
                 op: "zip_map",
             });
         }
+        let mut data = vec![0.0f32; self.data.len()];
+        let (a_src, b_src) = (&self.data, &other.data);
+        ewise_bands(&mut data, |start, chunk| {
+            let a = &a_src[start..start + chunk.len()];
+            let b = &b_src[start..start + chunk.len()];
+            for ((o, &x), &y) in chunk.iter_mut().zip(a).zip(b) {
+                *o = f(x, y);
+            }
+        });
         Ok(Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         })
     }
 
-    /// `self += alpha * other` (shapes must match).
+    /// `self += alpha * other` (shapes must match; pool-banded like
+    /// [`Tensor::map`]).
     ///
     /// # Errors
     ///
@@ -222,9 +274,13 @@ impl Tensor {
                 op: "axpy",
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        let src = &other.data;
+        ewise_bands(&mut self.data, |start, chunk| {
+            let src = &src[start..start + chunk.len()];
+            for (a, &b) in chunk.iter_mut().zip(src) {
+                *a += alpha * b;
+            }
+        });
         Ok(())
     }
 
@@ -315,6 +371,9 @@ impl Tensor {
     /// new row-major tensor.
     ///
     /// Both operands are flattened to matrices via [`Shape::as_matrix`].
+    /// The kernel is chosen per problem size by the
+    /// [dispatch layer](crate::policy); every backend is bit-identical,
+    /// so the choice never affects numerics.
     ///
     /// # Errors
     ///
@@ -331,7 +390,7 @@ impl Tensor {
             other.as_mat()
         };
         let mut out = Tensor::zeros(Shape::d2(a.rows(), b.cols()));
-        gemm::gemm(1.0, a, b, 0.0, &mut out.as_mat_mut())?;
+        policy::dispatch_gemm(1.0, a, b, 0.0, &mut out.as_mat_mut())?;
         Ok(out)
     }
 

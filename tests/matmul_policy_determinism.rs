@@ -1,0 +1,90 @@
+//! Training must not depend on which GEMM backend executes it.
+//!
+//! The dispatch layer (`echo_tensor::policy`) may route a matmul to the
+//! naive, blocked, or packed-parallel kernel — by static tier or by the
+//! one-shot autotune microbenchmark. Because every backend is
+//! bit-identical (see `crates/tensor/tests/gemm_bitexact.rs`), a
+//! `word_lm` train step must produce **bit-identical** losses, gradient
+//! norms, and parameters under any `MatmulPolicy`. This is the
+//! end-to-end half of the contract: if a kernel ever reorders an FP
+//! accumulation, this test catches it at the training-loop level.
+//!
+//! One `#[test]`, not several: the policy is process-global state and
+//! the harness runs `#[test]`s concurrently, so the sweep must iterate
+//! policies sequentially inside a single test (this file is its own
+//! integration-test binary, i.e. its own process).
+
+use echo_data::{BpttBatches, LmBatch, LmCorpus, Vocab};
+use echo_graph::{Executor, StashPlan};
+use echo_memory::DeviceMemory;
+use echo_models::{MicrobatchTrainer, Sgd, WordLm, WordLmHyper};
+use echo_rnn::LstmBackend;
+use echo_tensor::{set_matmul_policy, MatmulBackend, MatmulPolicy};
+use std::sync::Arc;
+
+const LANES: usize = 8;
+const MICRO: usize = 2;
+const STEPS: usize = 2;
+const PARAM_SEED: u64 = 23;
+
+fn batches(lm: &WordLm) -> Vec<LmBatch> {
+    let corpus = LmCorpus::synthetic(Vocab::new(40), 2400, 0.9, 7);
+    BpttBatches::new(corpus.tokens(), LANES, lm.hyper.seq_len)
+        .take(STEPS)
+        .collect()
+}
+
+/// Trains `STEPS` steps under the given policy and fingerprints every
+/// observable number: per-step loss and gradient-norm bits, plus the
+/// bits of every final parameter.
+fn run_under_policy(lm: &WordLm, policy: MatmulPolicy) -> (Vec<(u32, u64)>, Vec<Vec<u32>>) {
+    set_matmul_policy(policy);
+    let mem = DeviceMemory::with_overhead_model(1 << 30, 0, 0.0);
+    let mut exec = Executor::new(Arc::clone(&lm.graph), StashPlan::stash_all(), mem);
+    lm.bind_params(&mut exec, PARAM_SEED).expect("bind");
+    let mut trainer = MicrobatchTrainer::for_word_lm(
+        lm,
+        exec,
+        LANES,
+        MICRO,
+        Box::new(Sgd::new(0.5).with_momentum(0.9).with_clip_norm(5.0)),
+        None,
+    )
+    .expect("trainer");
+    let mut fingerprints = Vec::new();
+    for batch in batches(lm) {
+        let report = trainer.step(&batch).expect("step");
+        fingerprints.push((report.loss.to_bits(), report.grad_norm.to_bits()));
+    }
+    let params = trainer
+        .export_params()
+        .iter()
+        .map(|(_, t)| t.data().iter().map(|v| v.to_bits()).collect())
+        .collect();
+    (fingerprints, params)
+}
+
+#[test]
+fn word_lm_training_is_bit_identical_under_every_matmul_policy() {
+    let lm = WordLm::build(WordLmHyper::tiny(40, LstmBackend::CuDnn));
+    let policies = [
+        MatmulPolicy::Fixed(MatmulBackend::Naive),
+        MatmulPolicy::Fixed(MatmulBackend::Blocked),
+        MatmulPolicy::Fixed(MatmulBackend::PackedParallel),
+        MatmulPolicy::Auto,
+    ];
+    let (ref_fp, ref_params) = run_under_policy(&lm, policies[0]);
+    assert_eq!(ref_fp.len(), STEPS, "training must actually run");
+    for &policy in &policies[1..] {
+        let (fp, params) = run_under_policy(&lm, policy);
+        assert_eq!(
+            fp, ref_fp,
+            "per-step loss/grad-norm bits diverged under {policy:?}"
+        );
+        assert_eq!(
+            params, ref_params,
+            "final parameter bits diverged under {policy:?}"
+        );
+    }
+    set_matmul_policy(MatmulPolicy::Auto);
+}
