@@ -2,10 +2,11 @@
 
 use crate::analysis::{infer_shapes, ShapeTable};
 use crate::oshape::{build_plan, find_segments, OshapeConfig, SegmentInfo};
-use echo_graph::{Graph, GraphError, NodeId, StashPlan};
+use echo_graph::{ExecOptions, ExecPlan, Graph, GraphError, NodeId, StashPlan};
 use echo_tensor::{Shape, Tensor};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from compilation.
 #[derive(Debug)]
@@ -98,6 +99,11 @@ pub struct SegmentReport {
 pub struct PassReport {
     /// One entry per accepted segment.
     pub segments: Vec<SegmentReport>,
+    /// Static peak device bytes of the ahead-of-time execution plan, when
+    /// one was built (requires concrete binding shapes and a target).
+    pub planned_peak_bytes: Option<u64>,
+    /// Number of reusable transient buffer slots in the execution plan.
+    pub slot_count: Option<usize>,
 }
 
 impl PassReport {
@@ -133,6 +139,13 @@ impl fmt::Display for PassReport {
             self.total_saved_bytes() as f64 / (1 << 20) as f64,
             self.workspace_bytes() as f64 / (1 << 20) as f64,
         )?;
+        if let (Some(peak), Some(slots)) = (self.planned_peak_bytes, self.slot_count) {
+            writeln!(
+                f,
+                "  exec plan: {:.1} MiB planned peak, {slots} reusable slots",
+                peak as f64 / (1 << 20) as f64,
+            )?;
+        }
         for (i, s) in self.segments.iter().enumerate() {
             writeln!(
                 f,
@@ -154,6 +167,11 @@ pub struct CompiledPlan {
     pub plan: StashPlan,
     /// What the pass found.
     pub report: PassReport,
+    /// Ahead-of-time execution plan for training the first protected
+    /// target with the compile-time binding shapes. `None` when compilation
+    /// had no target or ran from a bare shape table
+    /// ([`EchoCompiler::compile_with_shapes`]). Shareable across replicas.
+    pub exec_plan: Option<Arc<ExecPlan>>,
 }
 
 /// The Echo compiler.
@@ -206,16 +224,40 @@ impl EchoCompiler {
         protected: &[NodeId],
     ) -> Result<CompiledPlan, EchoError> {
         let shapes = infer_shapes(graph, bindings, param_shapes)?;
-        if !self.config.recompute {
-            return Ok(CompiledPlan {
+        let mut compiled = if self.config.recompute {
+            let segments = find_segments(graph, &shapes, &self.config.oshape, protected);
+            let plan = build_plan(&segments, self.config.share_workspace);
+            let report = self.report(graph, &segments);
+            CompiledPlan {
+                plan,
+                report,
+                exec_plan: None,
+            }
+        } else {
+            CompiledPlan {
                 plan: StashPlan::stash_all(),
                 report: PassReport::default(),
-            });
+                exec_plan: None,
+            }
+        };
+        if let Some(&target) = protected.first() {
+            let binding_shapes: HashMap<NodeId, Shape> = bindings
+                .iter()
+                .map(|(&id, t)| (id, t.shape().clone()))
+                .collect();
+            let exec_plan = ExecPlan::build(
+                graph,
+                &compiled.plan,
+                ExecOptions::default(),
+                &binding_shapes,
+                param_shapes,
+                target,
+            )?;
+            compiled.report.planned_peak_bytes = Some(exec_plan.planned_peak_bytes());
+            compiled.report.slot_count = Some(exec_plan.slot_count());
+            compiled.exec_plan = Some(Arc::new(exec_plan));
         }
-        let segments = find_segments(graph, &shapes, &self.config.oshape, protected);
-        let plan = build_plan(&segments, self.config.share_workspace);
-        let report = self.report(graph, &segments);
-        Ok(CompiledPlan { plan, report })
+        Ok(compiled)
     }
 
     /// Compiles and installs the plan into an executor in one step — the
@@ -257,6 +299,9 @@ impl EchoCompiler {
     ) -> Result<PassReport, EchoError> {
         let compiled = self.compile(exec.graph(), bindings, param_shapes, protected)?;
         exec.set_plan(compiled.plan);
+        if let Some(exec_plan) = compiled.exec_plan {
+            exec.set_exec_plan(exec_plan)?;
+        }
         Ok(compiled.report)
     }
 
@@ -271,12 +316,17 @@ impl EchoCompiler {
             return CompiledPlan {
                 plan: StashPlan::stash_all(),
                 report: PassReport::default(),
+                exec_plan: None,
             };
         }
         let segments = find_segments(graph, shapes, &self.config.oshape, protected);
         let plan = build_plan(&segments, self.config.share_workspace);
         let report = self.report(graph, &segments);
-        CompiledPlan { plan, report }
+        CompiledPlan {
+            plan,
+            report,
+            exec_plan: None,
+        }
     }
 
     fn report(&self, graph: &Graph, segments: &[SegmentInfo]) -> PassReport {
@@ -294,6 +344,8 @@ impl EchoCompiler {
                     pool: s.pool,
                 })
                 .collect(),
+            planned_peak_bytes: None,
+            slot_count: None,
         }
     }
 }
@@ -416,6 +468,62 @@ mod tests {
             "compiled plan must shrink the footprint: {peak_opt} vs {peak_base}"
         );
         assert!(compiled.report.net_saved_bytes() > 0);
+    }
+
+    #[test]
+    fn compile_builds_exec_plan_and_attach_installs_it() {
+        let model = tiny_nmt();
+        let bindings = model.symbolic_bindings(8);
+        let compiled = EchoCompiler::new(EchoConfig::default())
+            .compile(
+                &model.graph,
+                &bindings,
+                &model.param_shapes(),
+                &[model.loss, model.logits],
+            )
+            .unwrap();
+        let exec_plan = compiled.exec_plan.as_ref().expect("plan built");
+        assert_eq!(
+            compiled.report.planned_peak_bytes,
+            Some(exec_plan.planned_peak_bytes())
+        );
+        assert_eq!(compiled.report.slot_count, Some(exec_plan.slot_count()));
+        assert!(exec_plan.slot_count() > 0);
+        // Echo's planned peak sits strictly below the stash-all baseline's.
+        let baseline = EchoCompiler::new(EchoConfig::baseline())
+            .compile(
+                &model.graph,
+                &bindings,
+                &model.param_shapes(),
+                &[model.loss, model.logits],
+            )
+            .unwrap();
+        assert!(
+            compiled.report.planned_peak_bytes < baseline.report.planned_peak_bytes,
+            "echo {:?} vs stash-all {:?}",
+            compiled.report.planned_peak_bytes,
+            baseline.report.planned_peak_bytes
+        );
+        // attach() wires the same plan into the executor.
+        let mut exec = Executor::new(Arc::clone(&model.graph), StashPlan::stash_all(), mem());
+        let report = EchoCompiler::new(EchoConfig::default())
+            .attach(
+                &mut exec,
+                &bindings,
+                &model.param_shapes(),
+                &[model.loss, model.logits],
+            )
+            .unwrap();
+        assert_eq!(
+            report.planned_peak_bytes,
+            compiled.report.planned_peak_bytes
+        );
+        let installed = exec.exec_plan().expect("attach installs exec plan");
+        assert_eq!(
+            installed.planned_peak_bytes(),
+            exec_plan.planned_peak_bytes()
+        );
+        assert!(report.to_string().contains("exec plan:"));
     }
 
     #[test]

@@ -1,0 +1,770 @@
+//! Ahead-of-time execution plans: static schedules, liveness analysis and
+//! slot-based buffer reuse.
+//!
+//! The executor's legacy interpreter re-derives everything per step: the
+//! execution cone, per-node shapes, saved-byte declarations, kernel-launch
+//! descriptions, and one device allocation per node output. All of that is
+//! a pure function of `(Graph, StashPlan, ExecOptions, binding shapes)` —
+//! exactly the inputs the Echo compiler already sees — so [`ExecPlan`]
+//! computes it **once**:
+//!
+//! * the forward topological **schedule** over the target's cone, with
+//!   static shapes and per-node output/saved byte sizes;
+//! * the backward schedule (nodes a gradient can statically reach);
+//! * **liveness intervals** for every transient value (birth at its
+//!   producing step, death at its last in-cone forward use — the same rule
+//!   the interpreter applies dynamically) and every transient gradient
+//!   (birth at its highest-index consumer's backward step, death at its
+//!   own);
+//! * a greedy interval-packing **slot assignment** mapping those transient
+//!   tensors onto a small set of reusable buffers. Packing is size-exact
+//!   (a slot is reused only by a tensor of identical byte size, the rule
+//!   MXNet's memory planner uses), which keeps the reported peak equal to
+//!   the exact-liveness peak: a coarser best-fit packing could *inflate*
+//!   the footprint it claims to measure. Stashed nodes are excluded — their
+//!   lifetimes span forward-to-backward by definition of the
+//!   [`StashPlan`](crate::StashPlan), so they can never share a step-local
+//!   slot; recompute-policy nodes die at their last forward use, which is
+//!   what makes Echo's recomputation decisions directly shrink the slot
+//!   set;
+//! * a static **accounting timeline** that replays the exact allocator
+//!   event sequence of the legacy interpreter (input placeholders, stashed
+//!   feature maps + saved state, transient placeholders, gradient
+//!   placeholders, workspace-pool growth at replay trigger points) and
+//!   records the peak and its per-(layer, kind) breakdown. The plan-driven
+//!   executor feeds this to
+//!   [`DeviceMemory::record_planned_peak`](echo_memory::DeviceMemory::record_planned_peak)
+//!   in one call per step instead of issuing hundreds of tagged
+//!   allocations.
+//!
+//! Plans are built by `EchoCompiler::compile`/`attach` (or
+//! [`Executor::plan_for`](crate::Executor::plan_for)) and shared across
+//! data-parallel replicas as `Arc<ExecPlan>`: planning happens once per
+//! model configuration, not once per replica or per step.
+
+use crate::graph::{Graph, NodeId, NodeKind};
+use crate::op::{KernelLaunch, StashNeeds};
+use crate::policy::{StashPlan, StashPolicy};
+use crate::{ExecOptions, GraphError, Result};
+use echo_memory::{DataStructureKind, LayerKind};
+use echo_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of [`ExecPlan`]s built over the process lifetime.
+///
+/// Exists so tests can assert that constructing K data-parallel replicas
+/// performs exactly one planning pass (the plan is shared, not re-derived).
+static PLANS_BUILT: AtomicU64 = AtomicU64::new(0);
+
+/// Number of execution plans built so far in this process.
+pub fn plans_built() -> u64 {
+    PLANS_BUILT.load(Ordering::Relaxed)
+}
+
+/// A per-(layer, data-structure) byte total in a planned breakdown.
+pub type PlannedBreakdown = Vec<((LayerKind, DataStructureKind), u64)>;
+
+/// Per-op-node static tables the planned interpreter reads instead of
+/// re-deriving. Indexed by the node's dense index.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OpTables {
+    /// What the op's backward needs kept alive.
+    pub needs: StashNeeds,
+    /// Kernel launches of the forward pass, precomputed from static shapes.
+    pub fwd_launches: Vec<KernelLaunch>,
+    /// Kernel launches of the backward pass.
+    pub bwd_launches: Vec<KernelLaunch>,
+    /// Declared operator-private saved bytes.
+    pub saved_bytes: u64,
+}
+
+/// An ahead-of-time execution plan for one `(graph, stash plan, target,
+/// training)` configuration and one set of binding shapes.
+///
+/// Immutable once built; shared via `Arc` between the compiler, the
+/// executor and all data-parallel replicas.
+#[derive(Debug)]
+pub struct ExecPlan {
+    pub(crate) target: NodeId,
+    pub(crate) training: bool,
+    pub(crate) graph_len: usize,
+    /// In-cone nodes in topological (execution) order.
+    pub(crate) schedule: Vec<NodeId>,
+    /// In-cone nodes a gradient statically reaches, descending.
+    pub(crate) bwd_schedule: Vec<NodeId>,
+    /// Whether each node is in the execution cone.
+    pub(crate) in_cone: Vec<bool>,
+    /// In-cone forward consumer counts (for transient freeing).
+    pub(crate) fwd_uses: Vec<u32>,
+    /// Static output shape of every in-cone node.
+    pub(crate) shapes: Vec<Option<Shape>>,
+    /// Whether each node's output is dropped after its last forward use.
+    pub(crate) transient: Vec<bool>,
+    /// Whether forward must keep the op's saved tensors for backward.
+    pub(crate) keep_saved: Vec<bool>,
+    /// Per-op static tables (`None` for inputs/params/out-of-cone).
+    pub(crate) ops: Vec<Option<OpTables>>,
+    /// Slot id for each transient value (dense node index -> slot).
+    pub(crate) value_slots: Vec<Option<u32>>,
+    /// Slot id for each transient gradient.
+    pub(crate) grad_slots: Vec<Option<u32>>,
+    /// Byte size of each slot.
+    pub(crate) slot_sizes: Vec<u64>,
+    /// Input binding shapes the plan was specialized to.
+    pub(crate) input_shapes: Vec<(NodeId, Shape)>,
+    /// Parameter shapes the plan assumed.
+    pub(crate) param_shapes: Vec<(NodeId, Shape)>,
+    /// Absolute planned peak (parameters + gradients included).
+    pub(crate) planned_peak_bytes: u64,
+    /// Peak minus the persistent parameter base: what one training step
+    /// transiently adds on top of what is live between steps.
+    pub(crate) step_delta: u64,
+    /// Same, for a forward-only execution.
+    pub(crate) fwd_delta: u64,
+    /// Workspace bytes contained in `step_delta` that the executor serves
+    /// through real pool leases (pools retain their buffers across steps).
+    pub(crate) assumed_workspace: u64,
+    /// Full live set at the planned peak moment, per (layer, kind).
+    pub(crate) peak_breakdown: PlannedBreakdown,
+    /// Live set at the forward-only peak moment.
+    pub(crate) fwd_peak_breakdown: PlannedBreakdown,
+    /// Segment replays one training step performs.
+    pub(crate) planned_replays: u64,
+}
+
+impl ExecPlan {
+    /// Compiles `(graph, stash plan, options, binding shapes, parameter
+    /// shapes, target)` into an execution plan.
+    ///
+    /// `opts.numeric` is ignored: a plan drives both the numeric and the
+    /// symbolic plane (they share schedule, policies and accounting by
+    /// design). `opts.training` is part of the plan's identity — it decides
+    /// stashing, the backward schedule and gradient liveness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingBinding`] when an in-cone input or
+    /// parameter has no shape, and propagates shape-inference failures.
+    pub fn build(
+        graph: &Graph,
+        stash: &StashPlan,
+        opts: ExecOptions,
+        binding_shapes: &HashMap<NodeId, Shape>,
+        param_shapes: &HashMap<NodeId, Shape>,
+        target: NodeId,
+    ) -> Result<ExecPlan> {
+        graph.node(target)?;
+        let n = graph.len();
+        let mut in_cone = vec![false; n];
+        for id in graph.ancestors(target) {
+            in_cone[id.index()] = true;
+        }
+        let schedule: Vec<NodeId> = graph
+            .nodes()
+            .iter()
+            .filter(|node| in_cone[node.id.index()])
+            .map(|node| node.id)
+            .collect();
+
+        // Shapes, per-op tables, forward use counts.
+        let mut shapes: Vec<Option<Shape>> = vec![None; n];
+        let mut ops: Vec<Option<OpTables>> = vec![None; n];
+        let mut fwd_uses = vec![0u32; n];
+        let mut input_shapes = Vec::new();
+        let mut used_params = Vec::new();
+        for &id in &schedule {
+            let node = &graph.nodes()[id.index()];
+            match &node.kind {
+                NodeKind::Input => {
+                    let shape = binding_shapes.get(&id).cloned().ok_or_else(|| {
+                        GraphError::MissingBinding {
+                            name: node.name.clone(),
+                        }
+                    })?;
+                    input_shapes.push((id, shape.clone()));
+                    shapes[id.index()] = Some(shape);
+                }
+                NodeKind::Param => {
+                    let shape = param_shapes.get(&id).cloned().ok_or_else(|| {
+                        GraphError::MissingBinding {
+                            name: node.name.clone(),
+                        }
+                    })?;
+                    used_params.push((id, shape.clone()));
+                    shapes[id.index()] = Some(shape);
+                }
+                NodeKind::Op { op, inputs } => {
+                    let in_shapes: Vec<&Shape> = inputs
+                        .iter()
+                        .map(|&i| shapes[i.index()].as_ref().expect("topological order"))
+                        .collect();
+                    let out_shape = op.infer_shape(&in_shapes)?;
+                    ops[id.index()] = Some(OpTables {
+                        needs: op.stash(),
+                        fwd_launches: op.forward_launches(&in_shapes, &out_shape),
+                        bwd_launches: op.backward_launches(&in_shapes, &out_shape),
+                        saved_bytes: op.saved_bytes(&in_shapes, &out_shape),
+                    });
+                    shapes[id.index()] = Some(out_shape);
+                    for &i in inputs {
+                        fwd_uses[i.index()] += 1;
+                    }
+                }
+            }
+        }
+
+        // Stashing and transience, by the interpreter's exact rules.
+        let mut transient = vec![false; n];
+        let mut keep_saved = vec![false; n];
+        for &id in &schedule {
+            if ops[id.index()].is_none() {
+                continue;
+            }
+            let stashed = opts.training && matches!(stash.policy(id), StashPolicy::Stash);
+            transient[id.index()] = !stashed;
+            keep_saved[id.index()] = stashed && opts.training;
+        }
+
+        // Static gradient reachability (superset of the runtime flow: an
+        // operator may return no gradient for a differentiable input, but
+        // never the reverse) and the backward schedule.
+        let mut grad_reaches = vec![false; n];
+        let mut bwd_schedule = Vec::new();
+        if opts.training {
+            grad_reaches[target.index()] = true;
+            for &id in schedule.iter().rev() {
+                if !grad_reaches[id.index()] {
+                    continue;
+                }
+                bwd_schedule.push(id);
+                if let NodeKind::Op { op, inputs } = &graph.nodes()[id.index()].kind {
+                    for (slot, &i) in inputs.iter().enumerate() {
+                        if op.input_differentiable(slot) {
+                            grad_reaches[i.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let bytes_of =
+            |id: NodeId| shapes[id.index()].as_ref().expect("in cone").num_bytes() as u64;
+
+        // Liveness intervals on a unified clock: forward step `i` happens
+        // at time `i`, backward step `i` at time `2n - i`.
+        let last_use: Vec<usize> = (0..n)
+            .map(|i| {
+                graph
+                    .consumers(NodeId::from_index(i))
+                    .iter()
+                    .filter(|c| in_cone[c.index()])
+                    .map(|c| c.index())
+                    .max()
+                    .unwrap_or(i)
+            })
+            .collect();
+        struct Interval {
+            node: usize,
+            grad: bool,
+            birth: usize,
+            death: usize,
+            bytes: u64,
+        }
+        let mut intervals = Vec::new();
+        for &id in &schedule {
+            let idx = id.index();
+            if transient[idx] && id != target {
+                let death = if fwd_uses[idx] > 0 {
+                    last_use[idx]
+                } else {
+                    2 * n + 2 // never freed by forward; lives out the step
+                };
+                intervals.push(Interval {
+                    node: idx,
+                    grad: false,
+                    birth: idx,
+                    death,
+                    bytes: bytes_of(id),
+                });
+            }
+        }
+        for &id in &bwd_schedule {
+            let idx = id.index();
+            if matches!(graph.nodes()[idx].kind, NodeKind::Param) {
+                continue; // parameter gradients are persistent
+            }
+            let birth = if id == target {
+                2 * n - idx // the seed, written before the walk
+            } else {
+                let highest_consumer = graph
+                    .consumers(id)
+                    .iter()
+                    .filter(|c| grad_reaches[c.index()])
+                    .map(|c| c.index())
+                    .max()
+                    .expect("a gradient reaches this node through a consumer");
+                2 * n - highest_consumer
+            };
+            intervals.push(Interval {
+                node: idx,
+                grad: true,
+                birth,
+                death: 2 * n - idx,
+                bytes: bytes_of(id),
+            });
+        }
+        intervals.sort_by_key(|iv| (iv.birth, iv.node));
+
+        // Greedy size-exact interval packing.
+        let mut value_slots: Vec<Option<u32>> = vec![None; n];
+        let mut grad_slots: Vec<Option<u32>> = vec![None; n];
+        let mut slot_sizes: Vec<u64> = Vec::new();
+        let mut slot_expiry: Vec<usize> = Vec::new();
+        for iv in &intervals {
+            let free = (0..slot_sizes.len())
+                .find(|&s| slot_sizes[s] == iv.bytes && slot_expiry[s] < iv.birth);
+            let slot = match free {
+                Some(s) => s,
+                None => {
+                    slot_sizes.push(iv.bytes);
+                    slot_expiry.push(0);
+                    slot_sizes.len() - 1
+                }
+            };
+            slot_expiry[slot] = iv.death;
+            let table = if iv.grad {
+                &mut grad_slots
+            } else {
+                &mut value_slots
+            };
+            table[iv.node] = Some(slot as u32);
+        }
+
+        let mut plan = ExecPlan {
+            target,
+            training: opts.training,
+            graph_len: n,
+            schedule,
+            bwd_schedule,
+            in_cone,
+            fwd_uses,
+            shapes,
+            transient,
+            keep_saved,
+            ops,
+            value_slots,
+            grad_slots,
+            slot_sizes,
+            input_shapes,
+            param_shapes: used_params,
+            planned_peak_bytes: 0,
+            step_delta: 0,
+            fwd_delta: 0,
+            assumed_workspace: 0,
+            peak_breakdown: Vec::new(),
+            fwd_peak_breakdown: Vec::new(),
+            planned_replays: 0,
+        };
+        let sim = AccountingSim::new(graph, stash, &plan).run();
+        plan.planned_peak_bytes = sim.planned_peak_bytes;
+        plan.step_delta = sim.step_delta;
+        plan.fwd_delta = sim.fwd_delta;
+        plan.assumed_workspace = sim.assumed_workspace;
+        plan.peak_breakdown = sim.peak_breakdown;
+        plan.fwd_peak_breakdown = sim.fwd_peak_breakdown;
+        plan.planned_replays = sim.planned_replays;
+        PLANS_BUILT.fetch_add(1, Ordering::Relaxed);
+        Ok(plan)
+    }
+
+    /// The node this plan executes to.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// Whether the plan schedules a backward pass.
+    pub fn training(&self) -> bool {
+        self.training
+    }
+
+    /// Absolute planned peak footprint of one step, parameters included —
+    /// what a step of the plan-driven executor reports as `peak_bytes`.
+    pub fn planned_peak_bytes(&self) -> u64 {
+        self.planned_peak_bytes
+    }
+
+    /// Number of reusable transient buffers the plan packs values and
+    /// gradients into.
+    pub fn slot_count(&self) -> usize {
+        self.slot_sizes.len()
+    }
+
+    /// Total bytes of the slot arena (sum of slot sizes).
+    pub fn arena_bytes(&self) -> u64 {
+        self.slot_sizes.iter().sum()
+    }
+
+    /// The reuse slot a transient node output was packed into, when the
+    /// node is transient (stashed outputs live outside the slot arena by
+    /// design — their lifetime spans forward to backward).
+    pub fn value_slot(&self, id: NodeId) -> Option<u32> {
+        self.value_slots.get(id.index()).copied().flatten()
+    }
+
+    /// The reuse slot a node's transient gradient was packed into.
+    pub fn grad_slot(&self, id: NodeId) -> Option<u32> {
+        self.grad_slots.get(id.index()).copied().flatten()
+    }
+
+    /// Segment replays one planned training step performs.
+    pub fn planned_replays(&self) -> u64 {
+        self.planned_replays
+    }
+
+    /// The full live set at the planned peak moment, per (layer, kind).
+    pub fn peak_breakdown(&self) -> &PlannedBreakdown {
+        &self.peak_breakdown
+    }
+
+    /// Parameter shapes the plan was built against.
+    pub fn param_shapes(&self) -> &[(NodeId, Shape)] {
+        &self.param_shapes
+    }
+
+    /// Whether this plan can drive an execution of `target` under `opts`
+    /// with the given bindings: same graph size, same target, same
+    /// training mode, and every input the plan was specialized to bound
+    /// with an identical shape.
+    pub fn matches(
+        &self,
+        graph_len: usize,
+        bindings: &HashMap<NodeId, Tensor>,
+        target: NodeId,
+        opts: ExecOptions,
+    ) -> bool {
+        self.graph_len == graph_len
+            && self.target == target
+            && self.training == opts.training
+            && self
+                .input_shapes
+                .iter()
+                .all(|(id, shape)| bindings.get(id).is_some_and(|t| t.shape() == shape))
+    }
+
+    pub(crate) fn shape(&self, idx: usize) -> &Shape {
+        self.shapes[idx].as_ref().expect("in-cone node has a shape")
+    }
+}
+
+/// Replays the legacy interpreter's allocator event sequence statically.
+///
+/// Every event mirrors one accounting action of `exec.rs`: input
+/// placeholder allocs, op output (+ stashed saved) allocs, transient frees
+/// after the last forward use, the gradient seed, per-node gradient
+/// allocs/frees, stash frees at each node's backward step, and
+/// workspace-pool growth at the exact replay trigger points of the numeric
+/// backward discipline. Byte totals therefore match what a legacy run
+/// records — the slot packing above never inflates them because it is
+/// size-exact.
+struct AccountingSim<'a> {
+    graph: &'a Graph,
+    stash: &'a StashPlan,
+    plan: &'a ExecPlan,
+    live: u64,
+    by_tag: HashMap<(LayerKind, DataStructureKind), u64>,
+    peak: u64,
+    peak_by_tag: HashMap<(LayerKind, DataStructureKind), u64>,
+    /// Active replay scratches: segment id -> min node index.
+    active: HashMap<usize, usize>,
+    /// Pool id -> (layer at creation, high-water bytes).
+    pools: HashMap<usize, (LayerKind, u64)>,
+    replays: u64,
+}
+
+impl<'a> AccountingSim<'a> {
+    fn new(graph: &'a Graph, stash: &'a StashPlan, plan: &'a ExecPlan) -> Self {
+        AccountingSim {
+            graph,
+            stash,
+            plan,
+            live: 0,
+            by_tag: HashMap::new(),
+            peak: 0,
+            peak_by_tag: HashMap::new(),
+            active: HashMap::new(),
+            pools: HashMap::new(),
+            replays: 0,
+        }
+    }
+
+    fn add(&mut self, layer: LayerKind, kind: DataStructureKind, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        self.live += bytes;
+        *self.by_tag.entry((layer, kind)).or_default() += bytes;
+        if self.live > self.peak {
+            self.peak = self.live;
+            self.peak_by_tag = self.by_tag.clone();
+        }
+    }
+
+    fn sub(&mut self, layer: LayerKind, kind: DataStructureKind, bytes: u64) {
+        self.live -= bytes;
+        if let Some(v) = self.by_tag.get_mut(&(layer, kind)) {
+            *v -= bytes;
+        }
+    }
+
+    fn bytes_of(&self, idx: usize) -> u64 {
+        self.plan.shape(idx).num_bytes() as u64
+    }
+
+    fn saved_bytes_of(&self, idx: usize) -> u64 {
+        self.plan.ops[idx].as_ref().map_or(0, |t| t.saved_bytes)
+    }
+
+    /// Whether backward would find this node's value missing (and so
+    /// trigger a replay if it is recomputable).
+    fn value_missing(&self, idx: usize) -> bool {
+        self.plan.transient[idx] && self.plan.ops[idx].is_some()
+    }
+
+    fn sim_replay(&mut self, seg: usize) {
+        if self.active.contains_key(&seg) {
+            return;
+        }
+        let nodes: Vec<NodeId> = self
+            .stash
+            .segment_nodes(seg)
+            .into_iter()
+            .filter(|id| self.plan.in_cone[id.index()])
+            .collect();
+        if nodes.is_empty() {
+            return;
+        }
+        let pool_id = match self.stash.policy(nodes[0]) {
+            StashPolicy::Recompute(s) => s.pool,
+            StashPolicy::Stash => 0,
+        };
+        let min_index = nodes.iter().map(|id| id.index()).min().expect("non-empty");
+        // Mark active before recursing so mutually-referencing segments
+        // terminate, mirroring the scratch-map insertion order guarantee
+        // that topological order gives the interpreter.
+        self.active.insert(seg, min_index);
+        let mut bytes = 0u64;
+        for &id in &nodes {
+            if let NodeKind::Op { inputs, .. } = &self.graph.nodes()[id.index()].kind {
+                for &i in inputs {
+                    let in_this_seg = nodes.contains(&i);
+                    if in_this_seg || !self.value_missing(i.index()) || self.scratch_has(i) {
+                        continue;
+                    }
+                    if let StashPolicy::Recompute(other) = self.stash.policy(i) {
+                        if other.id != seg {
+                            self.sim_replay(other.id);
+                        }
+                    }
+                }
+            }
+            bytes += self.bytes_of(id.index()) + self.saved_bytes_of(id.index());
+        }
+        let layer = self.graph.nodes()[min_index].layer;
+        let entry = self.pools.entry(pool_id).or_insert((layer, 0));
+        let (pool_layer, high) = *entry;
+        if bytes > high {
+            entry.1 = bytes;
+            self.add(pool_layer, DataStructureKind::Workspace, bytes - high);
+        }
+        self.replays += 1;
+    }
+
+    fn scratch_has(&self, id: NodeId) -> bool {
+        self.active
+            .keys()
+            .any(|&seg| self.stash.segment_nodes(seg).contains(&id))
+    }
+
+    fn run(mut self) -> SimResults {
+        let n = self.plan.graph_len;
+        let mut results = SimResults::default();
+        // Persistent base: every parameter's value + gradient, allocated
+        // at bind time.
+        for (id, shape) in &self.plan.param_shapes {
+            let layer = self.graph.nodes()[id.index()].layer;
+            self.add(
+                layer,
+                DataStructureKind::Weight,
+                2 * shape.num_bytes() as u64,
+            );
+        }
+        let persistent = self.live;
+
+        // Forward.
+        let mut uses = self.plan.fwd_uses.clone();
+        for i in 0..self.plan.schedule.len() {
+            let id = self.plan.schedule[i];
+            let idx = id.index();
+            let node = &self.graph.nodes()[idx];
+            match &node.kind {
+                NodeKind::Input => {
+                    self.add(
+                        node.layer,
+                        DataStructureKind::Placeholder,
+                        self.bytes_of(idx),
+                    );
+                }
+                NodeKind::Param => {}
+                NodeKind::Op { inputs, .. } => {
+                    let stashed = !self.plan.transient[idx];
+                    let kind = if stashed {
+                        DataStructureKind::FeatureMap
+                    } else {
+                        DataStructureKind::Placeholder
+                    };
+                    let bytes = self.bytes_of(idx)
+                        + if stashed && self.plan.training {
+                            self.saved_bytes_of(idx)
+                        } else {
+                            0
+                        };
+                    self.add(node.layer, kind, bytes);
+                    for &input in inputs.clone().iter() {
+                        uses[input.index()] -= 1;
+                        if uses[input.index()] == 0
+                            && input != self.plan.target
+                            && self.plan.transient[input.index()]
+                        {
+                            let in_node = &self.graph.nodes()[input.index()];
+                            let layer = in_node.layer;
+                            self.sub(
+                                layer,
+                                DataStructureKind::Placeholder,
+                                self.bytes_of(input.index()),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        results.fwd_delta = self.peak - persistent;
+        results.fwd_peak_breakdown = breakdown_vec(&self.peak_by_tag);
+
+        if self.plan.training {
+            // Backward: seed first, then the descending walk.
+            let target_idx = self.plan.target.index();
+            let target_layer = self.graph.nodes()[target_idx].layer;
+            let mut grad_born = vec![false; n];
+            grad_born[target_idx] = true;
+            self.add(
+                target_layer,
+                DataStructureKind::Placeholder,
+                self.bytes_of(target_idx),
+            );
+            for i in 0..self.plan.bwd_schedule.len() {
+                let id = self.plan.bwd_schedule[i];
+                let idx = id.index();
+                let node = &self.graph.nodes()[idx];
+                match &node.kind {
+                    NodeKind::Param => {}
+                    NodeKind::Input => {
+                        if grad_born[idx] {
+                            self.sub(
+                                node.layer,
+                                DataStructureKind::Placeholder,
+                                self.bytes_of(idx),
+                            );
+                        }
+                    }
+                    NodeKind::Op { op, inputs } => {
+                        if !grad_born[idx] {
+                            continue;
+                        }
+                        let inputs = inputs.clone();
+                        let needs = self.plan.ops[idx].as_ref().expect("op tables").needs;
+                        // Replay triggers, in the numeric backward's order:
+                        // required input values, then the node's own
+                        // output/saved state.
+                        if needs.inputs {
+                            for &input in &inputs {
+                                if self.value_missing(input.index()) {
+                                    if let StashPolicy::Recompute(seg) = self.stash.policy(input) {
+                                        self.sim_replay(seg.id);
+                                    }
+                                }
+                            }
+                        }
+                        if let StashPolicy::Recompute(seg) = self.stash.policy(id) {
+                            self.sim_replay(seg.id);
+                        }
+                        // Gradient births at first propagation.
+                        for (slot, &input) in inputs.iter().enumerate() {
+                            let iidx = input.index();
+                            if !op.input_differentiable(slot)
+                                || grad_born[iidx]
+                                || matches!(self.graph.nodes()[iidx].kind, NodeKind::Param)
+                            {
+                                continue;
+                            }
+                            grad_born[iidx] = true;
+                            let in_layer = self.graph.nodes()[iidx].layer;
+                            self.add(
+                                in_layer,
+                                DataStructureKind::Placeholder,
+                                self.bytes_of(iidx),
+                            );
+                        }
+                        // Frees: this node's gradient, its stashed output
+                        // and saved state; retire dead scratches (their
+                        // pool buffers stay live).
+                        self.sub(
+                            node.layer,
+                            DataStructureKind::Placeholder,
+                            self.bytes_of(idx),
+                        );
+                        if !self.plan.transient[idx] {
+                            let bytes = self.bytes_of(idx)
+                                + if self.plan.training {
+                                    self.saved_bytes_of(idx)
+                                } else {
+                                    0
+                                };
+                            self.sub(node.layer, DataStructureKind::FeatureMap, bytes);
+                        }
+                        self.active.retain(|_, &mut min| min < idx);
+                    }
+                }
+            }
+        }
+
+        results.planned_peak_bytes = self.peak;
+        results.step_delta = self.peak - persistent;
+        results.assumed_workspace = self.pools.values().map(|&(_, high)| high).sum();
+        results.peak_breakdown = breakdown_vec(&self.peak_by_tag);
+        results.planned_replays = self.replays;
+        results
+    }
+}
+
+/// What the static accounting timeline produces.
+#[derive(Default)]
+struct SimResults {
+    planned_peak_bytes: u64,
+    step_delta: u64,
+    fwd_delta: u64,
+    assumed_workspace: u64,
+    peak_breakdown: PlannedBreakdown,
+    fwd_peak_breakdown: PlannedBreakdown,
+    planned_replays: u64,
+}
+
+fn breakdown_vec(map: &HashMap<(LayerKind, DataStructureKind), u64>) -> PlannedBreakdown {
+    let mut v: PlannedBreakdown = map
+        .iter()
+        .filter(|(_, &bytes)| bytes > 0)
+        .map(|(&k, &bytes)| (k, bytes))
+        .collect();
+    v.sort_unstable();
+    v
+}

@@ -296,6 +296,66 @@ impl DeviceMemory {
         inner.peak_bytes = inner.live_bytes;
         inner.peak_breakdown = inner.live_by_tag.clone();
     }
+
+    /// Records one *planned* execution phase in a single call: the caller
+    /// has statically computed that the phase will transiently hold
+    /// `delta` bytes on top of what is live now, with the given
+    /// per-(layer, kind) breakdown at the phase's peak moment.
+    ///
+    /// A plan-driven executor uses this instead of issuing one `alloc` per
+    /// node per step. `assumed_workspace` names the portion of `delta`
+    /// that the phase serves through real (per-lease) workspace
+    /// allocations; whatever part of it is *already* live — pools retain
+    /// their high-water buffers across steps — is subtracted so repeated
+    /// phases do not double-count it.
+    ///
+    /// The peak breakdown snapshot is replaced by `breakdown` when the
+    /// planned phase sets a new peak; `breakdown` must therefore describe
+    /// the full live set at the phase peak (persistent allocations
+    /// included), not just the delta.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when the projected phase peak (plus the
+    /// context-overhead model) would exceed capacity, before any compute
+    /// runs — the planned counterpart of failing mid-iteration.
+    pub fn record_planned_peak(
+        &self,
+        delta: u64,
+        assumed_workspace: u64,
+        breakdown: &[((LayerKind, DataStructureKind), u64)],
+    ) -> Result<(), OomError> {
+        let mut inner = self.inner.lock();
+        let live_workspace: u64 = inner
+            .live_by_tag
+            .iter()
+            .filter(|((_, kind), _)| *kind == DataStructureKind::Workspace)
+            .map(|(_, &bytes)| bytes)
+            .sum();
+        let overlap = assumed_workspace.min(live_workspace).min(delta);
+        let candidate = inner.live_bytes + (delta - overlap);
+        if candidate + self.overheads(candidate) > self.capacity {
+            return Err(OomError {
+                requested: delta,
+                live: inner.live_bytes,
+                capacity: self.capacity,
+                tag: AllocationTag::new(
+                    LayerKind::Other,
+                    DataStructureKind::Placeholder,
+                    "planned_step",
+                ),
+            });
+        }
+        for &(key, bytes) in breakdown {
+            let e = inner.max_by_tag.entry(key).or_default();
+            *e = (*e).max(bytes);
+        }
+        if candidate > inner.peak_bytes {
+            inner.peak_bytes = candidate;
+            inner.peak_breakdown = breakdown.iter().copied().collect();
+        }
+        Ok(())
+    }
 }
 
 /// RAII handle to a device allocation; frees its bytes on drop.

@@ -39,9 +39,11 @@
 pub mod alloc;
 pub mod profiler;
 pub mod scratch;
+pub mod tensor_pool;
 pub mod workspace;
 
 pub use alloc::{Allocation, AllocationTag, DataStructureKind, DeviceMemory, LayerKind, OomError};
 pub use profiler::{BreakdownRow, MemoryBreakdown};
 pub use scratch::ScratchArena;
+pub use tensor_pool::TensorPool;
 pub use workspace::{WorkspaceLease, WorkspacePool};

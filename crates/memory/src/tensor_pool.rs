@@ -1,0 +1,222 @@
+//! Step-persistent recycling of owned tensor storage.
+//!
+//! [`ScratchArena`](crate::ScratchArena) serves *scoped* leases: a kernel
+//! borrows a slice for the duration of one call. The plan-driven executor
+//! has a different lifetime pattern — it frees a transient value at one
+//! point of the step (its last use) and materializes a same-sized value at
+//! another (a replay staging copy, a gradient seed, an all-reduce
+//! snapshot), with no common scope between the two. [`TensorPool`] covers
+//! that pattern: freed storage is *returned* to the pool as an owned
+//! `Vec<f32>` and *taken* later, possibly in a different function, without
+//! borrowing the pool across the gap.
+//!
+//! The pool is deliberately small and bounded: retaining every freed
+//! buffer of a training step would just move the working set from the
+//! allocator into the pool. It keeps at most `max_buffers` vectors,
+//! preferring to retain the largest capacities (a big buffer can serve any
+//! smaller request; the reverse costs a reallocation).
+//!
+//! Like the arena, the pool is host-plane only: the simulated device
+//! accounting for the storage it recycles is driven by the execution
+//! plan's slot table, not by individual `alloc`/`free` calls.
+
+/// A bounded free-list of owned `f32` buffers.
+///
+/// # Example
+///
+/// ```
+/// use echo_memory::TensorPool;
+///
+/// let mut pool = TensorPool::new();
+/// pool.put(vec![0.0; 1024]);
+/// let buf = pool.take(512); // served from the retained 1024-capacity vec
+/// assert_eq!(buf.len(), 512);
+/// assert_eq!(pool.reuse_hits(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TensorPool {
+    free: Vec<Vec<f32>>,
+    max_buffers: usize,
+    takes: u64,
+    reuse_hits: u64,
+    high_water_elems: usize,
+}
+
+impl Default for TensorPool {
+    fn default() -> Self {
+        TensorPool::new()
+    }
+}
+
+impl TensorPool {
+    /// Default retention bound: enough for the executor's staging needs
+    /// without hoarding a whole step's worth of transients.
+    pub const DEFAULT_MAX_BUFFERS: usize = 16;
+
+    /// Creates an empty pool with the default retention bound.
+    pub fn new() -> Self {
+        TensorPool::with_max_buffers(Self::DEFAULT_MAX_BUFFERS)
+    }
+
+    /// Creates an empty pool retaining at most `max_buffers` buffers.
+    pub fn with_max_buffers(max_buffers: usize) -> Self {
+        TensorPool {
+            free: Vec::new(),
+            max_buffers,
+            takes: 0,
+            reuse_hits: 0,
+            high_water_elems: 0,
+        }
+    }
+
+    /// Takes a buffer of exactly `elems` elements.
+    ///
+    /// Served from the retained buffer with the smallest sufficient
+    /// capacity when one exists (best fit), freshly allocated otherwise.
+    /// Contents are **unspecified** except that the buffer's length is
+    /// `elems`; callers must fully initialize the region they read.
+    pub fn take(&mut self, elems: usize) -> Vec<f32> {
+        self.takes += 1;
+        self.high_water_elems = self.high_water_elems.max(elems);
+        let best = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= elems)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                self.reuse_hits += 1;
+                let mut buf = self.free.swap_remove(i);
+                // Within capacity: truncate + zero-extend, no realloc.
+                buf.resize(elems, 0.0);
+                buf
+            }
+            None => vec![0.0; elems],
+        }
+    }
+
+    /// Returns a buffer's storage to the pool.
+    ///
+    /// When the pool is at its retention bound the smallest buffer is
+    /// evicted (dropped), so the pool converges on the largest working-set
+    /// sizes it has seen.
+    pub fn put(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        if self.free.len() >= self.max_buffers {
+            let smallest = self
+                .free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i)
+                .expect("non-empty at bound");
+            if self.free[smallest].capacity() >= buf.capacity() {
+                return; // incoming buffer is the smallest: drop it
+            }
+            self.free.swap_remove(smallest);
+        }
+        self.free.push(buf);
+    }
+
+    /// Number of `take` calls served.
+    pub fn take_count(&self) -> u64 {
+        self.takes
+    }
+
+    /// Takes that were served from a retained buffer without allocating.
+    pub fn reuse_hits(&self) -> u64 {
+        self.reuse_hits
+    }
+
+    /// Largest single request ever served, in elements.
+    pub fn high_water_elems(&self) -> usize {
+        self.high_water_elems
+    }
+
+    /// Number of buffers currently retained.
+    pub fn retained(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total capacity retained, in elements.
+    pub fn retained_elems(&self) -> usize {
+        self.free.iter().map(|b| b.capacity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_roundtrip_reuses_storage() {
+        let mut pool = TensorPool::new();
+        let a = pool.take(100);
+        assert_eq!(a.len(), 100);
+        assert_eq!(pool.reuse_hits(), 0);
+        let ptr = a.as_ptr();
+        pool.put(a);
+        let b = pool.take(100);
+        assert_eq!(b.as_ptr(), ptr, "same storage must be reused");
+        assert_eq!(pool.reuse_hits(), 1);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut pool = TensorPool::new();
+        pool.put(vec![0.0; 1000]);
+        pool.put(vec![0.0; 64]);
+        let b = pool.take(50);
+        assert!(b.capacity() < 1000, "the 64-capacity buffer fits better");
+        assert_eq!(pool.retained(), 1);
+    }
+
+    #[test]
+    fn smaller_request_is_zero_extended_not_reallocated() {
+        let mut pool = TensorPool::new();
+        pool.put(vec![1.0; 256]);
+        let b = pool.take(300);
+        // 300 > 256: no retained buffer fits, fresh allocation.
+        assert_eq!(b.len(), 300);
+        assert!(b.iter().all(|&v| v == 0.0));
+        let c = pool.take(200);
+        // Served from the retained 256-capacity buffer; stale prefix may
+        // remain but length is exact.
+        assert_eq!(c.len(), 200);
+    }
+
+    #[test]
+    fn retention_bound_keeps_largest_buffers() {
+        let mut pool = TensorPool::with_max_buffers(2);
+        pool.put(vec![0.0; 10]);
+        pool.put(vec![0.0; 1000]);
+        pool.put(vec![0.0; 500]);
+        assert_eq!(pool.retained(), 2);
+        assert!(pool.retained_elems() >= 1500, "small buffer evicted");
+        pool.put(vec![0.0; 5]);
+        assert_eq!(pool.retained(), 2, "tiny buffer dropped at the bound");
+        assert!(pool.retained_elems() >= 1500);
+    }
+
+    #[test]
+    fn stats_track_requests() {
+        let mut pool = TensorPool::new();
+        let a = pool.take(10);
+        pool.put(a);
+        let _b = pool.take(8);
+        assert_eq!(pool.take_count(), 2);
+        assert_eq!(pool.reuse_hits(), 1);
+        assert_eq!(pool.high_water_elems(), 10);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_retained() {
+        let mut pool = TensorPool::new();
+        pool.put(Vec::new());
+        assert_eq!(pool.retained(), 0);
+    }
+}

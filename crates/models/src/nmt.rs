@@ -5,7 +5,7 @@
 
 use crate::metrics::bleu;
 use echo_data::{NmtBatch, SentencePair, EOS, PAD};
-use echo_graph::{ExecOptions, Executor, Graph, NodeId, Result};
+use echo_graph::{ExecOptions, ExecPlan, Executor, Graph, NodeId, Result};
 use echo_memory::LayerKind;
 use echo_ops::{
     Activation, BroadcastAddQuery, Concat2LastDim, Embedding, FullyConnected, LayerNorm,
@@ -521,6 +521,25 @@ impl NmtModel {
             bindings.insert(node, Tensor::zeros(Shape::d2(batch, self.hyper.hidden)));
         }
         bindings
+    }
+
+    /// Compiles and installs an ahead-of-time execution plan for training
+    /// steps with `batch` lanes (the graph's fixed bucket lengths), using
+    /// the executor's current stash plan and bound parameter shapes.
+    /// Batches of any other shape silently fall back to the legacy
+    /// interpreter. Returns the shared plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures (e.g. parameters not bound yet).
+    pub fn install_exec_plan(&self, exec: &mut Executor, batch: usize) -> Result<Arc<ExecPlan>> {
+        let plan = exec.plan_for(
+            &self.symbolic_bindings(batch),
+            self.loss,
+            ExecOptions::default(),
+        )?;
+        exec.set_exec_plan(Arc::clone(&plan))?;
+        Ok(plan)
     }
 
     /// Teacher-forced predictions: the argmax token at every target

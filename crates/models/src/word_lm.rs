@@ -2,7 +2,7 @@
 //! LSTM stack → Output projection → perplexity loss.
 
 use echo_data::{LmBatch, PAD};
-use echo_graph::{Executor, Graph, NodeId, Result};
+use echo_graph::{ExecOptions, ExecPlan, Executor, Graph, NodeId, Result};
 use echo_memory::LayerKind;
 use echo_ops::{Embedding, FullyConnected, SoftmaxCrossEntropy};
 use echo_rnn::{LstmBackend, LstmStack};
@@ -187,6 +187,25 @@ impl WordLm {
         self.stack
             .add_zero_state_bindings(batch.batch, &mut bindings);
         bindings
+    }
+
+    /// Compiles and installs an ahead-of-time execution plan for training
+    /// steps with `batch` lanes, using the executor's current stash plan
+    /// and bound parameter shapes. Returns the shared plan so callers can
+    /// install the same one on replicas (see
+    /// [`Executor::clone_replica`], which shares it automatically).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures (e.g. parameters not bound yet).
+    pub fn install_exec_plan(&self, exec: &mut Executor, batch: usize) -> Result<Arc<ExecPlan>> {
+        let plan = exec.plan_for(
+            &self.symbolic_bindings(batch),
+            self.loss,
+            ExecOptions::default(),
+        )?;
+        exec.set_exec_plan(Arc::clone(&plan))?;
+        Ok(plan)
     }
 
     /// Builds shape-only bindings for a given batch size (symbolic plane).

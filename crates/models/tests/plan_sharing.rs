@@ -1,0 +1,98 @@
+//! Replica construction must not re-plan: `clone_replica` shares the
+//! template's `Arc<ExecPlan>`, so a K-replica `ParallelTrainer` performs
+//! exactly one planning pass — the template's — no matter how many workers
+//! it spawns.
+//!
+//! This file holds a single `#[test]` on purpose: `plans_built()` is a
+//! process-global counter, and an integration-test binary is its own
+//! process, so the count here cannot race with other planning tests.
+
+use echo_data::{BpttBatches, LmCorpus, Vocab};
+use echo_graph::{plans_built, Executor, StashPlan};
+use echo_memory::DeviceMemory;
+use echo_models::{
+    DataParallelOptions, MicrobatchTrainer, ParallelTrainer, Sgd, WordLm, WordLmHyper,
+};
+use echo_rnn::LstmBackend;
+use std::sync::Arc;
+
+const LANES: usize = 8;
+const MICRO: usize = 4;
+const REPLICAS: usize = 4;
+
+fn optimizer() -> Box<Sgd> {
+    Box::new(Sgd::new(0.5).with_momentum(0.9).with_clip_norm(5.0))
+}
+
+#[test]
+fn four_replicas_share_one_planning_pass() {
+    let lm = WordLm::build(WordLmHyper::tiny(40, LstmBackend::CuDnn));
+    let corpus = LmCorpus::synthetic(Vocab::new(40), 2400, 0.9, 13);
+    let batches: Vec<_> = BpttBatches::new(corpus.tokens(), LANES, lm.hyper.seq_len)
+        .take(2)
+        .collect();
+
+    let mem = DeviceMemory::with_overhead_model(1 << 30, 0, 0.0);
+    let mut template = Executor::new(Arc::clone(&lm.graph), StashPlan::stash_all(), mem);
+    lm.bind_params(&mut template, 23).expect("bind");
+
+    let before = plans_built();
+    // Workers see micro-batches of LANES / MICRO lanes, so plan for that.
+    let shared = lm
+        .install_exec_plan(&mut template, LANES / MICRO)
+        .expect("plan installs");
+    assert_eq!(plans_built() - before, 1, "installing the plan builds once");
+
+    let trainer = ParallelTrainer::for_word_lm(
+        &lm,
+        &template,
+        LANES,
+        &DataParallelOptions::new(REPLICAS, MICRO),
+        optimizer(),
+    )
+    .expect("trainer spawns");
+    assert_eq!(
+        plans_built() - before,
+        1,
+        "{REPLICAS}-replica construction must not re-plan"
+    );
+    assert!(Arc::ptr_eq(
+        template.exec_plan().expect("template keeps its plan"),
+        &shared
+    ));
+
+    // The planned parallel engine stays bit-identical to the serial
+    // micro-batch reference (which also runs plan-driven via the shared
+    // replica plan).
+    let mut parallel = trainer;
+    let serial_exec = template
+        .clone_replica(DeviceMemory::with_overhead_model(1 << 30, 0, 0.0))
+        .expect("serial replica");
+    let mut serial =
+        MicrobatchTrainer::for_word_lm(&lm, serial_exec, LANES, MICRO, optimizer(), None)
+            .expect("serial trainer");
+    assert_eq!(
+        plans_built() - before,
+        1,
+        "replica cloning must not re-plan"
+    );
+    for batch in &batches {
+        let p = parallel.step(batch);
+        let s = serial.step(batch).expect("serial step");
+        assert_eq!(p.loss.to_bits(), s.loss.to_bits(), "loss bits diverged");
+        assert_eq!(
+            p.grad_norm.to_bits(),
+            s.grad_norm.to_bits(),
+            "grad-norm bits diverged"
+        );
+    }
+    let p_params = parallel.export_params();
+    for ((id_p, t_p), (id_s, t_s)) in p_params.iter().zip(serial.export_params().iter()) {
+        assert_eq!(id_p, id_s);
+        let bits = |t: &echo_tensor::Tensor| -> Vec<u32> {
+            t.data().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(bits(t_p), bits(t_s), "parameter bits diverged");
+    }
+    assert_eq!(plans_built() - before, 1, "stepping must not re-plan");
+}

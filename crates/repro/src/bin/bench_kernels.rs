@@ -11,12 +11,18 @@
 //! * `--quick` — fewer reps / steps (the CI configuration);
 //! * `--gate`  — exit non-zero unless the packed-parallel kernel is at
 //!   least 2× the naive kernel on the large word-LM-shaped GEMM (a
-//!   coarse anti-regression gate).
+//!   coarse anti-regression gate);
+//! * `--plan`  — additionally time plan-driven vs legacy `train_step`
+//!   on scheduler-bound word-LM and NMT configurations and record the
+//!   Echo-vs-stash-all planned peaks; with `--gate`, fail unless the
+//!   planned word-LM step is ≥1.2× legacy and the Echo planned peak is
+//!   strictly below stash-all.
 //!
 //! Every run also re-checks the bit-exactness contract (packed bands
 //! {1, 2, 4, 8} and end-to-end losses across policies) — a benchmark
 //! that silently changed numerics would be worse than a slow one.
 
+use echo::{EchoCompiler, EchoConfig};
 use echo_data::{BpttBatches, LmCorpus, NmtBatch, ParallelCorpus, Vocab};
 use echo_graph::{ExecOptions, Executor, StashPlan};
 use echo_memory::DeviceMemory;
@@ -222,6 +228,155 @@ fn nmt_steps(policy: MatmulPolicy, steps: usize) -> (Vec<f64>, Vec<u32>) {
     (step_ms, loss_bits)
 }
 
+/// Outcome of one plan-vs-legacy timing run.
+struct PlanBench {
+    legacy_ms: Vec<f64>,
+    planned_ms: Vec<f64>,
+    speedup: f64,
+}
+
+/// Times bare `train_step` calls (no optimizer, bindings prebuilt) on one
+/// model, legacy vs plan-driven. The configurations are deliberately
+/// *scheduler-bound* — the unfused per-step LSTM backend with small GEMMs
+/// — because the plan removes per-node interpreter overhead (table
+/// rebuilds, shape re-inference, kernel-launch construction, backward
+/// tensor clones), not GEMM flops; on GEMM-bound shapes both paths are
+/// equally compute-limited. Losses must stay bit-identical.
+fn plan_bench(mut run_step: impl FnMut() -> (f64, u32), steps: usize) -> (Vec<f64>, Vec<u32>) {
+    run_step(); // warm-up: pools, lazy kernel state
+    let mut ms = Vec::with_capacity(steps);
+    let mut bits = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let (t, b) = run_step();
+        ms.push(t);
+        bits.push(b);
+    }
+    (ms, bits)
+}
+
+/// Plan-vs-legacy timing on the scheduler-bound word-LM (unfused
+/// per-step LSTM, paper topology at reduced width).
+fn plan_bench_word_lm(steps: usize) -> PlanBench {
+    set_matmul_policy(MatmulPolicy::Auto);
+    let hyper = WordLmHyper {
+        vocab: 60,
+        embed: 16,
+        hidden: 16,
+        layers: 2,
+        seq_len: 64,
+        backend: LstmBackend::Default,
+    };
+    let lm = WordLm::build(hyper);
+    let corpus = LmCorpus::synthetic(Vocab::new(60), 2000, 0.9, 5);
+    let batch = BpttBatches::new(corpus.tokens(), 4, lm.hyper.seq_len)
+        .next()
+        .expect("batch");
+    let bindings = lm.bindings(&batch);
+
+    let make = |planned: bool| {
+        let mut exec = Executor::new(Arc::clone(&lm.graph), StashPlan::stash_all(), mem());
+        lm.bind_params(&mut exec, 3).expect("bind");
+        if planned {
+            lm.install_exec_plan(&mut exec, 4).expect("plan installs");
+        }
+        exec
+    };
+    let mut legacy_exec = make(false);
+    let mut planned_exec = make(true);
+    let step = |exec: &mut Executor| -> (f64, u32) {
+        let start = Instant::now();
+        let stats = exec
+            .train_step(&bindings, lm.loss, ExecOptions::default(), None)
+            .expect("train step");
+        (
+            start.elapsed().as_secs_f64() * 1e3,
+            stats.loss.expect("loss").to_bits(),
+        )
+    };
+    let (legacy_ms, legacy_bits) = plan_bench(|| step(&mut legacy_exec), steps);
+    let (planned_ms, planned_bits) = plan_bench(|| step(&mut planned_exec), steps);
+    assert_eq!(
+        legacy_bits, planned_bits,
+        "plan-driven word_lm losses diverged from legacy — numerics bug"
+    );
+    PlanBench {
+        speedup: mean(&legacy_ms) / mean(&planned_ms),
+        legacy_ms,
+        planned_ms,
+    }
+}
+
+/// Plan-vs-legacy timing on a small NMT bucket (fixed bucket lengths, so
+/// the plan applies to every batch).
+fn plan_bench_nmt(steps: usize) -> PlanBench {
+    set_matmul_policy(MatmulPolicy::Auto);
+    let corpus = ParallelCorpus::synthetic(Vocab::new(100), Vocab::new(90), 200, 5..=8, 5);
+    let model = NmtModel::build(NmtHyper::tiny(
+        corpus.src_vocab().size(),
+        corpus.tgt_vocab().size(),
+    ));
+    let batch = NmtBatch::bucketed(corpus.pairs(), 8).remove(0);
+    let bindings = model.bindings(&batch);
+
+    let make = |planned: bool| {
+        let mut exec = Executor::new(Arc::clone(&model.graph), StashPlan::stash_all(), mem());
+        model.bind_params(&mut exec, 2).expect("bind");
+        if planned {
+            model
+                .install_exec_plan(&mut exec, 8)
+                .expect("plan installs");
+        }
+        exec
+    };
+    let mut legacy_exec = make(false);
+    let mut planned_exec = make(true);
+    let step = |exec: &mut Executor| -> (f64, u32) {
+        let start = Instant::now();
+        let stats = exec
+            .train_step(&bindings, model.loss, ExecOptions::default(), None)
+            .expect("train step");
+        (
+            start.elapsed().as_secs_f64() * 1e3,
+            stats.loss.expect("loss").to_bits(),
+        )
+    };
+    let (legacy_ms, legacy_bits) = plan_bench(|| step(&mut legacy_exec), steps);
+    let (planned_ms, planned_bits) = plan_bench(|| step(&mut planned_exec), steps);
+    assert_eq!(
+        legacy_bits, planned_bits,
+        "plan-driven nmt losses diverged from legacy — numerics bug"
+    );
+    PlanBench {
+        speedup: mean(&legacy_ms) / mean(&planned_ms),
+        legacy_ms,
+        planned_ms,
+    }
+}
+
+/// Planned peaks of the Echo plan vs the stash-all baseline on the NMT
+/// model — the compiler's static numbers, not runtime measurements.
+fn planned_peaks_nmt() -> (u64, u64) {
+    let model = NmtModel::build(NmtHyper::tiny(100, 90));
+    let bindings = model.symbolic_bindings(8);
+    let compile = |config: EchoConfig| {
+        EchoCompiler::new(config)
+            .compile(
+                &model.graph,
+                &bindings,
+                &model.param_shapes(),
+                &[model.loss, model.logits],
+            )
+            .expect("compile")
+            .report
+            .planned_peak_bytes
+            .expect("exec plan built")
+    };
+    (
+        compile(EchoConfig::default()),
+        compile(EchoConfig::baseline()),
+    )
+}
+
 fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
@@ -233,6 +388,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let gate = args.iter().any(|a| a == "--gate");
+    let plan = args.iter().any(|a| a == "--plan");
     let reps = if quick { 3 } else { 7 };
     let steps = if quick { 3 } else { 6 };
 
@@ -322,6 +478,69 @@ fn main() {
         ],
     );
 
+    // ---- Plan-driven vs legacy hot loop (--plan) ----------------------
+    let mut plan_json = serde_json::Value::Null;
+    if plan {
+        let plan_steps = if quick { 5 } else { 12 };
+        let lm_plan = plan_bench_word_lm(plan_steps);
+        let nmt_plan = plan_bench_nmt(plan_steps);
+        let (echo_peak, stash_all_peak) = planned_peaks_nmt();
+        echo_repro::print_table(
+            "plan-driven vs legacy train step (mean ms)",
+            &["model", "legacy", "planned", "speedup"],
+            &[
+                vec![
+                    "word_lm (unfused)".into(),
+                    format!("{:.2}", mean(&lm_plan.legacy_ms)),
+                    format!("{:.2}", mean(&lm_plan.planned_ms)),
+                    format!("{:.2}x", lm_plan.speedup),
+                ],
+                vec![
+                    "nmt".into(),
+                    format!("{:.2}", mean(&nmt_plan.legacy_ms)),
+                    format!("{:.2}", mean(&nmt_plan.planned_ms)),
+                    format!("{:.2}x", nmt_plan.speedup),
+                ],
+            ],
+        );
+        println!(
+            "planned peaks (NMT): echo {:.2} MiB vs stash-all {:.2} MiB",
+            echo_peak as f64 / (1 << 20) as f64,
+            stash_all_peak as f64 / (1 << 20) as f64,
+        );
+        plan_json = json!({
+            "word_lm": {
+                "legacy_ms": lm_plan.legacy_ms,
+                "planned_ms": lm_plan.planned_ms,
+                "speedup": lm_plan.speedup,
+            },
+            "nmt": {
+                "legacy_ms": nmt_plan.legacy_ms,
+                "planned_ms": nmt_plan.planned_ms,
+                "speedup": nmt_plan.speedup,
+            },
+            "planned_peak_bytes": {
+                "nmt_echo": echo_peak,
+                "nmt_stash_all": stash_all_peak,
+            },
+        });
+        if gate {
+            assert!(
+                lm_plan.speedup >= 1.2,
+                "plan gate: plan-driven word_lm step is only {:.2}x legacy (need >= 1.2x)",
+                lm_plan.speedup
+            );
+            assert!(
+                echo_peak < stash_all_peak,
+                "plan gate: echo planned peak {echo_peak} not below stash-all {stash_all_peak}"
+            );
+            println!(
+                "plan gate passed: {:.2}x >= 1.2x on word_lm, echo peak {echo_peak} < stash-all {stash_all_peak}",
+                lm_plan.speedup
+            );
+        }
+    }
+
     let autotune = echo_tensor::policy::autotune_outcome().map(|o| {
         json!({
             "chosen": o.chosen.name(),
@@ -343,6 +562,7 @@ fn main() {
             "word_lm_loss_bits_identical_across_policies": true,
             "nmt_loss_bits_identical_across_policies": true,
         },
+        "plan": plan_json,
         "train_steps": {
             "word_lm": {
                 "naive_ms": lm_naive_ms,

@@ -1,0 +1,219 @@
+//! Plan-driven execution must be indistinguishable from the legacy
+//! interpreter — for every stash plan and every GEMM backend.
+//!
+//! The ahead-of-time `ExecPlan` (`echo_graph::plan`) precomputes the
+//! schedule, shapes, liveness intervals and buffer slots, and the executor
+//! interprets it instead of rebuilding per-run tables. This sweep pins the
+//! contract from the ISSUE: across {stash-all, Echo, Chen-√N} stash plans
+//! and all `MatmulPolicy` backends, on both a tiny word-level LM and a
+//! hand-built GRU chain, the planned path is **bit-identical** to legacy in
+//! loss, every exported gradient, and replay counts — and the plan's static
+//! `planned_peak_bytes` never exceeds the peak the legacy interpreter
+//! actually touched.
+//!
+//! One `#[test]`, not several: the matmul policy is process-global state
+//! and the harness runs `#[test]`s concurrently, so the sweep must iterate
+//! policies sequentially inside a single test (this file is its own
+//! integration-test binary, i.e. its own process).
+
+use echo::{analysis::infer_shapes, chen_sqrt_plan, sqrt_stride, EchoCompiler, EchoConfig};
+use echo_data::{BpttBatches, LmCorpus, Vocab};
+use echo_graph::{ExecOptions, Executor, Graph, NodeId, StashPlan};
+use echo_memory::{DeviceMemory, LayerKind};
+use echo_models::{WordLm, WordLmHyper};
+use echo_ops::MeanAll;
+use echo_rnn::{GruStep, LstmBackend};
+use echo_tensor::init::{seeded_rng, uniform};
+use echo_tensor::{set_matmul_policy, MatmulBackend, MatmulPolicy, Shape, Tensor};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const LANES: usize = 4;
+const PARAM_SEED: u64 = 11;
+
+/// One model under test: a graph, its scalar loss, deterministic parameter
+/// values, and one batch of input bindings.
+struct Scenario {
+    name: &'static str,
+    graph: Arc<Graph>,
+    loss: NodeId,
+    params: Vec<(NodeId, Tensor)>,
+    bindings: HashMap<NodeId, Tensor>,
+}
+
+impl Scenario {
+    fn param_shapes(&self) -> HashMap<NodeId, Shape> {
+        self.params
+            .iter()
+            .map(|(id, t)| (*id, t.shape().clone()))
+            .collect()
+    }
+
+    /// The three stash plans of the sweep: the framework baseline, the
+    /// Echo pass's output, and Chen et al.'s generic √N checkpointing.
+    fn stash_plans(&self) -> Vec<(&'static str, StashPlan)> {
+        let shapes = infer_shapes(&self.graph, &self.bindings, &self.param_shapes())
+            .expect("shape inference");
+        let echo = EchoCompiler::new(EchoConfig::default())
+            .compile_with_shapes(&self.graph, &shapes, &[self.loss])
+            .plan;
+        let (chen, _) = chen_sqrt_plan(&self.graph, &shapes, &[self.loss], {
+            sqrt_stride(&self.graph)
+        });
+        vec![
+            ("stash-all", StashPlan::stash_all()),
+            ("echo", echo),
+            ("chen-sqrt-n", chen),
+        ]
+    }
+}
+
+fn word_lm_scenario() -> Scenario {
+    let lm = WordLm::build(WordLmHyper::tiny(30, LstmBackend::CuDnn));
+    let corpus = LmCorpus::synthetic(Vocab::new(30), 1200, 0.85, 5);
+    let batch = BpttBatches::new(corpus.tokens(), LANES, lm.hyper.seq_len)
+        .next()
+        .expect("corpus yields a batch");
+    // Capture the seeded parameter values once so every run binds
+    // identical bits.
+    let mut probe = Executor::new(
+        Arc::clone(&lm.graph),
+        StashPlan::stash_all(),
+        DeviceMemory::with_overhead_model(1 << 30, 0, 0.0),
+    );
+    lm.bind_params(&mut probe, PARAM_SEED).expect("bind");
+    Scenario {
+        name: "word-lm",
+        graph: Arc::clone(&lm.graph),
+        loss: lm.loss,
+        params: probe.export_params(),
+        bindings: lm.bindings(&batch),
+    }
+}
+
+/// A 4-step GRU chain ending in a mean-reduce loss — the recurrent shape
+/// the fused `GruStep` operator is built for, exercised here because the
+/// LM scenario never touches it.
+fn gru_scenario() -> Scenario {
+    let (b, h, steps) = (3usize, 4usize, 4usize);
+    let mut g = Graph::new();
+    let h0 = g.input("h0", LayerKind::Rnn);
+    let wx = g.param("wx", LayerKind::Rnn);
+    let wh = g.param("wh", LayerKind::Rnn);
+    let bias = g.param("bias", LayerKind::Rnn);
+    let mut xs = Vec::new();
+    let mut state = h0;
+    for t in 0..steps {
+        let x = g.input(format!("x{t}"), LayerKind::Rnn);
+        xs.push(x);
+        state = g.apply(
+            format!("gru{t}"),
+            Arc::new(GruStep::new(h)),
+            &[x, state, wx, wh, bias],
+            LayerKind::Rnn,
+        );
+    }
+    let loss = g.apply("loss", Arc::new(MeanAll), &[state], LayerKind::Output);
+
+    let mut rng = seeded_rng(PARAM_SEED);
+    let params = vec![
+        (wx, uniform(Shape::d2(3 * h, h), 0.6, &mut rng)),
+        (wh, uniform(Shape::d2(3 * h, h), 0.6, &mut rng)),
+        (bias, uniform(Shape::d1(6 * h), 0.2, &mut rng)),
+    ];
+    let mut bindings = HashMap::new();
+    bindings.insert(h0, Tensor::zeros(Shape::d2(b, h)));
+    for &x in &xs {
+        bindings.insert(x, uniform(Shape::d2(b, h), 1.0, &mut rng));
+    }
+    Scenario {
+        name: "gru",
+        graph: Arc::new(g),
+        loss,
+        params,
+        bindings,
+    }
+}
+
+/// Everything observable from one train step, as bits.
+struct Fingerprint {
+    loss_bits: u32,
+    grad_bits: Vec<(NodeId, Vec<u32>)>,
+    replays: u64,
+    peak_bytes: u64,
+}
+
+fn run_step(scenario: &Scenario, stash: &StashPlan, planned: bool) -> (Fingerprint, Option<u64>) {
+    let mem = DeviceMemory::with_overhead_model(1 << 30, 0, 0.0);
+    let mut exec = Executor::new(Arc::clone(&scenario.graph), stash.clone(), mem);
+    for (id, value) in &scenario.params {
+        exec.bind_param(*id, value.clone()).expect("bind param");
+    }
+    let mut planned_peak = None;
+    if planned {
+        let plan = exec
+            .plan_for(&scenario.bindings, scenario.loss, ExecOptions::default())
+            .expect("plan builds");
+        planned_peak = Some(plan.planned_peak_bytes());
+        exec.set_exec_plan(plan).expect("plan installs");
+    }
+    let stats = exec
+        .train_step(
+            &scenario.bindings,
+            scenario.loss,
+            ExecOptions::default(),
+            None,
+        )
+        .expect("train step");
+    let grad_bits = exec
+        .export_grads()
+        .into_iter()
+        .map(|(id, t)| (id, t.data().iter().map(|v| v.to_bits()).collect()))
+        .collect();
+    (
+        Fingerprint {
+            loss_bits: stats.loss.expect("numeric loss").to_bits(),
+            grad_bits,
+            replays: stats.replays,
+            peak_bytes: stats.peak_bytes,
+        },
+        planned_peak,
+    )
+}
+
+#[test]
+fn planned_execution_is_bit_identical_across_plans_and_matmul_policies() {
+    let scenarios = [word_lm_scenario(), gru_scenario()];
+    let policies = [
+        MatmulPolicy::Fixed(MatmulBackend::Naive),
+        MatmulPolicy::Fixed(MatmulBackend::Blocked),
+        MatmulPolicy::Fixed(MatmulBackend::PackedParallel),
+        MatmulPolicy::Auto,
+    ];
+    for scenario in &scenarios {
+        for (plan_name, stash) in scenario.stash_plans() {
+            for &policy in &policies {
+                set_matmul_policy(policy);
+                let ctx = format!("{}/{plan_name}/{policy:?}", scenario.name);
+                let (legacy, _) = run_step(scenario, &stash, false);
+                let (planned, static_peak) = run_step(scenario, &stash, true);
+                assert_eq!(planned.loss_bits, legacy.loss_bits, "loss bits ({ctx})");
+                assert_eq!(planned.grad_bits, legacy.grad_bits, "gradient bits ({ctx})");
+                assert_eq!(planned.replays, legacy.replays, "replay counts ({ctx})");
+                let static_peak = static_peak.expect("planned run reports a static peak");
+                assert!(
+                    static_peak <= legacy.peak_bytes,
+                    "planned_peak_bytes {static_peak} above legacy peak {} ({ctx})",
+                    legacy.peak_bytes
+                );
+                assert!(
+                    planned.peak_bytes <= legacy.peak_bytes,
+                    "planned step peak {} above legacy peak {} ({ctx})",
+                    planned.peak_bytes,
+                    legacy.peak_bytes
+                );
+            }
+        }
+    }
+    set_matmul_policy(MatmulPolicy::Auto);
+}
