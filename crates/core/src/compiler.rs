@@ -305,6 +305,67 @@ impl EchoCompiler {
         Ok(compiled.report)
     }
 
+    /// Compiles an inference-mode execution plan over `outputs`.
+    ///
+    /// Serving has no backward pass, so the recomputation pass is moot
+    /// (there is nothing to rematerialize *for*) and the stash plan is
+    /// trivially stash-all with zero stash traffic: the resulting
+    /// [`ExecPlan`] carries no backward schedule, no stash table and no
+    /// gradient slots, which is why its slot arena and launch table are
+    /// strictly smaller than the training plan's for the same graph and
+    /// shapes. `outputs` is the full set of values a serving step needs —
+    /// e.g. logits plus each layer's final recurrent state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference and plan-validation failures; `outputs`
+    /// must be non-empty.
+    pub fn compile_inference(
+        &self,
+        graph: &Graph,
+        bindings: &HashMap<NodeId, Tensor>,
+        param_shapes: &HashMap<NodeId, Shape>,
+        outputs: &[NodeId],
+    ) -> Result<CompiledPlan, EchoError> {
+        let binding_shapes: HashMap<NodeId, Shape> = bindings
+            .iter()
+            .map(|(&id, t)| (id, t.shape().clone()))
+            .collect();
+        let exec_plan = ExecPlan::build_inference(graph, &binding_shapes, param_shapes, outputs)?;
+        let report = PassReport {
+            planned_peak_bytes: Some(exec_plan.planned_peak_bytes()),
+            slot_count: Some(exec_plan.slot_count()),
+            ..PassReport::default()
+        };
+        Ok(CompiledPlan {
+            plan: StashPlan::stash_all(),
+            report,
+            exec_plan: Some(Arc::new(exec_plan)),
+        })
+    }
+
+    /// Compiles an inference plan and installs it into `exec` in one step
+    /// — the serving counterpart of [`EchoCompiler::attach`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures; on error the executor is left
+    /// untouched.
+    pub fn attach_inference(
+        &self,
+        exec: &mut crate::Executor,
+        bindings: &HashMap<NodeId, Tensor>,
+        param_shapes: &HashMap<NodeId, Shape>,
+        outputs: &[NodeId],
+    ) -> Result<PassReport, EchoError> {
+        let compiled = self.compile_inference(exec.graph(), bindings, param_shapes, outputs)?;
+        exec.set_plan(compiled.plan);
+        if let Some(exec_plan) = compiled.exec_plan {
+            exec.set_exec_plan(exec_plan)?;
+        }
+        Ok(compiled.report)
+    }
+
     /// Like [`EchoCompiler::compile`] but reusing an existing shape table.
     pub fn compile_with_shapes(
         &self,
@@ -524,6 +585,41 @@ mod tests {
             exec_plan.planned_peak_bytes()
         );
         assert!(report.to_string().contains("exec plan:"));
+    }
+
+    #[test]
+    fn inference_compile_is_leaner_and_attaches() {
+        use echo_models::{WordLmDecoder, WordLmHyper};
+        let dec = WordLmDecoder::build(WordLmHyper::tiny(29, echo_rnn::LstmBackend::Default));
+        let bindings = dec.symbolic_bindings(4);
+        let mut exec = Executor::new(Arc::clone(&dec.graph), StashPlan::stash_all(), mem());
+        dec.bind_params(&mut exec, 3).unwrap();
+        let param_shapes: HashMap<echo_graph::NodeId, echo_tensor::Shape> = exec
+            .param_ids()
+            .into_iter()
+            .map(|id| (id, exec.param(id).unwrap().shape().clone()))
+            .collect();
+        let compiler = EchoCompiler::new(EchoConfig::default());
+        let report = compiler
+            .attach_inference(&mut exec, &bindings, &param_shapes, dec.outputs())
+            .unwrap();
+        let installed = exec.exec_plan().expect("attach installs the plan");
+        assert!(!installed.training());
+        assert_eq!(
+            report.planned_peak_bytes,
+            Some(installed.planned_peak_bytes())
+        );
+        // Training compilation of the same graph/shapes must plan a
+        // strictly larger footprint than inference.
+        let training = compiler
+            .compile(&dec.graph, &bindings, &param_shapes, &[dec.logits])
+            .unwrap();
+        assert!(
+            report.planned_peak_bytes < training.report.planned_peak_bytes,
+            "inference {:?} vs training {:?}",
+            report.planned_peak_bytes,
+            training.report.planned_peak_bytes
+        );
     }
 
     #[test]

@@ -136,6 +136,26 @@ impl Executor {
         &self.mem
     }
 
+    /// Counters of the step-persistent [`TensorPool`] backing the
+    /// plan-driven hot loop. Reuse hits climbing across repeated steps is
+    /// the signal that storage is recycled rather than reallocated.
+    pub fn tensor_pool_stats(&self) -> echo_memory::TensorPoolStats {
+        self.state.pool.stats()
+    }
+
+    /// Takes an `elems`-long buffer from the step-persistent
+    /// [`TensorPool`]. Contents are unspecified; pair with
+    /// [`Executor::pool_recycle`] so repeated same-shaped steps (e.g. a
+    /// serving engine's per-request bindings) stop allocating.
+    pub fn pool_take(&mut self, elems: usize) -> Vec<f32> {
+        self.state.pool.take(elems)
+    }
+
+    /// Returns a tensor's storage to the step-persistent [`TensorPool`].
+    pub fn pool_recycle(&mut self, t: Tensor) {
+        self.state.pool.put(t.into_vec());
+    }
+
     /// Replaces the stash plan (used when re-compiling with the Echo pass).
     ///
     /// Any attached [`ExecPlan`] is dropped: it was derived from the old
@@ -224,6 +244,31 @@ impl Executor {
             &binding_shapes,
             &self.param_shapes,
             target,
+        )?))
+    }
+
+    /// Builds an inference-mode plan producing `outputs` from bindings of
+    /// these shapes (see [`ExecPlan::build_inference`]); install it with
+    /// [`set_exec_plan`](Executor::set_exec_plan) to drive
+    /// [`forward_many`](Executor::forward_many).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures (missing bindings, shape errors).
+    pub fn plan_for_inference(
+        &self,
+        bindings: &HashMap<NodeId, Tensor>,
+        outputs: &[NodeId],
+    ) -> Result<Arc<ExecPlan>> {
+        let binding_shapes: HashMap<NodeId, Shape> = bindings
+            .iter()
+            .map(|(&id, t)| (id, t.shape().clone()))
+            .collect();
+        Ok(Arc::new(ExecPlan::build_inference(
+            &self.graph,
+            &binding_shapes,
+            &self.param_shapes,
+            outputs,
         )?))
     }
 
@@ -411,6 +456,7 @@ impl Executor {
                 let plan = Arc::clone(plan);
                 return self.planned_forward(plan, bindings, target, opts, device);
             }
+            crate::plan::record_plan_fallback();
         }
         let mut run = Run::new(self, bindings, opts, device);
         run.forward(target)?;
@@ -458,6 +504,95 @@ impl Executor {
         out
     }
 
+    /// Runs one forward pass and returns the values of several nodes at
+    /// once — the multi-output primitive stateful inference is built on
+    /// (one decode step yields logits *and* every layer's new hidden and
+    /// cell state).
+    ///
+    /// When an installed plan [`matches_many`](ExecPlan::matches_many) the
+    /// plan-driven hot loop runs (pooled storage, static launch tables,
+    /// one accounting call); otherwise the legacy interpreter executes the
+    /// union cone of `outputs` with every output kept alive. Results are
+    /// bit-identical either way. `outputs` must be distinct.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator, binding and OOM errors; requesting values in a
+    /// symbolic run yields [`GraphError::SymbolicPlane`].
+    pub fn forward_many(
+        &mut self,
+        bindings: &HashMap<NodeId, Tensor>,
+        outputs: &[NodeId],
+        opts: ExecOptions,
+        device: Option<&mut DeviceSim>,
+    ) -> Result<Vec<Tensor>> {
+        if let Some(plan) = &self.exec_plan {
+            if plan.matches_many(self.graph.len(), bindings, outputs, opts) {
+                let plan = Arc::clone(plan);
+                return self.planned_forward_many(plan, bindings, outputs, opts, device);
+            }
+            crate::plan::record_plan_fallback();
+        }
+        if !opts.numeric {
+            return Err(GraphError::SymbolicPlane {
+                what: "output values",
+            });
+        }
+        let mut run = Run::new(self, bindings, opts, device);
+        let result = run.forward_multi(outputs);
+        let out = result.and_then(|()| {
+            outputs
+                .iter()
+                .map(|&id| {
+                    run.values[id.index()]
+                        .clone()
+                        .or_else(|| bindings.get(&id).cloned())
+                        .ok_or(GraphError::SymbolicPlane {
+                            what: "output value",
+                        })
+                })
+                .collect()
+        });
+        run.finish();
+        out
+    }
+
+    fn planned_forward_many(
+        &mut self,
+        plan: Arc<ExecPlan>,
+        bindings: &HashMap<NodeId, Tensor>,
+        outputs: &[NodeId],
+        opts: ExecOptions,
+        device: Option<&mut DeviceSim>,
+    ) -> Result<Vec<Tensor>> {
+        if !opts.numeric {
+            return Err(GraphError::SymbolicPlane {
+                what: "output values",
+            });
+        }
+        self.mem
+            .record_planned_peak(plan.fwd_delta, 0, &plan.fwd_peak_breakdown)?;
+        let mut run = Run::new_planned(self, bindings, opts, device, plan);
+        let result = run.plan_forward();
+        let out = result.and_then(|()| {
+            outputs
+                .iter()
+                .map(|&id| {
+                    // `take` hands ownership straight to the caller; the
+                    // storage would otherwise be recycled by `finish`.
+                    run.values[id.index()]
+                        .take()
+                        .or_else(|| bindings.get(&id).cloned())
+                        .ok_or(GraphError::SymbolicPlane {
+                            what: "output value",
+                        })
+                })
+                .collect()
+        });
+        run.finish();
+        out
+    }
+
     /// Runs a full training iteration (forward + backward from a scalar
     /// `loss` node), leaving parameter gradients in the executor.
     ///
@@ -477,6 +612,7 @@ impl Executor {
                 let plan = Arc::clone(plan);
                 return self.planned_train_step(plan, bindings, loss, opts, device);
             }
+            crate::plan::record_plan_fallback();
         }
         self.zero_grads();
         let peak_before = {
@@ -698,9 +834,15 @@ impl<'e> Run<'e> {
     }
 
     fn forward(&mut self, target: NodeId) -> Result<()> {
+        self.forward_multi(std::slice::from_ref(&target))
+    }
+
+    fn forward_multi(&mut self, outputs: &[NodeId]) -> Result<()> {
         let graph = self.graph();
-        for id in graph.ancestors(target) {
-            self.needed[id.index()] = true;
+        for &out in outputs {
+            for id in graph.ancestors(out) {
+                self.needed[id.index()] = true;
+            }
         }
         // Count in-cone forward consumers for transient freeing.
         for node in graph.nodes() {
@@ -809,7 +951,7 @@ impl<'e> Run<'e> {
                     // Transient freeing of this op's inputs.
                     for &input in &input_ids {
                         self.fwd_uses[input.index()] -= 1;
-                        self.maybe_free_after_forward(input, target);
+                        self.maybe_free_after_forward(input, outputs);
                     }
                 }
             }
@@ -818,8 +960,8 @@ impl<'e> Run<'e> {
     }
 
     /// Frees a node's forward value if it is transient and fully consumed.
-    fn maybe_free_after_forward(&mut self, id: NodeId, target: NodeId) {
-        if id == target || self.fwd_uses[id.index()] > 0 {
+    fn maybe_free_after_forward(&mut self, id: NodeId, outputs: &[NodeId]) {
+        if outputs.contains(&id) || self.fwd_uses[id.index()] > 0 {
             return;
         }
         let node = &self.exec.graph.nodes()[id.index()];
@@ -1331,7 +1473,7 @@ impl<'e> Run<'e> {
             for &input in input_ids {
                 let iidx = input.index();
                 self.fwd_uses[iidx] -= 1;
-                if self.fwd_uses[iidx] == 0 && input != plan.target && plan.transient[iidx] {
+                if self.fwd_uses[iidx] == 0 && !plan.keep[iidx] && plan.transient[iidx] {
                     if let Some(t) = self.values[iidx].take() {
                         self.recycle(t);
                     }
@@ -2196,6 +2338,74 @@ mod tests {
                 "op must see the caller's buffer, not a per-step copy (planned={planned})"
             );
         }
+    }
+
+    #[test]
+    fn inference_plan_is_leaner_than_training_plan() {
+        let (g, x, w, t1, t2, loss) = chain_graph();
+        let exec = {
+            let mut e = Executor::new(Arc::clone(&g), StashPlan::stash_all(), mem());
+            e.bind_param(w, Tensor::full(Shape::d1(1024), 0.5)).unwrap();
+            e
+        };
+        let mut bindings = HashMap::new();
+        bindings.insert(x, Tensor::full(Shape::d1(1024), 1.0));
+        let training = exec
+            .plan_for(&bindings, loss, ExecOptions::default())
+            .unwrap();
+        let inference = exec.plan_for_inference(&bindings, &[t2, t1]).unwrap();
+        assert!(!inference.training());
+        assert_eq!(inference.outputs(), &[t2, t1]);
+        assert!(
+            inference.arena_bytes() < training.arena_bytes(),
+            "inference arena {} must be strictly below training arena {}",
+            inference.arena_bytes(),
+            training.arena_bytes()
+        );
+        assert!(
+            inference.launch_count() < training.launch_count(),
+            "no backward launches in an inference plan"
+        );
+        assert!(inference.planned_peak_bytes() < training.planned_peak_bytes());
+    }
+
+    #[test]
+    fn forward_many_planned_matches_legacy_bitwise() {
+        let (g, x, w, t1, t2, _) = chain_graph();
+        let run = |planned: bool| {
+            let mut exec = Executor::new(Arc::clone(&g), StashPlan::stash_all(), mem());
+            exec.bind_param(w, Tensor::from_fn(Shape::d1(4), |i| 0.1 * i as f32 + 0.2))
+                .unwrap();
+            let mut bindings = HashMap::new();
+            bindings.insert(x, Tensor::from_fn(Shape::d1(4), |i| 1.0 - 0.3 * i as f32));
+            if planned {
+                let ep = exec.plan_for_inference(&bindings, &[t2, t1]).unwrap();
+                exec.set_exec_plan(ep).unwrap();
+            }
+            let opts = ExecOptions {
+                training: false,
+                numeric: true,
+            };
+            exec.forward_many(&bindings, &[t2, t1], opts, None).unwrap()
+        };
+        let legacy = run(false);
+        let planned = run(true);
+        assert_eq!(legacy.len(), 2);
+        for (l, p) in legacy.iter().zip(&planned) {
+            assert_eq!(l.data(), p.data(), "multi-output values must be bit-exact");
+        }
+        // And each output individually matches a single-target forward.
+        let mut exec = Executor::new(Arc::clone(&g), StashPlan::stash_all(), mem());
+        exec.bind_param(w, Tensor::from_fn(Shape::d1(4), |i| 0.1 * i as f32 + 0.2))
+            .unwrap();
+        let mut bindings = HashMap::new();
+        bindings.insert(x, Tensor::from_fn(Shape::d1(4), |i| 1.0 - 0.3 * i as f32));
+        let opts = ExecOptions {
+            training: false,
+            numeric: true,
+        };
+        let single = exec.forward(&bindings, t2, opts, None).unwrap();
+        assert_eq!(single.data(), legacy[0].data());
     }
 
     #[test]

@@ -62,6 +62,28 @@ pub fn plans_built() -> u64 {
     PLANS_BUILT.load(Ordering::Relaxed)
 }
 
+/// Number of executions that found an installed plan inapplicable (shape,
+/// target or mode mismatch) and silently fell back to the legacy
+/// interpreter.
+///
+/// The fallback is deliberate behaviour — bucketed NMT batches present a
+/// different shape every few steps — but it must be *observable*: a fleet
+/// that plans for batch 32 and serves batch 33 would otherwise pay the
+/// interpreter tax forever without anyone noticing. One increment per
+/// executed step, however many passes that step runs.
+static PLAN_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of plan-to-legacy fallbacks over the process lifetime.
+pub fn plan_fallbacks() -> u64 {
+    PLAN_FALLBACKS.load(Ordering::Relaxed)
+}
+
+/// Records one plan-to-legacy fallback (called by the executor when an
+/// installed plan fails its `matches` check for a requested execution).
+pub(crate) fn record_plan_fallback() {
+    PLAN_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// A per-(layer, data-structure) byte total in a planned breakdown.
 pub type PlannedBreakdown = Vec<((LayerKind, DataStructureKind), u64)>;
 
@@ -87,6 +109,13 @@ pub(crate) struct OpTables {
 #[derive(Debug)]
 pub struct ExecPlan {
     pub(crate) target: NodeId,
+    /// Every node whose value the caller receives. Training plans keep
+    /// exactly the target; inference plans may keep several (logits plus
+    /// recurrent state outputs).
+    pub(crate) outputs: Vec<NodeId>,
+    /// Dense keep-alive mask over the graph: kept nodes are never freed
+    /// during forward and never packed into a reuse slot.
+    pub(crate) keep: Vec<bool>,
     pub(crate) training: bool,
     pub(crate) graph_len: usize,
     /// In-cone nodes in topological (execution) order.
@@ -154,11 +183,64 @@ impl ExecPlan {
         param_shapes: &HashMap<NodeId, Shape>,
         target: NodeId,
     ) -> Result<ExecPlan> {
-        graph.node(target)?;
+        Self::build_multi(graph, stash, opts, binding_shapes, param_shapes, &[target])
+    }
+
+    /// Compiles an **inference-mode** plan: a forward-only schedule over
+    /// the union cone of `outputs`, with every one of them kept alive to
+    /// the end of the step.
+    ///
+    /// Relative to a training plan for the same graph and shapes the
+    /// inference plan carries *no* backward schedule, *no* stash table
+    /// (every op output is transient and dies at its last forward use —
+    /// there is no backward pass to save it for) and *no* gradient slots,
+    /// so its launch table is shorter and its slot arena strictly smaller.
+    /// This is what a serving engine runs per decode step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingBinding`] when an in-cone input or
+    /// parameter has no shape, and propagates shape-inference failures.
+    pub fn build_inference(
+        graph: &Graph,
+        binding_shapes: &HashMap<NodeId, Shape>,
+        param_shapes: &HashMap<NodeId, Shape>,
+        outputs: &[NodeId],
+    ) -> Result<ExecPlan> {
+        Self::build_multi(
+            graph,
+            &StashPlan::stash_all(),
+            ExecOptions {
+                training: false,
+                numeric: true,
+            },
+            binding_shapes,
+            param_shapes,
+            outputs,
+        )
+    }
+
+    fn build_multi(
+        graph: &Graph,
+        stash: &StashPlan,
+        opts: ExecOptions,
+        binding_shapes: &HashMap<NodeId, Shape>,
+        param_shapes: &HashMap<NodeId, Shape>,
+        outputs: &[NodeId],
+    ) -> Result<ExecPlan> {
+        let target = *outputs.first().ok_or_else(|| GraphError::Operator {
+            op: "exec_plan".to_string(),
+            message: "a plan needs at least one output".to_string(),
+        })?;
         let n = graph.len();
         let mut in_cone = vec![false; n];
-        for id in graph.ancestors(target) {
-            in_cone[id.index()] = true;
+        let mut keep = vec![false; n];
+        for &out in outputs {
+            graph.node(out)?;
+            keep[out.index()] = true;
+            for id in graph.ancestors(out) {
+                in_cone[id.index()] = true;
+            }
         }
         let schedule: Vec<NodeId> = graph
             .nodes()
@@ -274,7 +356,7 @@ impl ExecPlan {
         let mut intervals = Vec::new();
         for &id in &schedule {
             let idx = id.index();
-            if transient[idx] && id != target {
+            if transient[idx] && !keep[idx] {
                 let death = if fwd_uses[idx] > 0 {
                     last_use[idx]
                 } else {
@@ -343,6 +425,8 @@ impl ExecPlan {
 
         let mut plan = ExecPlan {
             target,
+            outputs: outputs.to_vec(),
+            keep,
             training: opts.training,
             graph_len: n,
             schedule,
@@ -381,6 +465,31 @@ impl ExecPlan {
     /// The node this plan executes to.
     pub fn target(&self) -> NodeId {
         self.target
+    }
+
+    /// Every node the plan keeps alive for the caller. Training plans
+    /// return exactly `[target]`; inference plans return the full output
+    /// set passed to [`ExecPlan::build_inference`].
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Total kernel launches in the forward (+ backward, when training)
+    /// launch tables — inference plans are strictly shorter than training
+    /// plans for the same cone.
+    pub fn launch_count(&self) -> usize {
+        self.ops
+            .iter()
+            .flatten()
+            .map(|t| {
+                t.fwd_launches.len()
+                    + if self.training {
+                        t.bwd_launches.len()
+                    } else {
+                        0
+                    }
+            })
+            .sum()
     }
 
     /// Whether the plan schedules a backward pass.
@@ -444,7 +553,27 @@ impl ExecPlan {
         opts: ExecOptions,
     ) -> bool {
         self.graph_len == graph_len
+            && self.outputs.len() == 1
             && self.target == target
+            && self.training == opts.training
+            && self
+                .input_shapes
+                .iter()
+                .all(|(id, shape)| bindings.get(id).is_some_and(|t| t.shape() == shape))
+    }
+
+    /// Whether this plan can serve a forward-only execution producing
+    /// exactly `outputs` (order-sensitive) with the given bindings: the
+    /// multi-output analogue of [`ExecPlan::matches`].
+    pub fn matches_many(
+        &self,
+        graph_len: usize,
+        bindings: &HashMap<NodeId, Tensor>,
+        outputs: &[NodeId],
+        opts: ExecOptions,
+    ) -> bool {
+        self.graph_len == graph_len
+            && self.outputs == outputs
             && self.training == opts.training
             && self
                 .input_shapes
@@ -633,7 +762,7 @@ impl<'a> AccountingSim<'a> {
                     for &input in inputs.clone().iter() {
                         uses[input.index()] -= 1;
                         if uses[input.index()] == 0
-                            && input != self.plan.target
+                            && !self.plan.keep[input.index()]
                             && self.plan.transient[input.index()]
                         {
                             let in_node = &self.graph.nodes()[input.index()];

@@ -1,0 +1,115 @@
+//! Regression test for plan-fallback observability (own test binary: the
+//! counter is process-global, and sharing a process with the library tests
+//! would make "exactly once per step" racy).
+
+use echo_graph::op::Saved;
+use echo_graph::{
+    plan_fallbacks, ExecOptions, Executor, Graph, KernelLaunch, Operator, Result, StashNeeds,
+    StashPlan,
+};
+use echo_memory::{DeviceMemory, LayerKind};
+use echo_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// loss = sum(x): one-op graph, enough to exercise the plan-match check.
+#[derive(Debug)]
+struct SumAll;
+
+impl Operator for SumAll {
+    fn name(&self) -> &str {
+        "sum"
+    }
+    fn category(&self) -> echo_device::KernelCategory {
+        echo_device::KernelCategory::Reduction
+    }
+    fn infer_shape(&self, _inputs: &[&Shape]) -> Result<Shape> {
+        Ok(Shape::scalar())
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Saved)> {
+        Ok((Tensor::scalar(inputs[0].sum() as f32), Vec::new()))
+    }
+    fn backward(
+        &self,
+        inputs: &[Option<&Tensor>],
+        _output: Option<&Tensor>,
+        _saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let x = inputs[0].expect("stash inputs");
+        Ok(vec![Some(Tensor::full(x.shape().clone(), dy.data()[0]))])
+    }
+    fn stash(&self) -> StashNeeds {
+        StashNeeds::INPUTS
+    }
+    fn forward_launches(&self, _i: &[&Shape], _o: &Shape) -> Vec<KernelLaunch> {
+        Vec::new()
+    }
+    fn backward_launches(&self, _i: &[&Shape], _o: &Shape) -> Vec<KernelLaunch> {
+        Vec::new()
+    }
+}
+
+#[test]
+fn shape_mismatch_increments_fallback_counter_once_per_step() {
+    let mut g = Graph::new();
+    let x = g.input("x", LayerKind::Other);
+    let loss = g.apply("sum", Arc::new(SumAll), &[x], LayerKind::Output);
+    let g = Arc::new(g);
+    let mut exec = Executor::new(
+        Arc::clone(&g),
+        StashPlan::stash_all(),
+        DeviceMemory::with_overhead_model(1 << 30, 0, 0.0),
+    );
+
+    let mut planned = HashMap::new();
+    planned.insert(x, Tensor::full(Shape::d1(32), 1.0));
+    let ep = exec
+        .plan_for(&planned, loss, ExecOptions::default())
+        .unwrap();
+    exec.set_exec_plan(ep).unwrap();
+
+    // Matching steps never touch the counter.
+    let before = plan_fallbacks();
+    for _ in 0..3 {
+        exec.train_step(&planned, loss, ExecOptions::default(), None)
+            .unwrap();
+    }
+    assert_eq!(plan_fallbacks(), before, "matched steps must not count");
+
+    // Each mismatched step (a different batch shape, the NMT bucketing
+    // case) falls back to the legacy interpreter and counts exactly once,
+    // even though a train step runs both a forward and a backward pass.
+    let mut mismatched = HashMap::new();
+    mismatched.insert(x, Tensor::full(Shape::d1(64), 0.5));
+    for step in 1..=3u64 {
+        let stats = exec
+            .train_step(&mismatched, loss, ExecOptions::default(), None)
+            .unwrap();
+        assert_eq!(stats.loss, Some(32.0), "legacy fallback must still run");
+        assert_eq!(
+            plan_fallbacks(),
+            before + step,
+            "exactly one increment per mismatched step"
+        );
+    }
+
+    // The forward-only entry points observe fallbacks the same way.
+    exec.forward(&mismatched, loss, ExecOptions::default(), None)
+        .unwrap();
+    assert_eq!(plan_fallbacks(), before + 4);
+    exec.forward_many(&mismatched, &[loss], ExecOptions::default(), None)
+        .unwrap();
+    assert_eq!(plan_fallbacks(), before + 5);
+
+    // An executor with no plan installed never counts: running legacy by
+    // construction is not a fallback.
+    let mut bare = Executor::new(
+        g,
+        StashPlan::stash_all(),
+        DeviceMemory::with_overhead_model(1 << 30, 0, 0.0),
+    );
+    bare.train_step(&mismatched, loss, ExecOptions::default(), None)
+        .unwrap();
+    assert_eq!(plan_fallbacks(), before + 5);
+}

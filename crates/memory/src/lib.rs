@@ -45,5 +45,5 @@ pub mod workspace;
 pub use alloc::{Allocation, AllocationTag, DataStructureKind, DeviceMemory, LayerKind, OomError};
 pub use profiler::{BreakdownRow, MemoryBreakdown};
 pub use scratch::ScratchArena;
-pub use tensor_pool::TensorPool;
+pub use tensor_pool::{TensorPool, TensorPoolStats};
 pub use workspace::{WorkspaceLease, WorkspacePool};

@@ -146,6 +146,33 @@ impl TensorPool {
     pub fn retained_elems(&self) -> usize {
         self.free.iter().map(|b| b.capacity()).sum()
     }
+
+    /// One-call snapshot of every counter, for engines that report pool
+    /// reuse without holding a borrow of the pool itself.
+    pub fn stats(&self) -> TensorPoolStats {
+        TensorPoolStats {
+            takes: self.takes,
+            reuse_hits: self.reuse_hits,
+            high_water_elems: self.high_water_elems,
+            retained: self.free.len(),
+            retained_elems: self.retained_elems(),
+        }
+    }
+}
+
+/// Point-in-time counters of a [`TensorPool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TensorPoolStats {
+    /// Number of `take` calls served.
+    pub takes: u64,
+    /// Takes served from a retained buffer without allocating.
+    pub reuse_hits: u64,
+    /// Largest single request ever served, in elements.
+    pub high_water_elems: usize,
+    /// Buffers currently retained.
+    pub retained: usize,
+    /// Total capacity retained, in elements.
+    pub retained_elems: usize,
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod infer;
 pub mod metrics;
 pub mod nmt;
 pub mod parallel;
@@ -20,6 +21,7 @@ pub mod resnet;
 pub mod trainer;
 pub mod word_lm;
 
+pub use infer::{LmState, WordLmDecoder};
 pub use metrics::{bleu, perplexity};
 pub use nmt::{NmtHyper, NmtModel};
 pub use parallel::{

@@ -542,6 +542,42 @@ impl NmtModel {
         Ok(plan)
     }
 
+    /// Compiles and installs an **inference-mode** execution plan for
+    /// forward-only runs to the logits at `batch` lanes: no backward
+    /// schedule, no stash table, a strictly smaller slot arena than the
+    /// training plan's. [`predict_teacher_forced`] and
+    /// [`infer_step`](NmtModel::infer_step) then run the plan-driven hot
+    /// loop whenever the batch matches; other shapes fall back to the
+    /// legacy interpreter bit-identically.
+    ///
+    /// [`predict_teacher_forced`]: NmtModel::predict_teacher_forced
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures (e.g. parameters not bound yet).
+    pub fn install_inference_plan(
+        &self,
+        exec: &mut Executor,
+        batch: usize,
+    ) -> Result<Arc<ExecPlan>> {
+        let plan = exec.plan_for_inference(&self.symbolic_bindings(batch), &[self.logits])?;
+        exec.set_exec_plan(Arc::clone(&plan))?;
+        Ok(plan)
+    }
+
+    /// One serving step: teacher-forced argmax predictions for a batch,
+    /// over the planned path when an inference plan is installed. NMT
+    /// serving is stateless per request (the whole source sentence plus
+    /// target prefix arrives at once), so unlike the word-LM decoder there
+    /// is no recurrent state to thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    pub fn infer_step(&self, exec: &mut Executor, batch: &NmtBatch) -> Result<Vec<Vec<usize>>> {
+        self.predict_teacher_forced(exec, batch)
+    }
+
     /// Teacher-forced predictions: the argmax token at every target
     /// position given the gold prefix. Standing in for beam decoding when
     /// scoring BLEU (see DESIGN.md substitutions).

@@ -1,0 +1,291 @@
+//! Serving benchmark: latency percentiles and throughput vs batch size.
+//!
+//! Drives the `echo-serve` engine with a fixed word-LM workload — eight
+//! concurrent sessions, each streaming tokens wave by wave — at
+//! `max_batch` ∈ {1, 2, 4, 8}, and reports per-request p50/p95/p99
+//! latency plus end-to-end tokens/s for each setting. Writes
+//! `BENCH_serve.json` at the repo root so every future PR can be compared
+//! against this baseline.
+//!
+//! Flags:
+//!
+//! * `--quick` — fewer waves (the CI configuration);
+//! * `--gate`  — exit non-zero unless B=8 throughput is at least 3× the
+//!   single-request (B=1) throughput, and unless every batched
+//!   configuration reproduced the B=1 logits bit-for-bit.
+//!
+//! Like `bench_kernels`, every run re-checks numerics: the argmax token
+//! streams of all four configurations must be identical, because batching
+//! is not allowed to change a single bit of any session's logits.
+
+use echo_models::WordLmHyper;
+use echo_rnn::LstmBackend;
+use echo_serve::{Engine, ServeConfig, ServeError, Ticket};
+use serde_json::json;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 23;
+const SESSIONS: u64 = 16;
+const BATCH_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+/// A deliberately *launch-bound* decode configuration: the unfused
+/// backend with several narrow layers, so a step's cost is dominated by
+/// its swarm of small kernel launches (the paper's Figure 7a regime)
+/// rather than per-lane flops. That is exactly the regime where dynamic
+/// batching pays: adding lanes to a step is nearly free, so throughput
+/// scales with the batch size.
+fn hyper() -> WordLmHyper {
+    WordLmHyper {
+        vocab: 50,
+        embed: 4,
+        hidden: 4,
+        layers: 8,
+        seq_len: 1,
+        backend: LstmBackend::Default,
+    }
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx]
+}
+
+struct RunResult {
+    batch: usize,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    tokens_per_s: f64,
+    mean_batch: f64,
+    pool_reuse_hits: u64,
+    /// Per-session greedy argmax streams — the numerics fingerprint.
+    argmax_streams: Vec<Vec<u32>>,
+}
+
+/// One benchmark run against an engine capped at `max_batch`. With
+/// `pipelined`, every session submits one token per wave before any reply
+/// is awaited (the concurrent-clients load batching feeds on); without
+/// it, exactly one request is in flight at a time — the request-at-a-time
+/// server that is the gate's baseline. Latency is measured per request
+/// from submit to reply.
+fn run(max_batch: usize, waves: usize, pipelined: bool) -> RunResult {
+    let mut engine = Engine::start(
+        hyper(),
+        SEED,
+        ServeConfig {
+            max_batch,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 256,
+            workers: 1,
+            session_capacity: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("engine start");
+
+    let vocab = hyper().vocab as u64;
+    // Greedy decoding: each session feeds back its own argmax.
+    let mut next_token: Vec<u32> = (0..SESSIONS).map(|s| (s * 17 % vocab) as u32).collect();
+    let mut argmax_streams: Vec<Vec<u32>> = vec![Vec::new(); SESSIONS as usize];
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(waves * SESSIONS as usize);
+
+    let submit = |engine: &Engine, session: u64, token: u32| loop {
+        match engine.submit(session, token) {
+            Ok(t) => break t,
+            Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
+            Err(e) => panic!("submit failed: {e}"),
+        }
+    };
+
+    let wall_start = Instant::now();
+    for _ in 0..waves {
+        if pipelined {
+            let mut tickets: Vec<(u64, Instant, Ticket)> = Vec::new();
+            for session in 0..SESSIONS {
+                let token = next_token[session as usize];
+                let submitted = Instant::now();
+                tickets.push((session, submitted, submit(&engine, session, token)));
+            }
+            for (session, submitted, ticket) in tickets {
+                let out = ticket.wait().expect("decode step");
+                latencies_us.push(submitted.elapsed().as_secs_f64() * 1e6);
+                let token = out.argmax();
+                next_token[session as usize] = token;
+                argmax_streams[session as usize].push(token);
+            }
+        } else {
+            for session in 0..SESSIONS {
+                let token = next_token[session as usize];
+                let submitted = Instant::now();
+                let out = submit(&engine, session, token).wait().expect("decode step");
+                latencies_us.push(submitted.elapsed().as_secs_f64() * 1e6);
+                let token = out.argmax();
+                next_token[session as usize] = token;
+                argmax_streams[session as usize].push(token);
+            }
+        }
+    }
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    let total_tokens = (waves * SESSIONS as usize) as f64;
+
+    engine.shutdown();
+    let stats = engine.stats();
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    RunResult {
+        batch: max_batch,
+        p50_us: percentile(&latencies_us, 50.0),
+        p95_us: percentile(&latencies_us, 95.0),
+        p99_us: percentile(&latencies_us, 99.0),
+        tokens_per_s: total_tokens / wall_s,
+        mean_batch: stats.mean_batch(),
+        pool_reuse_hits: stats.pool_reuse_hits,
+        argmax_streams,
+    }
+}
+
+/// Best-of-`repeats` over every configuration, with the repeats
+/// *interleaved* (round-robin across configurations) so a slow stretch —
+/// frequency scaling, a background task — degrades the baseline and the
+/// batched runs alike instead of skewing their ratio. Every repeat of a
+/// configuration must decode identical argmax streams (determinism is
+/// not negotiable); the repeat with the highest throughput is kept,
+/// which measures what each configuration *can* do, symmetrically.
+fn run_best(configs: &[(usize, bool)], waves: usize, repeats: usize) -> Vec<RunResult> {
+    let mut best: Vec<Option<RunResult>> = configs.iter().map(|_| None).collect();
+    for _ in 0..repeats {
+        for (slot, &(max_batch, pipelined)) in configs.iter().enumerate() {
+            let r = run(max_batch, waves, pipelined);
+            if let Some(b) = &best[slot] {
+                assert_eq!(
+                    r.argmax_streams, b.argmax_streams,
+                    "max_batch {max_batch}: repeats decoded different streams"
+                );
+            }
+            if best[slot]
+                .as_ref()
+                .is_none_or(|b| r.tokens_per_s > b.tokens_per_s)
+            {
+                best[slot] = Some(r);
+            }
+        }
+    }
+    best.into_iter()
+        .map(|b| b.expect("one repeat ran"))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = args.iter().any(|a| a == "--gate");
+    let waves = if quick { 150 } else { 500 };
+    let repeats = 3;
+
+    // The gate baseline: a request-at-a-time server (no batching, one
+    // request in flight), then the pipelined configurations batching
+    // feeds on.
+    let configs: Vec<(usize, bool)> = std::iter::once((1, false))
+        .chain(BATCH_SIZES.iter().map(|&b| (b, true)))
+        .collect();
+    let mut all = run_best(&configs, waves, repeats);
+    let single = all.remove(0);
+    let results = all;
+
+    // Numerics: all configurations must decode identical streams —
+    // batching is bit-invisible, so greedy argmax feedback cannot drift.
+    let bitexact = results
+        .iter()
+        .chain(std::iter::once(&single))
+        .all(|r| r.argmax_streams == results[0].argmax_streams);
+    assert!(
+        bitexact,
+        "argmax streams diverged across batch sizes — batching changed bits"
+    );
+
+    let rows: Vec<Vec<String>> = std::iter::once((&single, "B=1 single-req"))
+        .chain(results.iter().map(|r| (r, "")))
+        .map(|(r, tag)| {
+            vec![
+                if tag.is_empty() {
+                    format!("B={}", r.batch)
+                } else {
+                    tag.to_string()
+                },
+                format!("{:.0}", r.p50_us),
+                format!("{:.0}", r.p95_us),
+                format!("{:.0}", r.p99_us),
+                format!("{:.0}", r.tokens_per_s),
+                format!("{:.2}", r.mean_batch),
+            ]
+        })
+        .collect();
+    echo_repro::print_table(
+        "serving latency/throughput (word-LM decode)",
+        &[
+            "max_batch",
+            "p50 us",
+            "p95 us",
+            "p99 us",
+            "tokens/s",
+            "mean batch",
+        ],
+        &rows,
+    );
+
+    let tput_single = single.tokens_per_s;
+    let tput_8 = results[BATCH_SIZES.len() - 1].tokens_per_s;
+    let scaling = tput_8 / tput_single;
+    println!("throughput scaling B=8 vs single-request: {scaling:.2}x");
+
+    let out = json!({
+        "harness": "bench_serve",
+        "quick": quick,
+        "model": {
+            "vocab": hyper().vocab,
+            "embed": hyper().embed,
+            "hidden": hyper().hidden,
+            "layers": hyper().layers,
+        },
+        "sessions": SESSIONS,
+        "waves": waves,
+        "bitexact_across_batch_sizes": bitexact,
+        "throughput_scaling_b8_vs_single_request": scaling,
+        "single_request": json!({
+            "p50_us": single.p50_us,
+            "p95_us": single.p95_us,
+            "p99_us": single.p99_us,
+            "tokens_per_s": single.tokens_per_s,
+        }),
+        "results": results.iter().map(|r| json!({
+            "max_batch": r.batch,
+            "p50_us": r.p50_us,
+            "p95_us": r.p95_us,
+            "p99_us": r.p99_us,
+            "tokens_per_s": r.tokens_per_s,
+            "mean_batch": r.mean_batch,
+            "pool_reuse_hits": r.pool_reuse_hits,
+        })).collect::<Vec<_>>(),
+    });
+
+    // BENCH_serve.json lives at the repo root (not $ECHO_RESULTS_DIR):
+    // it is the cross-PR serving baseline, versioned alongside the code.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let path = root.join("BENCH_serve.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&out).expect("json"))
+        .expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+
+    if gate {
+        assert!(
+            scaling >= 3.0,
+            "serve gate: B=8 throughput is only {scaling:.2}x single-request (need >= 3x)"
+        );
+        println!("serve gate passed: {scaling:.2}x >= 3x and bit-exact across batch sizes");
+    }
+}

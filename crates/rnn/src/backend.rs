@@ -55,6 +55,22 @@ pub struct LstmParams {
     pub in_dim: usize,
 }
 
+/// One layer's recurrent-state interface: the `[B x H]` input nodes the
+/// initial hidden/cell state binds to and the nodes carrying the final
+/// state out of the unrolled graph. A stateful decoder feeds step t's
+/// `h_last`/`c_last` values back in as step t+1's `h0`/`c0` bindings.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmStateIo {
+    /// Initial hidden state input node.
+    pub h0: NodeId,
+    /// Initial cell state input node.
+    pub c0: NodeId,
+    /// Final hidden state node (h at t = T-1).
+    pub h_last: NodeId,
+    /// Final cell state node (c at t = T-1).
+    pub c_last: NodeId,
+}
+
 /// A built LSTM stack: output node, per-layer parameters, and any
 /// zero-state input nodes the backend requires.
 #[derive(Debug, Clone)]
@@ -68,6 +84,10 @@ pub struct LstmStack {
     /// Initial-state input nodes (Default backend only) to bind to zeros
     /// `[B x H]`.
     pub zero_states: Vec<NodeId>,
+    /// Per-layer recurrent-state nodes (Default backend only; the fused
+    /// backends bake zero initial states into their kernels and expose no
+    /// state I/O, so they cannot drive a stateful decoder).
+    pub state_io: Vec<LstmStateIo>,
     /// Hidden dimension.
     pub hidden: usize,
 }
@@ -92,6 +112,7 @@ impl LstmStack {
                 let mut x = x_seq;
                 let mut params = Vec::new();
                 let mut zero_states = Vec::new();
+                let mut state_io = Vec::new();
                 let mut dim = in_dim;
                 for l in 0..layers {
                     let built = build_unfused_lstm_layer(
@@ -110,6 +131,12 @@ impl LstmStack {
                     });
                     zero_states.push(built.h0);
                     zero_states.push(built.c0);
+                    state_io.push(LstmStateIo {
+                        h0: built.h0,
+                        c0: built.c0,
+                        h_last: built.h_last,
+                        c_last: built.c_last,
+                    });
                     x = built.output;
                     dim = hidden;
                 }
@@ -118,6 +145,7 @@ impl LstmStack {
                     output: x,
                     params,
                     zero_states,
+                    state_io,
                     hidden,
                 }
             }
@@ -149,6 +177,7 @@ impl LstmStack {
                     output,
                     params,
                     zero_states: Vec::new(),
+                    state_io: Vec::new(),
                     hidden,
                 }
             }
@@ -179,6 +208,7 @@ impl LstmStack {
                     output: x,
                     params,
                     zero_states: Vec::new(),
+                    state_io: Vec::new(),
                     hidden,
                 }
             }

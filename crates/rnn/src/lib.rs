@@ -30,7 +30,7 @@ pub mod step;
 pub mod unfused;
 
 pub use autotune::{autotune, AutotuneReport};
-pub use backend::{LstmBackend, LstmParams, LstmStack};
+pub use backend::{LstmBackend, LstmParams, LstmStack, LstmStateIo};
 pub use cell::{lstm_step_backward, lstm_step_forward, LstmStepGrads};
 pub use fused::{CudnnLstmStack, FusedLstmLayer};
 pub use gru::GruStep;

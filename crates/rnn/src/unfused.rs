@@ -28,6 +28,11 @@ pub struct UnfusedLayer {
     pub h0: NodeId,
     /// Initial cell state input node (bind to zeros `[B x H]`).
     pub c0: NodeId,
+    /// Final hidden state node (`[B x H]`, h at t = T-1) — with `h0`/`c0`
+    /// this is what lets a serving engine thread LSTM state across calls.
+    pub h_last: NodeId,
+    /// Final cell state node (`[B x H]`, c at t = T-1).
+    pub c_last: NodeId,
 }
 
 /// Builds one unfused LSTM layer over `x_seq` (`[T, B, In]`), creating its
@@ -137,6 +142,8 @@ pub fn build_unfused_lstm_layer(
         b,
         h0,
         c0,
+        h_last: h_prev,
+        c_last: c_prev,
     }
 }
 

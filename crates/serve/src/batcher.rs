@@ -1,0 +1,149 @@
+//! Micro-batch coalescing under a max-batch / max-wait policy.
+//!
+//! The batcher blocks for the *first* request (an idle engine burns no
+//! CPU), then keeps the batch open for at most [`BatchPolicy::max_wait`]
+//! or until [`BatchPolicy::max_batch`] lanes fill — the classic
+//! latency/throughput knob. One invariant makes batching composable with
+//! session state: **at most one request per session per batch**. The
+//! second request of a session needs the state produced by the first, so
+//! it is deferred to a carryover list and leads the next batch instead of
+//! riding in this one with stale state.
+
+use crate::queue::{BoundedQueue, Popped};
+use std::collections::{HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+/// When to stop growing a micro-batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Hard lane cap; also the largest batch size plans are pre-built for.
+    pub max_batch: usize,
+    /// How long the batch stays open after its first request arrives.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Collects the next micro-batch from `queue`, honoring `carryover` from
+/// the previous round first. `session_of` names each item's session for
+/// the one-per-session invariant. Returns `None` only when the queue is
+/// closed and both it and the carryover are fully drained — i.e. shutdown
+/// never drops accepted work.
+pub fn collect_batch<T>(
+    queue: &BoundedQueue<T>,
+    carryover: &mut VecDeque<T>,
+    policy: &BatchPolicy,
+    session_of: impl Fn(&T) -> u64,
+) -> Option<Vec<T>> {
+    let max_batch = policy.max_batch.max(1);
+    let mut batch = Vec::new();
+    let mut seen = HashSet::new();
+
+    // Deferred requests go first: they have been waiting the longest.
+    // Entries whose session is already represented stay deferred.
+    let mut still_deferred = VecDeque::new();
+    while let Some(item) = carryover.pop_front() {
+        if batch.len() < max_batch && seen.insert(session_of(&item)) {
+            batch.push(item);
+        } else {
+            still_deferred.push_back(item);
+        }
+    }
+    *carryover = still_deferred;
+
+    // Block (no deadline) for the first request of an empty batch.
+    if batch.is_empty() {
+        match queue.pop_wait() {
+            Some(item) => {
+                seen.insert(session_of(&item));
+                batch.push(item);
+            }
+            None => return None,
+        }
+    }
+
+    // Keep the batch open for the wait window or until it fills.
+    let deadline = Instant::now() + policy.max_wait;
+    while batch.len() < max_batch {
+        match queue.pop_deadline(deadline) {
+            Popped::Item(item) => {
+                if seen.insert(session_of(&item)) {
+                    batch.push(item);
+                } else {
+                    carryover.push_back(item);
+                }
+            }
+            Popped::TimedOut | Popped::Closed => break,
+        }
+    }
+    Some(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Req(u64, u32);
+
+    fn policy(max_batch: usize) -> BatchPolicy {
+        BatchPolicy {
+            max_batch,
+            max_wait: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn coalesces_up_to_max_batch() {
+        let q = BoundedQueue::new(16);
+        for s in 0..5u64 {
+            q.try_push(Req(s, 0)).unwrap();
+        }
+        let mut carry = VecDeque::new();
+        let batch = collect_batch(&q, &mut carry, &policy(4), |r| r.0).unwrap();
+        assert_eq!(batch.len(), 4, "capped at max_batch");
+        let rest = collect_batch(&q, &mut carry, &policy(4), |r| r.0).unwrap();
+        assert_eq!(rest, vec![Req(4, 0)]);
+    }
+
+    #[test]
+    fn same_session_is_deferred_to_the_next_batch() {
+        let q = BoundedQueue::new(16);
+        q.try_push(Req(1, 10)).unwrap();
+        q.try_push(Req(1, 11)).unwrap();
+        q.try_push(Req(2, 20)).unwrap();
+        let mut carry = VecDeque::new();
+        let first = collect_batch(&q, &mut carry, &policy(8), |r| r.0).unwrap();
+        assert_eq!(first, vec![Req(1, 10), Req(2, 20)]);
+        assert_eq!(carry.len(), 1, "duplicate session deferred");
+        let second = collect_batch(&q, &mut carry, &policy(8), |r| r.0).unwrap();
+        assert_eq!(second, vec![Req(1, 11)]);
+    }
+
+    #[test]
+    fn drains_carryover_after_close() {
+        let q = BoundedQueue::new(4);
+        q.try_push(Req(3, 1)).unwrap();
+        q.try_push(Req(3, 2)).unwrap();
+        q.close();
+        let mut carry = VecDeque::new();
+        let p = policy(8);
+        assert_eq!(
+            collect_batch(&q, &mut carry, &p, |r| r.0).unwrap(),
+            vec![Req(3, 1)]
+        );
+        assert_eq!(
+            collect_batch(&q, &mut carry, &p, |r| r.0).unwrap(),
+            vec![Req(3, 2)],
+            "carryover survives queue close"
+        );
+        assert!(collect_batch(&q, &mut carry, &p, |r| r.0).is_none());
+    }
+}

@@ -1,0 +1,519 @@
+//! The serving engine: bounded admission, worker threads, planned decode.
+//!
+//! ```text
+//! submit(session, token) ──try_push──▶ worker queue ──collect_batch──▶
+//!   resolve states (cache hit | re-warm from history) ──▶
+//!   set plans[B] ──infer_step──▶ per-lane logits + next states ──▶ Ticket
+//! ```
+//!
+//! Sessions are partitioned across workers by session-id hash, so all
+//! requests of one session execute on one worker in arrival order and its
+//! state never crosses threads. Each worker owns a parameter *replica*
+//! executor ([`Executor::clone_replica`]) whose step-persistent
+//! [`TensorPool`](echo_memory::TensorPool) recycles decode-step storage
+//! across requests; the engine pre-builds one inference-mode
+//! [`ExecPlan`] per batch size `1..=max_batch` from the prototype and all
+//! replicas share them.
+//!
+//! Because the decode path is batch-invariant (see
+//! [`echo_models::infer`]), none of these mechanics change a single bit
+//! of any session's logits: batching, eviction + re-warm, and plan-driven
+//! vs legacy execution are all transparent.
+
+use crate::batcher::{collect_batch, BatchPolicy};
+use crate::queue::{BoundedQueue, PushError};
+use crate::session::SessionCache;
+use crossbeam::channel;
+use echo_graph::{ExecPlan, Executor, StashPlan};
+use echo_memory::{DeviceMemory, TensorPoolStats};
+use echo_models::{LmState, WordLmDecoder, WordLmHyper};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Largest micro-batch; plans are pre-built for every size up to it.
+    pub max_batch: usize,
+    /// How long a batch stays open after its first request.
+    pub max_wait: Duration,
+    /// Per-worker admission queue depth; pushes beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Worker threads, each with its own parameter replica.
+    pub workers: usize,
+    /// Per-worker LRU session-state capacity.
+    pub session_capacity: usize,
+    /// Install inference-mode execution plans (`false` = always use the
+    /// legacy interpreter; results are bit-identical either way).
+    pub plan: bool,
+    /// Simulated device capacity per replica.
+    pub mem_bytes: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 64,
+            workers: 1,
+            session_capacity: 256,
+            plan: true,
+            mem_bytes: 4 << 30,
+        }
+    }
+}
+
+/// Why the engine could not take or finish a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The worker's admission queue is full — shed load and retry.
+    Overloaded {
+        /// The queue depth that was exceeded.
+        capacity: usize,
+    },
+    /// The engine is shutting down; no new work is accepted.
+    ShuttingDown,
+    /// The decode step itself failed.
+    Exec(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::Exec(msg) => write!(f, "decode step failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One completed decode step for one session.
+#[derive(Debug, Clone)]
+pub struct StepOutput {
+    /// Next-token logits, `vocab` long.
+    pub logits: Vec<f32>,
+    /// How many lanes the step ran with (observability only — the lane
+    /// count never changes the bits).
+    pub batch_size: usize,
+}
+
+impl StepOutput {
+    /// Index of the highest logit — greedy decoding's next token.
+    pub fn argmax(&self) -> u32 {
+        let mut best = 0usize;
+        for (i, &v) in self.logits.iter().enumerate() {
+            if v > self.logits[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+}
+
+/// A pending response; [`wait`](Ticket::wait) blocks until the worker
+/// executes the request's batch.
+pub struct Ticket {
+    rx: channel::Receiver<Result<StepOutput, ServeError>>,
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the engine answers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Exec`] if the decode step failed,
+    /// [`ServeError::ShuttingDown`] if the engine dropped the request's
+    /// reply channel without answering.
+    pub fn wait(self) -> Result<StepOutput, ServeError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
+    }
+}
+
+struct Request {
+    session: u64,
+    token: u32,
+    reply: channel::Sender<Result<StepOutput, ServeError>>,
+}
+
+/// Per-worker counters, published after every batch.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerMetrics {
+    completed: u64,
+    batches: u64,
+    max_batch: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    evictions: u64,
+    rewarms: u64,
+    rewarm_tokens: u64,
+    pool: TensorPoolStats,
+}
+
+/// Point-in-time engine counters from [`Engine::stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Requests accepted into a queue.
+    pub submitted: u64,
+    /// Requests refused at admission (queue full).
+    pub rejected: u64,
+    /// Requests answered with logits.
+    pub completed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Largest micro-batch observed.
+    pub max_batch_observed: usize,
+    /// Session-state cache hits across workers.
+    pub cache_hits: u64,
+    /// Session-state cache misses (new or evicted sessions).
+    pub cache_misses: u64,
+    /// States evicted from the LRU caches.
+    pub evictions: u64,
+    /// Evicted sessions transparently re-warmed from history.
+    pub rewarms: u64,
+    /// Tokens replayed during re-warms.
+    pub rewarm_tokens: u64,
+    /// Decode-step buffer takes served by the workers' tensor pools.
+    pub pool_takes: u64,
+    /// Pool takes served without allocating (storage recycled across
+    /// requests).
+    pub pool_reuse_hits: u64,
+}
+
+impl EngineStats {
+    /// Mean lanes per executed batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The dynamic-batching inference engine. See the module docs for the
+/// request path.
+pub struct Engine {
+    decoder: Arc<WordLmDecoder>,
+    queues: Vec<BoundedQueue<Request>>,
+    workers: Vec<JoinHandle<()>>,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    metrics: Arc<Vec<Mutex<WorkerMetrics>>>,
+    plans: Vec<Arc<ExecPlan>>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.queues.len())
+            .field("plans", &self.plans.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Builds the decode graph for `hyper`, binds parameters from `seed`
+    /// (bit-identical to a training model drawn with the same seed),
+    /// compiles inference plans for every batch size up to
+    /// `config.max_batch`, and starts the worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-binding, planning and replica-cloning
+    /// failures (e.g. the configured device memory cannot hold the
+    /// parameters).
+    pub fn start(hyper: WordLmHyper, seed: u64, config: ServeConfig) -> Result<Engine, ServeError> {
+        let exec_err = |e: echo_graph::GraphError| ServeError::Exec(e.to_string());
+        let decoder = Arc::new(WordLmDecoder::build(hyper));
+        let mem = || DeviceMemory::with_overhead_model(config.mem_bytes, 0, 0.0);
+        let mut proto = Executor::new(Arc::clone(&decoder.graph), StashPlan::stash_all(), mem());
+        decoder.bind_params(&mut proto, seed).map_err(exec_err)?;
+
+        let mut plans = Vec::new();
+        if config.plan {
+            for b in 1..=config.max_batch.max(1) {
+                let plan = proto
+                    .plan_for_inference(&decoder.symbolic_bindings(b), decoder.outputs())
+                    .map_err(exec_err)?;
+                plans.push(plan);
+            }
+        }
+
+        let workers = config.workers.max(1);
+        let queues: Vec<BoundedQueue<Request>> = (0..workers)
+            .map(|_| BoundedQueue::new(config.queue_capacity))
+            .collect();
+        let metrics: Arc<Vec<Mutex<WorkerMetrics>>> = Arc::new(
+            (0..workers)
+                .map(|_| Mutex::new(WorkerMetrics::default()))
+                .collect(),
+        );
+        let mut handles = Vec::new();
+        for (i, queue) in queues.iter().enumerate() {
+            let exec = proto.clone_replica(mem()).map_err(exec_err)?;
+            let worker = Worker {
+                decoder: Arc::clone(&decoder),
+                plans: plans.clone(),
+                queue: queue.clone(),
+                cache: SessionCache::new(config.session_capacity),
+                history: HashMap::new(),
+                policy: BatchPolicy {
+                    max_batch: config.max_batch,
+                    max_wait: config.max_wait,
+                },
+                metrics: Arc::clone(&metrics),
+                slot: i,
+                exec,
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("echo-serve-{i}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        Ok(Engine {
+            decoder,
+            queues,
+            workers: handles,
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            metrics,
+            plans,
+        })
+    }
+
+    /// The decode model this engine serves.
+    pub fn decoder(&self) -> &WordLmDecoder {
+        &self.decoder
+    }
+
+    /// The shared inference plans, one per batch size `1..=max_batch`
+    /// (empty when planning is disabled).
+    pub fn plans(&self) -> &[Arc<ExecPlan>] {
+        &self.plans
+    }
+
+    /// Submits one token for `session` and returns a [`Ticket`] for the
+    /// response. Requests of one session are answered in submission
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the session's worker queue is full
+    /// (backpressure by rejection — never by blocking), or
+    /// [`ServeError::ShuttingDown`] after [`Engine::shutdown`] began.
+    pub fn submit(&self, session: u64, token: u32) -> Result<Ticket, ServeError> {
+        let queue = &self.queues[self.worker_of(session)];
+        let (tx, rx) = channel::unbounded();
+        let request = Request {
+            session,
+            token,
+            reply: tx,
+        };
+        match queue.try_push(request) {
+            Ok(()) => {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { rx })
+            }
+            Err((_, PushError::Full)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded {
+                    capacity: queue.capacity(),
+                })
+            }
+            Err((_, PushError::Closed)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Convenience: submit + wait in one call.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit`] and [`Ticket::wait`].
+    pub fn step(&self, session: u64, token: u32) -> Result<StepOutput, ServeError> {
+        self.submit(session, token)?.wait()
+    }
+
+    /// The worker index `session` is pinned to.
+    fn worker_of(&self, session: u64) -> usize {
+        // Fibonacci hashing spreads consecutive ids across workers.
+        (session.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.queues.len()
+    }
+
+    /// Aggregated engine counters.
+    pub fn stats(&self) -> EngineStats {
+        let mut stats = EngineStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            ..EngineStats::default()
+        };
+        for slot in self.metrics.iter() {
+            let m = slot.lock().unwrap();
+            stats.batches += m.batches;
+            stats.max_batch_observed = stats.max_batch_observed.max(m.max_batch);
+            stats.cache_hits += m.cache_hits;
+            stats.cache_misses += m.cache_misses;
+            stats.evictions += m.evictions;
+            stats.rewarms += m.rewarms;
+            stats.rewarm_tokens += m.rewarm_tokens;
+            stats.pool_takes += m.pool.takes;
+            stats.pool_reuse_hits += m.pool.reuse_hits;
+            stats.completed += m.completed;
+        }
+        stats
+    }
+
+    /// Stops admission, drains every queued request, and joins the
+    /// workers. Idempotent; also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        for queue in &self.queues {
+            queue.close();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct Worker {
+    decoder: Arc<WordLmDecoder>,
+    plans: Vec<Arc<ExecPlan>>,
+    queue: BoundedQueue<Request>,
+    cache: SessionCache,
+    history: HashMap<u64, Vec<u32>>,
+    policy: BatchPolicy,
+    metrics: Arc<Vec<Mutex<WorkerMetrics>>>,
+    slot: usize,
+    exec: Executor,
+}
+
+impl Worker {
+    fn run(mut self) {
+        let mut carryover = VecDeque::new();
+        let mut local = WorkerMetrics::default();
+        while let Some(batch) =
+            collect_batch(&self.queue, &mut carryover, &self.policy, |r: &Request| {
+                r.session
+            })
+        {
+            if batch.is_empty() {
+                continue;
+            }
+            self.execute(batch, &mut local);
+            local.pool = self.exec.tensor_pool_stats();
+            local.cache_hits = self.cache.hits();
+            local.cache_misses = self.cache.misses();
+            local.evictions = self.cache.evictions();
+            *self.metrics[self.slot].lock().unwrap() = local;
+        }
+    }
+
+    /// Runs one micro-batch: resolve every lane's state, decode, reply.
+    fn execute(&mut self, batch: Vec<Request>, local: &mut WorkerMetrics) {
+        let mut lanes = Vec::with_capacity(batch.len());
+        for request in batch {
+            match self.resolve_state(request.session, local) {
+                Ok(state) => lanes.push((request, state)),
+                Err(e) => {
+                    let _ = request.reply.send(Err(e));
+                }
+            }
+        }
+        if lanes.is_empty() {
+            return;
+        }
+
+        let b = lanes.len();
+        let tokens: Vec<u32> = lanes.iter().map(|(r, _)| r.token).collect();
+        let (requests, states): (Vec<Request>, Vec<LmState>) = lanes.into_iter().unzip();
+        self.install_plan(b);
+        match self.decoder.infer_step(&mut self.exec, &tokens, &states) {
+            Ok((logits, next)) => {
+                local.batches += 1;
+                local.max_batch = local.max_batch.max(b);
+                local.completed += b as u64;
+                for ((request, lane_logits), state) in requests.into_iter().zip(logits).zip(next) {
+                    self.cache.put(request.session, state);
+                    self.history
+                        .entry(request.session)
+                        .or_default()
+                        .push(request.token);
+                    let _ = request.reply.send(Ok(StepOutput {
+                        logits: lane_logits,
+                        batch_size: b,
+                    }));
+                }
+            }
+            Err(e) => {
+                let err = ServeError::Exec(e.to_string());
+                for request in requests {
+                    let _ = request.reply.send(Err(err.clone()));
+                }
+            }
+        }
+    }
+
+    /// A session's current state: cache hit, or transparent re-warm by
+    /// replaying its token history from zero (bit-identical to never
+    /// having been evicted, by batch invariance).
+    fn resolve_state(
+        &mut self,
+        session: u64,
+        local: &mut WorkerMetrics,
+    ) -> Result<LmState, ServeError> {
+        if let Some(state) = self.cache.take(session) {
+            return Ok(state);
+        }
+        let hyper = self.decoder.hyper;
+        let mut state = LmState::zero(hyper.layers, hyper.hidden);
+        let prefix = self.history.get(&session).cloned().unwrap_or_default();
+        if !prefix.is_empty() {
+            local.rewarms += 1;
+            local.rewarm_tokens += prefix.len() as u64;
+            self.install_plan(1);
+            for &token in &prefix {
+                let (_, next) = self
+                    .decoder
+                    .infer_step(&mut self.exec, &[token], std::slice::from_ref(&state))
+                    .map_err(|e| ServeError::Exec(e.to_string()))?;
+                state = next.into_iter().next().expect("one lane in, one out");
+            }
+        }
+        Ok(state)
+    }
+
+    /// Installs the pre-built plan for batch size `b` (no-op when
+    /// planning is disabled; sizes beyond `max_batch` fall back to the
+    /// legacy interpreter bit-identically).
+    fn install_plan(&mut self, b: usize) {
+        if let Some(plan) = self.plans.get(b - 1) {
+            let _ = self.exec.set_exec_plan(Arc::clone(plan));
+        }
+    }
+}

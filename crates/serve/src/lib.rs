@@ -1,0 +1,65 @@
+//! `echo-serve`: a dynamic-batching inference engine for the word-LM
+//! decode path.
+//!
+//! Training and serving want opposite things from the executor. Training
+//! runs one huge step and must remember everything the backward pass
+//! will touch; serving runs millions of tiny steps and must remember
+//! *nothing* — except each conversation's recurrent state. This crate is
+//! the serving half, built on three pieces the rest of the workspace
+//! provides:
+//!
+//! 1. **Inference-mode execution plans**
+//!    ([`echo_graph::ExecPlan::build_inference`]) — no backward schedule,
+//!    no stash table, no gradient slots, so the slot arena and launch
+//!    table are strictly smaller than the training plan's for the same
+//!    graph and shapes. One plan per batch size `1..=max_batch` is
+//!    compiled once and shared by every worker replica.
+//! 2. **A batch-invariant decode step**
+//!    ([`echo_models::WordLmDecoder::infer_step`]) — stacking B requests
+//!    into one `[1, B]` step is bit-identical, lane for lane, to B
+//!    separate `[1, 1]` steps, for every matmul backend. This is the
+//!    license to batch: the scheduler can coalesce whatever arrives
+//!    together without changing anyone's logits.
+//! 3. **Per-session recurrent state** ([`echo_models::LmState`]) carried
+//!    across calls in a capacity-bounded LRU [`SessionCache`]; evicted
+//!    sessions are transparently re-warmed by replaying their token
+//!    history from zero — bit-identical to never having been evicted,
+//!    again by batch invariance.
+//!
+//! The engine itself ([`Engine`]) is a synchronous core behind bounded
+//! per-worker queues: [`Engine::submit`] either accepts a request and
+//! returns a [`Ticket`], or rejects immediately
+//! ([`ServeError::Overloaded`]) — backpressure by rejection, never by
+//! blocking the caller. Workers coalesce compatible requests into
+//! micro-batches under a max-batch / max-wait policy ([`BatchPolicy`]),
+//! with at most one request per session per batch so state threading
+//! stays causal.
+//!
+//! ```
+//! use echo_models::WordLmHyper;
+//! use echo_rnn::LstmBackend;
+//! use echo_serve::{Engine, ServeConfig};
+//!
+//! let engine = Engine::start(
+//!     WordLmHyper::tiny(50, LstmBackend::Default),
+//!     7,
+//!     ServeConfig::default(),
+//! )?;
+//! let out = engine.step(/* session */ 1, /* token */ 12)?;
+//! assert_eq!(out.logits.len(), 50);
+//! let next = engine.step(1, out.argmax())?; // state carried over
+//! assert_eq!(next.logits.len(), 50);
+//! # Ok::<(), echo_serve::ServeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod engine;
+pub mod queue;
+pub mod session;
+
+pub use batcher::BatchPolicy;
+pub use engine::{Engine, EngineStats, ServeConfig, ServeError, StepOutput, Ticket};
+pub use queue::{BoundedQueue, Popped, PushError};
+pub use session::SessionCache;

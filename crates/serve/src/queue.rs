@@ -1,0 +1,209 @@
+//! A bounded MPSC work queue with *rejection* backpressure.
+//!
+//! The crossbeam shim's bounded channel blocks producers when full; a
+//! serving front-end must never do that — an overloaded engine has to say
+//! "no" immediately so the caller can shed load or retry elsewhere.
+//! [`BoundedQueue::try_push`] therefore fails fast with the rejected item,
+//! and the consumer side adds the deadline-bounded pop the batcher's
+//! max-wait window needs (the shim has no `recv_timeout`).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should shed or retry later.
+    Full,
+    /// The queue was closed; no further work is accepted.
+    Closed,
+}
+
+/// Outcome of a deadline-bounded pop.
+#[derive(Debug)]
+pub enum Popped<T> {
+    /// An item arrived before the deadline.
+    Item(T),
+    /// The deadline passed with the queue still empty.
+    TimedOut,
+    /// The queue is closed and drained; no item will ever arrive.
+    Closed,
+}
+
+/// A cloneable bounded queue: producers reject instead of blocking,
+/// consumers block (optionally up to a deadline).
+pub struct BoundedQueue<T> {
+    inner: Arc<Inner<T>>,
+    capacity: usize,
+}
+
+impl<T> Clone for BoundedQueue<T> {
+    fn clone(&self) -> Self {
+        BoundedQueue {
+            inner: Arc::clone(&self.inner),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    items: VecDeque::new(),
+                    closed: false,
+                }),
+                available: Condvar::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The capacity this queue rejects beyond.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `item`, or refuses without blocking. The rejected item is
+    /// returned with the reason so the caller can fail its request.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.closed {
+            return Err((item, PushError::Closed));
+        }
+        if st.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available; `None` once the queue is closed
+    /// *and* drained (queued work is always delivered before shutdown).
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.inner.available.wait(st).unwrap();
+        }
+    }
+
+    /// Blocks until an item arrives, `deadline` passes, or the queue
+    /// closes — whichever comes first.
+    pub fn pop_deadline(&self, deadline: Instant) -> Popped<T> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Popped::Item(item);
+            }
+            if st.closed {
+                return Popped::Closed;
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Popped::TimedOut;
+            };
+            let (guard, timeout) = self.inner.available.wait_timeout(st, remaining).unwrap();
+            st = guard;
+            if timeout.timed_out() && st.items.is_empty() && !st.closed {
+                return Popped::TimedOut;
+            }
+        }
+    }
+
+    /// Closes the queue: pushes start failing, and consumers drain what
+    /// remains before observing the close.
+    pub fn close(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.closed = true;
+        drop(st);
+        self.inner.available.notify_all();
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn rejects_when_full_instead_of_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let (item, why) = q.try_push(3).unwrap_err();
+        assert_eq!(item, 3);
+        assert_eq!(why, PushError::Full);
+        assert_eq!(q.pop_wait(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_queued_work_then_signals() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8).unwrap_err().1, PushError::Closed);
+        assert_eq!(q.pop_wait(), Some(7));
+        assert_eq!(q.pop_wait(), None);
+    }
+
+    #[test]
+    fn pop_deadline_times_out_on_empty_queue() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(1);
+        let t0 = Instant::now();
+        match q.pop_deadline(t0 + Duration::from_millis(20)) {
+            Popped::TimedOut => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn pop_deadline_wakes_on_push_from_another_thread() {
+        let q = BoundedQueue::new(1);
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.try_push(42u8).unwrap();
+        });
+        match q.pop_deadline(Instant::now() + Duration::from_secs(5)) {
+            Popped::Item(v) => assert_eq!(v, 42),
+            other => panic!("expected item, got {other:?}"),
+        }
+        h.join().unwrap();
+    }
+}

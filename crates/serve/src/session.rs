@@ -1,0 +1,192 @@
+//! Capacity-bounded LRU cache of per-session recurrent state.
+//!
+//! A session's [`LmState`] is small (2 × layers × hidden floats) but a
+//! server can see unboundedly many sessions, so live states are held in an
+//! LRU cache of fixed capacity. Eviction is *not* an error: the engine
+//! keeps every session's token history and re-warms an evicted session by
+//! replaying its prefix from the zero state — which, by the decode path's
+//! batch invariance, reproduces the evicted state bit-for-bit. The
+//! eviction test in `tests/session_eviction.rs` pins that contract.
+
+use echo_models::LmState;
+use std::collections::HashMap;
+
+/// LRU map from session id to recurrent state.
+///
+/// Recency is a monotone tick stamped on every access; eviction scans for
+/// the minimum tick. Capacities are serving-cache sized (tens to a few
+/// thousand), where the O(capacity) scan is noise next to a decode step.
+#[derive(Debug)]
+pub struct SessionCache {
+    capacity: usize,
+    entries: HashMap<u64, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    state: LmState,
+    last_used: u64,
+}
+
+impl SessionCache {
+    /// Creates a cache holding at most `capacity` sessions (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        SessionCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `session`, refreshing its recency. A miss means the
+    /// session is new *or* was evicted; the caller decides which via its
+    /// own history.
+    pub fn get(&mut self, session: u64) -> Option<LmState> {
+        self.tick += 1;
+        match self.entries.get_mut(&session) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                Some(e.state.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks `session`'s state *out* of the cache, moving it to the
+    /// caller instead of cloning it — the decode hot path checks state
+    /// out, steps, and checks the successor back in with [`put`], so the
+    /// 2 × layers row vectors never need a per-lane copy. While checked
+    /// out the entry is simply absent; if the step fails before `put`,
+    /// the session's token history still reconstructs the state exactly.
+    ///
+    /// [`put`]: SessionCache::put
+    pub fn take(&mut self, session: u64) -> Option<LmState> {
+        self.tick += 1;
+        match self.entries.remove(&session) {
+            Some(e) => {
+                self.hits += 1;
+                Some(e.state)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts or refreshes `session`'s state, evicting the
+    /// least-recently-used entry if the cache would exceed capacity.
+    pub fn put(&mut self, session: u64, state: LmState) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.entries.get_mut(&session) {
+            e.state = state;
+            e.last_used = tick;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(id, _)| id)
+            {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            session,
+            Entry {
+                state,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Sessions currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no session is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found a resident state.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing (new or evicted session).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// States dropped to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(v: f32) -> LmState {
+        LmState {
+            h: vec![vec![v; 2]],
+            c: vec![vec![-v; 2]],
+        }
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        let mut cache = SessionCache::new(2);
+        cache.put(1, st(1.0));
+        cache.put(2, st(2.0));
+        assert!(cache.get(1).is_some()); // 2 is now the LRU entry
+        cache.put(3, st(3.0));
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(2).is_none(), "LRU session 2 was evicted");
+        assert_eq!(cache.get(1).unwrap(), st(1.0));
+        assert_eq!(cache.get(3).unwrap(), st(3.0));
+    }
+
+    #[test]
+    fn put_refreshes_existing_without_eviction() {
+        let mut cache = SessionCache::new(2);
+        cache.put(1, st(1.0));
+        cache.put(2, st(2.0));
+        cache.put(1, st(9.0));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(1).unwrap(), st(9.0));
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut cache = SessionCache::new(1);
+        assert!(cache.get(5).is_none());
+        cache.put(5, st(0.5));
+        assert!(cache.get(5).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+}

@@ -1,0 +1,84 @@
+//! Serving quickstart: dynamic batching with per-session state.
+//!
+//! Starts an [`echo_serve::Engine`], drives a handful of concurrent
+//! "conversations" (each greedily decoding from its own prompt), and
+//! prints the engine's coalescing / cache / pool counters. Run with:
+//!
+//! ```text
+//! cargo run --release -p echo-serve --example serve_demo
+//! ```
+
+use echo_models::WordLmHyper;
+use echo_rnn::LstmBackend;
+use echo_serve::{Engine, ServeConfig, ServeError};
+use std::time::Duration;
+
+fn main() -> Result<(), ServeError> {
+    let vocab = 50;
+    let engine = Engine::start(
+        WordLmHyper::tiny(vocab, LstmBackend::Default),
+        42,
+        ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 64,
+            workers: 2,
+            session_capacity: 8,
+            ..ServeConfig::default()
+        },
+    )?;
+    println!(
+        "engine up: {} inference plans (B = 1..={}), arena bytes per plan: {:?}",
+        engine.plans().len(),
+        engine.plans().len(),
+        engine
+            .plans()
+            .iter()
+            .map(|p| p.arena_bytes())
+            .collect::<Vec<_>>(),
+    );
+
+    // Four concurrent sessions, each greedily decoding 12 tokens from its
+    // own prompt. Threads share the engine by reference; the engine
+    // batches whatever arrives inside the wait window.
+    let decode_len = 12;
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        for session in 0..4u64 {
+            scope.spawn(move || {
+                let mut token = (session * 13 % vocab as u64) as u32;
+                let mut decoded = vec![token];
+                for _ in 0..decode_len {
+                    let out = loop {
+                        match engine.step(session, token) {
+                            Ok(out) => break out,
+                            Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
+                            Err(e) => panic!("decode failed: {e}"),
+                        }
+                    };
+                    token = out.argmax();
+                    decoded.push(token);
+                }
+                println!("session {session}: {decoded:?}");
+            });
+        }
+    });
+
+    let stats = engine.stats();
+    println!(
+        "served {} tokens in {} batches (mean batch {:.2}, max {}); \
+         cache {} hits / {} misses, {} evictions, {} re-warms; \
+         pool {} takes / {} reuse hits",
+        stats.completed,
+        stats.batches,
+        stats.mean_batch(),
+        stats.max_batch_observed,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.evictions,
+        stats.rewarms,
+        stats.pool_takes,
+        stats.pool_reuse_hits,
+    );
+    Ok(())
+}
