@@ -2,6 +2,7 @@
 
 use crate::analysis::{infer_shapes, ShapeTable};
 use crate::oshape::{build_plan, find_segments, OshapeConfig, SegmentInfo};
+use crate::search::{SearchConfig, SearchReport, StashSearch};
 use echo_graph::{ExecOptions, ExecPlan, Graph, GraphError, NodeId, StashPlan};
 use echo_tensor::{Shape, Tensor};
 use std::collections::HashMap;
@@ -48,6 +49,24 @@ impl EchoError {
     }
 }
 
+/// How the recomputation set is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum StashSelection {
+    /// The paper's O-shape heuristic alone (ratio and size thresholds).
+    #[default]
+    Heuristic,
+    /// Cost-model search over candidate stash sets
+    /// ([`StashSearch`](crate::StashSearch)): every candidate is scored by
+    /// its execution plan's exact planned peak, and the minimum wins
+    /// subject to a recompute-FLOP budget. Needs concrete binding shapes
+    /// and a target; without them compilation falls back to the heuristic.
+    Search {
+        /// Replay-FLOP budget as a multiplier over the FLOPs of one
+        /// no-recompute training step.
+        flop_budget: f64,
+    },
+}
+
 /// Compiler configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EchoConfig {
@@ -58,6 +77,8 @@ pub struct EchoConfig {
     /// Share one workspace pool between structurally identical segments
     /// (§4.1.2). Disable only for the ablation study.
     pub share_workspace: bool,
+    /// Heuristic stash selection, or exact-cost search over stash sets.
+    pub selection: StashSelection,
 }
 
 impl Default for EchoConfig {
@@ -66,6 +87,7 @@ impl Default for EchoConfig {
             recompute: true,
             oshape: OshapeConfig::default(),
             share_workspace: true,
+            selection: StashSelection::Heuristic,
         }
     }
 }
@@ -104,6 +126,10 @@ pub struct PassReport {
     pub planned_peak_bytes: Option<u64>,
     /// Number of reusable transient buffer slots in the execution plan.
     pub slot_count: Option<usize>,
+    /// Stash-set search statistics (candidates explored, searched vs
+    /// heuristic peak, recompute FLOPs), when
+    /// [`StashSelection::Search`] ran.
+    pub search: Option<SearchReport>,
 }
 
 impl PassReport {
@@ -144,6 +170,18 @@ impl fmt::Display for PassReport {
                 f,
                 "  exec plan: {:.1} MiB planned peak, {slots} reusable slots",
                 peak as f64 / (1 << 20) as f64,
+            )?;
+        }
+        if let Some(s) = &self.search {
+            writeln!(
+                f,
+                "  search: {} candidates, {:.1} MiB searched vs {:.1} MiB heuristic, \
+                 {:.3} GFLOP replays (budget {:.3})",
+                s.candidates_explored,
+                s.searched_peak_bytes as f64 / (1 << 20) as f64,
+                s.heuristic_peak_bytes as f64 / (1 << 20) as f64,
+                s.recompute_flops as f64 / 1e9,
+                s.budget_flops as f64 / 1e9,
             )?;
         }
         for (i, s) in self.segments.iter().enumerate() {
@@ -245,6 +283,33 @@ impl EchoCompiler {
                 .iter()
                 .map(|(&id, t)| (id, t.shape().clone()))
                 .collect();
+            if self.config.recompute {
+                if let StashSelection::Search { flop_budget } = self.config.selection {
+                    let outcome = StashSearch::new(SearchConfig {
+                        flop_budget,
+                        ..SearchConfig::default()
+                    })
+                    .run(
+                        graph,
+                        &shapes,
+                        &binding_shapes,
+                        param_shapes,
+                        protected,
+                        &self.config.oshape,
+                        self.config.share_workspace,
+                        ExecOptions::default(),
+                    )?;
+                    let mut report = self.report(graph, &outcome.segments);
+                    report.planned_peak_bytes = Some(outcome.exec_plan.planned_peak_bytes());
+                    report.slot_count = Some(outcome.exec_plan.slot_count());
+                    report.search = Some(outcome.report);
+                    return Ok(CompiledPlan {
+                        plan: outcome.plan,
+                        report,
+                        exec_plan: Some(outcome.exec_plan),
+                    });
+                }
+            }
             let exec_plan = ExecPlan::build(
                 graph,
                 &compiled.plan,
@@ -407,6 +472,7 @@ impl EchoCompiler {
                 .collect(),
             planned_peak_bytes: None,
             slot_count: None,
+            search: None,
         }
     }
 }

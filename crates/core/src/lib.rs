@@ -45,11 +45,15 @@ pub mod analysis;
 pub mod baselines;
 pub mod compiler;
 pub mod oshape;
+pub mod search;
 
 pub use analysis::ShapeTable;
 pub use baselines::{chen_sqrt_plan, sqrt_stride, ChenReport};
-pub use compiler::{CompiledPlan, EchoCompiler, EchoConfig, EchoError, PassReport, SegmentReport};
+pub use compiler::{
+    CompiledPlan, EchoCompiler, EchoConfig, EchoError, PassReport, SegmentReport, StashSelection,
+};
 pub use oshape::{OshapeConfig, SegmentInfo};
+pub use search::{segments_from_plan, SearchConfig, SearchOutcome, SearchReport, StashSearch};
 
 /// Re-export of the autotuning microbenchmark (paper §5.4).
 pub use echo_rnn::autotune;

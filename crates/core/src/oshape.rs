@@ -44,6 +44,21 @@ impl Default for OshapeConfig {
     }
 }
 
+impl OshapeConfig {
+    /// A permissive configuration for candidate *generation* rather than
+    /// final judgement: the ratio test is disabled entirely. Used by the
+    /// stash-set search ([`crate::StashSearch`]), where the exact plan
+    /// cost model replaces the proxy the ratio threshold implements — a
+    /// segment the heuristic would reject can still be pure savings once
+    /// its workspace is pool-shared with its siblings.
+    pub fn relaxed(size_fraction: f64) -> Self {
+        OshapeConfig {
+            size_fraction,
+            ratio_threshold: 0.0,
+        }
+    }
+}
+
 /// One discovered O-shape segment.
 #[derive(Debug, Clone)]
 pub struct SegmentInfo {

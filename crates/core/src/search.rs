@@ -1,0 +1,731 @@
+//! Cost-model-driven stash-set search (ROADMAP item: principled
+//! recomputation-set selection).
+//!
+//! The O-shape pass ([`crate::oshape`]) picks recomputation targets with
+//! the paper's ratio heuristic. Since the ahead-of-time planner
+//! ([`echo_graph::ExecPlan`]) scores any candidate stash set statically
+//! and byte-accurately (`planned_peak_bytes` replays the interpreter's
+//! exact allocator event sequence), a principled search is just a loop
+//! over plans:
+//!
+//! 1. **Candidate generation.** The heuristic's segment partition, plus
+//!    the same detector re-run under *relaxed* configurations (ratio
+//!    threshold dropped, size fraction lowered) — the exact cost model
+//!    replaces the proxy that those thresholds implement — plus Chen-style
+//!    √N checkpoint plans at several strides as cross-checks.
+//! 2. **Enumeration.** Within one partition, segments with identical
+//!    structural signatures (the same computation at different unrolled
+//!    time steps) are interchangeable, so LSTM/GRU chains are searched as
+//!    a DP over per-signature-group *counts* along the time axis rather
+//!    than over raw subsets. Graphs without that structure (many singleton
+//!    groups) fall back to branch-and-bound over segments with the
+//!    stash-all peak as the incumbent and an optimistic savings bound for
+//!    pruning.
+//! 3. **Scoring.** Every surviving candidate is compiled to an
+//!    [`ExecPlan`] and judged by its `planned_peak_bytes`, subject to a
+//!    recompute-FLOP budget expressed as a multiplier over the
+//!    no-recompute step's FLOPs ([`ExecPlan::planned_step_flops`]).
+//!
+//! The stash-all plan (zero recompute FLOPs, always admissible) and the
+//! heuristic plan are scored first, so whenever the heuristic fits the
+//! budget the search result dominates it by construction:
+//! `searched peak ≤ heuristic peak ≤ stash-all peak`. Degenerate graphs
+//! (too few steps, no recomputable interior) produce no candidates; the
+//! search then returns the heuristic plan instead of an empty set.
+
+use crate::analysis::ShapeTable;
+use crate::baselines::{chen_sqrt_plan, sqrt_stride};
+use crate::compiler::EchoError;
+use crate::oshape::{build_plan, find_segments, OshapeConfig, SegmentInfo};
+use echo_graph::{
+    launch_flops, ExecOptions, ExecPlan, Graph, GraphError, NodeId, NodeKind, StashPlan,
+    StashPolicy,
+};
+use echo_tensor::Shape;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Tunables of the stash-set search.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchConfig {
+    /// Recompute-FLOP budget as a multiplier over the FLOPs of one
+    /// no-recompute training step: a candidate whose exact replay FLOPs
+    /// exceed `flop_budget × step_flops` is rejected however small its
+    /// peak.
+    pub flop_budget: f64,
+    /// Maximum number of exact plan evaluations (each builds a full
+    /// [`ExecPlan`]). The search never exceeds it; hitting it is reported
+    /// as `capped`, not silently ignored.
+    pub max_plans: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            flop_budget: 0.5,
+            max_plans: 512,
+        }
+    }
+}
+
+/// What the search did and found — the numbers behind the
+/// [`PassReport`](crate::PassReport) search fields.
+#[derive(Debug, Clone, Default)]
+pub struct SearchReport {
+    /// Exact plan evaluations performed (stash-all and heuristic
+    /// baselines included).
+    pub candidates_explored: usize,
+    /// Planned peak of the chosen plan.
+    pub searched_peak_bytes: u64,
+    /// Planned peak of the heuristic Echo plan over the same inputs.
+    pub heuristic_peak_bytes: u64,
+    /// Planned peak of the stash-all baseline.
+    pub stash_all_peak_bytes: u64,
+    /// Exact replay FLOPs of the chosen plan (from the plan's static
+    /// accounting timeline).
+    pub recompute_flops: u64,
+    /// FLOPs of one no-recompute step — the budget's reference quantity.
+    pub step_flops: u64,
+    /// The absolute budget: `flop_budget × step_flops`.
+    pub budget_flops: u64,
+    /// Whether enumeration hit `max_plans` and stopped early.
+    pub capped: bool,
+    /// Whether the graph was degenerate (no candidate segments anywhere)
+    /// and the heuristic plan was returned unsearched.
+    pub fell_back_to_heuristic: bool,
+}
+
+/// The chosen plan with its exact score and provenance.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Stash policies of the winning candidate.
+    pub plan: StashPlan,
+    /// The winning candidate's execution plan (the object that scored it).
+    pub exec_plan: Arc<ExecPlan>,
+    /// Segment descriptions of the winning plan, for reporting.
+    pub segments: Vec<SegmentInfo>,
+    /// Search statistics.
+    pub report: SearchReport,
+}
+
+/// One scored candidate.
+struct Candidate {
+    plan: StashPlan,
+    exec_plan: ExecPlan,
+    peak: u64,
+    flops: u64,
+}
+
+/// Enumerates and prunes candidate stash sets for a `(Graph, ExecOptions,
+/// binding shapes)` triple, scoring each by its [`ExecPlan`]'s
+/// `planned_peak_bytes` and returning the admissible minimum.
+#[derive(Debug, Clone, Default)]
+pub struct StashSearch {
+    config: SearchConfig,
+}
+
+impl StashSearch {
+    /// Creates a search with the given tunables.
+    pub fn new(config: SearchConfig) -> Self {
+        StashSearch { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Runs the search. `protected` nodes are never recomputed and its
+    /// first entry is the execution target the candidate plans are scored
+    /// against; `oshape` is the heuristic configuration the baseline plan
+    /// (and the strictest candidate family) uses.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `protected` is empty (nothing to score against) and
+    /// propagates planning failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        graph: &Graph,
+        shapes: &ShapeTable,
+        binding_shapes: &HashMap<NodeId, Shape>,
+        param_shapes: &HashMap<NodeId, Shape>,
+        protected: &[NodeId],
+        oshape: &OshapeConfig,
+        share_workspace: bool,
+        opts: ExecOptions,
+    ) -> Result<SearchOutcome, EchoError> {
+        let &target = protected.first().ok_or_else(|| {
+            EchoError::Graph(GraphError::Operator {
+                op: "stash_search".to_string(),
+                message: "the search needs a target to score plans against".to_string(),
+            })
+        })?;
+
+        // Reference scores: the stash-all step defines both the top of the
+        // dominance chain and the FLOP budget's denominator.
+        let stash_all = StashPlan::stash_all();
+        let stash_all_ep = ExecPlan::build(
+            graph,
+            &stash_all,
+            opts,
+            binding_shapes,
+            param_shapes,
+            target,
+        )
+        .map_err(EchoError::Graph)?;
+        let step_flops = stash_all_ep.planned_step_flops();
+        let budget_flops = (self.config.flop_budget * step_flops as f64).ceil() as u64;
+
+        let heur_segments = find_segments(graph, shapes, oshape, protected);
+        let heuristic_plan = build_plan(&heur_segments, share_workspace);
+
+        let mut ctx = SearchCtx {
+            graph,
+            shapes,
+            binding_shapes,
+            param_shapes,
+            target,
+            opts,
+            share_workspace,
+            budget_flops,
+            max_plans: self.config.max_plans.max(2),
+            stash_all_peak: stash_all_ep.planned_peak_bytes(),
+            scored: 0,
+            capped: false,
+            seen: HashSet::new(),
+            best: None,
+        };
+
+        // Baselines first, outside any cap pressure: stash-all (always
+        // admissible) seeds `best`; the heuristic plan makes dominance
+        // over it structural whenever it fits the budget.
+        let stash_all_peak = ctx.stash_all_peak;
+        ctx.seen.insert(Vec::new());
+        ctx.scored += 1;
+        ctx.offer(Candidate {
+            plan: stash_all,
+            exec_plan: stash_all_ep,
+            peak: stash_all_peak,
+            flops: 0,
+        });
+        let heuristic_peak = match ctx.consider(heuristic_plan.clone())? {
+            Some((peak, _)) => peak,
+            None => stash_all_peak,
+        };
+
+        // Candidate families: the heuristic partition, then the detector
+        // re-run with its proxy thresholds relaxed — the exact cost model
+        // takes over the judgement those thresholds approximate.
+        let relaxed = [
+            *oshape,
+            OshapeConfig::relaxed(oshape.size_fraction),
+            OshapeConfig::relaxed(oshape.size_fraction * 0.5),
+            OshapeConfig::relaxed(0.1),
+        ];
+        let mut families: Vec<Vec<SegmentInfo>> = Vec::new();
+        let mut family_keys: HashSet<Vec<usize>> = HashSet::new();
+        for config in &relaxed {
+            let segs = find_segments(graph, shapes, config, protected);
+            let key: Vec<usize> = segs
+                .iter()
+                .flat_map(|s| s.nodes.iter().map(|n| n.index()))
+                .collect();
+            if !segs.is_empty() && family_keys.insert(key) {
+                families.push(segs);
+            }
+        }
+
+        // Degenerate graphs (T ≤ 2 unrolled steps, or no recomputable
+        // interior nodes) produce no candidates anywhere; return the
+        // heuristic plan rather than an empty candidate set.
+        if families.is_empty() {
+            let exec_plan = ExecPlan::build(
+                graph,
+                &heuristic_plan,
+                opts,
+                binding_shapes,
+                param_shapes,
+                target,
+            )
+            .map_err(EchoError::Graph)?;
+            let report = SearchReport {
+                candidates_explored: ctx.scored,
+                searched_peak_bytes: exec_plan.planned_peak_bytes(),
+                heuristic_peak_bytes: heuristic_peak,
+                stash_all_peak_bytes: stash_all_peak,
+                recompute_flops: exec_plan.planned_recompute_flops(),
+                step_flops,
+                budget_flops,
+                capped: false,
+                fell_back_to_heuristic: true,
+            };
+            return Ok(SearchOutcome {
+                segments: segments_from_plan(graph, shapes, &heuristic_plan),
+                plan: heuristic_plan,
+                exec_plan: Arc::new(exec_plan),
+                report,
+            });
+        }
+
+        for family in &families {
+            ctx.search_family(family)?;
+        }
+
+        // Chen-style checkpoint plans at a few strides, as whole-plan
+        // candidates: on graphs where the O-shape families miss savings, a
+        // generic checkpoint schedule may still fit the budget.
+        let sqrt = sqrt_stride(graph);
+        let mut strides = vec![sqrt, sqrt.saturating_mul(2), (sqrt / 2).max(2)];
+        strides.sort_unstable();
+        strides.dedup();
+        for stride in strides {
+            let (plan, _) = chen_sqrt_plan(graph, shapes, protected, stride);
+            ctx.consider(plan)?;
+        }
+
+        let best = ctx.best.take().expect("stash-all always seeds a best");
+        let report = SearchReport {
+            candidates_explored: ctx.scored,
+            searched_peak_bytes: best.peak,
+            heuristic_peak_bytes: heuristic_peak,
+            stash_all_peak_bytes: stash_all_peak,
+            recompute_flops: best.flops,
+            step_flops,
+            budget_flops,
+            capped: ctx.capped,
+            fell_back_to_heuristic: false,
+        };
+        Ok(SearchOutcome {
+            segments: segments_from_plan(graph, shapes, &best.plan),
+            plan: best.plan,
+            exec_plan: Arc::new(best.exec_plan),
+            report,
+        })
+    }
+}
+
+/// Mutable state threaded through family enumeration.
+struct SearchCtx<'a> {
+    graph: &'a Graph,
+    shapes: &'a ShapeTable,
+    binding_shapes: &'a HashMap<NodeId, Shape>,
+    param_shapes: &'a HashMap<NodeId, Shape>,
+    target: NodeId,
+    opts: ExecOptions,
+    share_workspace: bool,
+    budget_flops: u64,
+    max_plans: usize,
+    stash_all_peak: u64,
+    scored: usize,
+    capped: bool,
+    /// Recompute node sets already scored (dedup across families).
+    seen: HashSet<Vec<usize>>,
+    best: Option<Candidate>,
+}
+
+impl SearchCtx<'_> {
+    /// Installs `cand` as the incumbent if it is admissible and better
+    /// (smaller peak; ties broken toward fewer replay FLOPs).
+    fn offer(&mut self, cand: Candidate) {
+        if cand.flops > self.budget_flops {
+            return;
+        }
+        let better = self
+            .best
+            .as_ref()
+            .is_none_or(|b| cand.peak < b.peak || (cand.peak == b.peak && cand.flops < b.flops));
+        if better {
+            self.best = Some(cand);
+        }
+    }
+
+    /// Scores one stash plan exactly (builds its [`ExecPlan`]), offers it
+    /// as incumbent, and returns its `(peak, replay flops)`. Returns
+    /// `None` when the plan was already scored or the evaluation cap is
+    /// reached.
+    fn consider(&mut self, plan: StashPlan) -> Result<Option<(u64, u64)>, EchoError> {
+        let mut key: Vec<usize> = self
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| matches!(plan.policy(n.id), StashPolicy::Recompute(_)))
+            .map(|n| n.id.index())
+            .collect();
+        key.sort_unstable();
+        if !self.seen.insert(key) {
+            return Ok(None);
+        }
+        if self.scored >= self.max_plans {
+            self.capped = true;
+            return Ok(None);
+        }
+        self.scored += 1;
+        let exec_plan = ExecPlan::build(
+            self.graph,
+            &plan,
+            self.opts,
+            self.binding_shapes,
+            self.param_shapes,
+            self.target,
+        )
+        .map_err(EchoError::Graph)?;
+        let peak = exec_plan.planned_peak_bytes();
+        let flops = exec_plan.planned_recompute_flops();
+        self.offer(Candidate {
+            plan,
+            exec_plan,
+            peak,
+            flops,
+        });
+        Ok(Some((peak, flops)))
+    }
+
+    /// Estimated replay FLOPs of one segment: the forward launches of its
+    /// nodes. A lower bound on the exact cost (recursive boundary replays
+    /// add more), used only to prune enumeration — admissibility is always
+    /// judged on the exact plan.
+    fn segment_flops(&self, seg: &SegmentInfo) -> u64 {
+        seg.nodes
+            .iter()
+            .map(|&id| match &self.graph.nodes()[id.index()].kind {
+                NodeKind::Op { op, inputs } => {
+                    let in_shapes: Vec<&Shape> =
+                        inputs.iter().map(|&i| self.shapes.shape(i)).collect();
+                    launch_flops(&op.forward_launches(&in_shapes, self.shapes.shape(id)))
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Searches all subsets of one segment partition.
+    ///
+    /// Segments are grouped by structural signature; groups of
+    /// interchangeable time-step instances are enumerated as a DP over
+    /// per-group counts along the unrolled time axis (within a group the
+    /// latest `k` instances represent a count of `k`). When the count
+    /// space is too large — graphs of singleton groups — branch-and-bound
+    /// over individual segments takes over, with the stash-all peak as
+    /// incumbent and an optimistic all-remaining-savings bound for
+    /// pruning.
+    fn search_family(&mut self, segs: &[SegmentInfo]) -> Result<(), EchoError> {
+        if segs.is_empty() {
+            return Ok(());
+        }
+        let seg_flops: Vec<u64> = segs.iter().map(|s| self.segment_flops(s)).collect();
+
+        // Group interchangeable segments, each group in time order.
+        let mut by_sig: HashMap<&[(String, Shape)], Vec<usize>> = HashMap::new();
+        for (i, seg) in segs.iter().enumerate() {
+            by_sig.entry(seg.signature.as_slice()).or_default().push(i);
+        }
+        let mut groups: Vec<Vec<usize>> = by_sig.into_values().collect();
+        for g in &mut groups {
+            g.sort_by_key(|&i| segs[i].nodes[0]);
+        }
+        groups.sort_by_key(|g| segs[g[0]].nodes[0]);
+
+        let combos: u128 = groups.iter().map(|g| g.len() as u128 + 1).product();
+        if combos <= self.max_plans as u128 {
+            self.enumerate_counts(segs, &seg_flops, &groups, 0, &mut Vec::new())
+        } else {
+            // Largest savings first so the first dives set a strong
+            // incumbent.
+            let mut order: Vec<usize> = (0..segs.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(segs[i].intermediate_bytes));
+            let remaining: u64 = segs.iter().map(|s| s.intermediate_bytes).sum();
+            self.branch_and_bound(
+                segs,
+                &seg_flops,
+                &order,
+                0,
+                &mut Vec::new(),
+                0,
+                0,
+                remaining,
+            )
+        }
+    }
+
+    /// DP along the unrolled time axis: choose how many instances of each
+    /// signature group to recompute; a count of `k` selects the group's
+    /// latest `k` time steps.
+    fn enumerate_counts(
+        &mut self,
+        segs: &[SegmentInfo],
+        seg_flops: &[u64],
+        groups: &[Vec<usize>],
+        depth: usize,
+        chosen: &mut Vec<usize>,
+    ) -> Result<(), EchoError> {
+        if self.capped {
+            return Ok(());
+        }
+        if depth == groups.len() {
+            if !chosen.is_empty() {
+                let subset: Vec<SegmentInfo> = chosen.iter().map(|&i| segs[i].clone()).collect();
+                self.consider(build_plan(&subset, self.share_workspace))?;
+            }
+            return Ok(());
+        }
+        let group = &groups[depth];
+        let flops_so_far: u64 = chosen.iter().map(|&i| seg_flops[i]).sum();
+        for count in 0..=group.len() {
+            // Budget is monotone in the count — once the estimate
+            // overflows, higher counts only get worse.
+            let take: Vec<usize> = group[group.len() - count..].to_vec();
+            let extra: u64 = take.iter().map(|&i| seg_flops[i]).sum();
+            if count > 0 && flops_so_far + extra > self.budget_flops {
+                break;
+            }
+            let len_before = chosen.len();
+            chosen.extend(take);
+            self.enumerate_counts(segs, seg_flops, groups, depth + 1, chosen)?;
+            chosen.truncate(len_before);
+        }
+        Ok(())
+    }
+
+    /// Branch-and-bound over individual segments for graphs without
+    /// interchangeable time-step structure.
+    #[allow(clippy::too_many_arguments)]
+    fn branch_and_bound(
+        &mut self,
+        segs: &[SegmentInfo],
+        seg_flops: &[u64],
+        order: &[usize],
+        depth: usize,
+        included: &mut Vec<usize>,
+        included_flops: u64,
+        included_saved: u64,
+        remaining_saved: u64,
+    ) -> Result<(), EchoError> {
+        if self.capped {
+            return Ok(());
+        }
+        // Optimistic bound: even recomputing everything still open cannot
+        // push the peak below stash-all minus all those intermediates
+        // (workspace is non-negative). Prune when that cannot beat the
+        // incumbent.
+        let optimistic = self
+            .stash_all_peak
+            .saturating_sub(included_saved + remaining_saved);
+        if let Some(best) = &self.best {
+            if optimistic >= best.peak {
+                return Ok(());
+            }
+        }
+        if depth == order.len() {
+            if !included.is_empty() {
+                let subset: Vec<SegmentInfo> = included.iter().map(|&i| segs[i].clone()).collect();
+                self.consider(build_plan(&subset, self.share_workspace))?;
+            }
+            return Ok(());
+        }
+        let i = order[depth];
+        let rest = remaining_saved - segs[i].intermediate_bytes;
+        // Include first (largest-savings-first ordering makes the first
+        // full dive the natural incumbent), budget permitting.
+        if included_flops + seg_flops[i] <= self.budget_flops {
+            included.push(i);
+            self.branch_and_bound(
+                segs,
+                seg_flops,
+                order,
+                depth + 1,
+                included,
+                included_flops + seg_flops[i],
+                included_saved + segs[i].intermediate_bytes,
+                rest,
+            )?;
+            included.pop();
+        }
+        self.branch_and_bound(
+            segs,
+            seg_flops,
+            order,
+            depth + 1,
+            included,
+            included_flops,
+            included_saved,
+            rest,
+        )
+    }
+}
+
+/// Reconstructs per-segment descriptions from an arbitrary stash plan, so
+/// searched (or Chen-style) winners report through the same
+/// [`SegmentReport`](crate::SegmentReport) tables as heuristic ones.
+/// Boundary bytes here are un-amortized (each segment charges its full
+/// boundary), which is the conservative direction for reporting.
+pub fn segments_from_plan(
+    graph: &Graph,
+    shapes: &ShapeTable,
+    plan: &StashPlan,
+) -> Vec<SegmentInfo> {
+    let mut segments = Vec::new();
+    for seg_id in 0..plan.segment_count() {
+        let nodes = plan.segment_nodes(seg_id);
+        if nodes.is_empty() {
+            continue;
+        }
+        let members: HashSet<NodeId> = nodes.iter().copied().collect();
+        let pool = match plan.policy(nodes[0]) {
+            StashPolicy::Recompute(s) => s.pool,
+            StashPolicy::Stash => 0,
+        };
+        let mut boundary: HashSet<NodeId> = HashSet::new();
+        let mut intermediate = 0u64;
+        for &id in &nodes {
+            let node = &graph.nodes()[id.index()];
+            intermediate += shapes.bytes(id);
+            if let NodeKind::Op { op, inputs } = &node.kind {
+                let in_shapes: Vec<&Shape> = inputs.iter().map(|&i| shapes.shape(i)).collect();
+                intermediate += op.saved_bytes(&in_shapes, shapes.shape(id));
+                for &input in inputs {
+                    if !members.contains(&input) {
+                        boundary.insert(input);
+                    }
+                }
+            }
+        }
+        let signature: Vec<(String, Shape)> = nodes
+            .iter()
+            .map(|&id| {
+                let node = &graph.nodes()[id.index()];
+                (
+                    node.op().map(|o| o.name().to_string()).unwrap_or_default(),
+                    shapes.shape(id).clone(),
+                )
+            })
+            .collect();
+        segments.push(SegmentInfo {
+            intermediate_bytes: intermediate,
+            boundary_bytes: boundary.iter().map(|&b| shapes.bytes(b)).sum(),
+            pool,
+            signature,
+            nodes,
+        });
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::infer_shapes;
+    use crate::compiler::{EchoCompiler, EchoConfig, StashSelection};
+    use echo_memory::LayerKind;
+    use echo_ops::{FullyConnected, MeanAll};
+    use echo_tensor::Tensor;
+
+    /// Satellite regression: a degenerate graph — no recomputable interior
+    /// nodes under *any* candidate configuration — must make the search
+    /// return the heuristic plan, not an empty candidate set.
+    #[test]
+    fn degenerate_graph_falls_back_to_heuristic() {
+        let mut g = Graph::new();
+        let x = g.input("x", LayerKind::Rnn);
+        let w1 = g.param("w1", LayerKind::Rnn);
+        let w2 = g.param("w2", LayerKind::Rnn);
+        let fc1 = g.apply(
+            "fc1",
+            Arc::new(FullyConnected::new(32).without_bias()),
+            &[x, w1],
+            LayerKind::Rnn,
+        );
+        let fc2 = g.apply(
+            "fc2",
+            Arc::new(FullyConnected::new(8).without_bias()),
+            &[fc1, w2],
+            LayerKind::Rnn,
+        );
+        let loss = g.apply("loss", Arc::new(MeanAll), &[fc2], LayerKind::Rnn);
+        let mut bindings = HashMap::new();
+        bindings.insert(x, Tensor::zeros(echo_tensor::Shape::d2(4, 16)));
+        let mut params = HashMap::new();
+        params.insert(w1, echo_tensor::Shape::d2(32, 16));
+        params.insert(w2, echo_tensor::Shape::d2(8, 32));
+        let shapes = infer_shapes(&g, &bindings, &params).unwrap();
+        let binding_shapes: HashMap<NodeId, Shape> = bindings
+            .iter()
+            .map(|(&id, t)| (id, t.shape().clone()))
+            .collect();
+        let outcome = StashSearch::new(SearchConfig::default())
+            .run(
+                &g,
+                &shapes,
+                &binding_shapes,
+                &params,
+                &[loss],
+                &OshapeConfig::default(),
+                true,
+                ExecOptions::default(),
+            )
+            .unwrap();
+        assert!(outcome.report.fell_back_to_heuristic);
+        assert_eq!(outcome.plan.recompute_count(), 0);
+        assert!(outcome.segments.is_empty());
+        assert_eq!(
+            outcome.report.searched_peak_bytes,
+            outcome.report.heuristic_peak_bytes
+        );
+        assert_eq!(outcome.report.recompute_flops, 0);
+    }
+
+    /// Dominance on the NMT workload, end-to-end through the compiler:
+    /// searched ≤ heuristic ≤ stash-all, within budget.
+    #[test]
+    fn search_dominates_heuristic_on_nmt() {
+        use echo_models::{NmtHyper, NmtModel};
+        let model = NmtModel::build(NmtHyper::tiny(100, 90));
+        let bindings = model.symbolic_bindings(4);
+        let searched = EchoCompiler::new(EchoConfig {
+            selection: StashSelection::Search { flop_budget: 1.0 },
+            ..EchoConfig::default()
+        })
+        .compile(
+            &model.graph,
+            &bindings,
+            &model.param_shapes(),
+            &[model.loss, model.logits],
+        )
+        .unwrap();
+        let s = searched.report.search.as_ref().expect("search ran");
+        assert!(!s.fell_back_to_heuristic);
+        assert!(
+            s.searched_peak_bytes <= s.heuristic_peak_bytes,
+            "searched {} vs heuristic {}",
+            s.searched_peak_bytes,
+            s.heuristic_peak_bytes
+        );
+        assert!(s.heuristic_peak_bytes <= s.stash_all_peak_bytes);
+        assert!(s.recompute_flops <= s.budget_flops);
+        assert_eq!(
+            searched.report.planned_peak_bytes,
+            Some(s.searched_peak_bytes)
+        );
+        // The heuristic peak the search reports is the one the heuristic
+        // compiler actually produces.
+        let heur = EchoCompiler::new(EchoConfig::default())
+            .compile(
+                &model.graph,
+                &bindings,
+                &model.param_shapes(),
+                &[model.loss, model.logits],
+            )
+            .unwrap();
+        assert_eq!(heur.report.planned_peak_bytes, Some(s.heuristic_peak_bytes));
+        println!(
+            "nmt: stash-all {} heuristic {} searched {} ({} candidates, {} replay flops / budget {})",
+            s.stash_all_peak_bytes,
+            s.heuristic_peak_bytes,
+            s.searched_peak_bytes,
+            s.candidates_explored,
+            s.recompute_flops,
+            s.budget_flops
+        );
+    }
+}

@@ -66,6 +66,8 @@ pub struct Executor {
     exec_plan: Option<Arc<ExecPlan>>,
     /// Step-persistent interpreter state for the plan-driven path.
     state: PlanState,
+    /// Cumulative segment replays across every step this executor ran.
+    replays_total: u64,
 }
 
 /// Dense per-node tables the plan-driven interpreter reuses across steps
@@ -123,7 +125,16 @@ impl Executor {
             param_allocs: Vec::new(),
             exec_plan: None,
             state: PlanState::default(),
+            replays_total: 0,
         }
+    }
+
+    /// Cumulative segment replays across every step this executor has run
+    /// — the observable face of the replay-once discipline: a recomputed
+    /// node feeding several backward consumers costs one replay per step,
+    /// not one per consumer.
+    pub fn replays(&self) -> u64 {
+        self.replays_total
     }
 
     /// The executor's graph.
@@ -644,6 +655,7 @@ impl Executor {
             _ => None,
         };
         run.finish();
+        self.replays_total += replays;
         let peak = self.mem.peak_bytes().max(peak_before);
         Ok(IterationStats {
             loss: loss_value,
@@ -683,6 +695,7 @@ impl Executor {
             _ => None,
         };
         run.finish();
+        self.replays_total += replays;
         let loss_value = result?;
         let peak = self.mem.peak_bytes().max(peak_before);
         Ok(IterationStats {
@@ -726,6 +739,10 @@ struct Run<'e> {
     /// Replay scratch per segment id.
     scratch: HashMap<usize, SegmentScratch>,
     replays: u64,
+    /// Backward-walk cursor (node index currently being differentiated);
+    /// `usize::MAX` outside backward. Replays triggered at the cursor
+    /// count their remaining readers from here down.
+    bwd_cursor: usize,
 }
 
 struct SegmentScratch {
@@ -736,6 +753,34 @@ struct SegmentScratch {
     /// Smallest topo index in the segment: once backward passes it the
     /// scratch is dead.
     min_index: usize,
+    /// Remaining backward ops that may still read from this scratch
+    /// (burn-autodiff's `n_required` refcount idiom). Counted at replay
+    /// time over the rest of the descending walk, decremented as each
+    /// reader finishes; the scratch is retired at zero — which can be
+    /// earlier than `min_index` when the segment's own nodes receive no
+    /// gradient. The count is a static over-approximation (a counted op
+    /// may be skipped when no gradient reaches it), so it never frees a
+    /// scratch a later reader still needs; `min_index` stays as the
+    /// backstop.
+    n_required: usize,
+}
+
+/// Whether backward op `idx` would read values, saved state or shapes out
+/// of `scratch` when differentiated: it is one of the replayed nodes
+/// (output/saved state live in the scratch) or it consumes one of them as
+/// an input it declares it needs.
+fn reads_scratch(graph: &Graph, needed: &[bool], idx: usize, scratch: &SegmentScratch) -> bool {
+    if !needed[idx] {
+        return false;
+    }
+    let node = &graph.nodes()[idx];
+    match &node.kind {
+        NodeKind::Op { op, inputs } => {
+            scratch.shapes.contains_key(&node.id)
+                || (op.stash().inputs && inputs.iter().any(|i| scratch.shapes.contains_key(i)))
+        }
+        _ => false,
+    }
 }
 
 impl<'e> Run<'e> {
@@ -764,6 +809,7 @@ impl<'e> Run<'e> {
             grad_allocs: (0..n).map(|_| None).collect(),
             scratch: HashMap::new(),
             replays: 0,
+            bwd_cursor: usize::MAX,
         }
     }
 
@@ -805,6 +851,7 @@ impl<'e> Run<'e> {
             grad_allocs: Vec::new(),
             scratch: HashMap::new(),
             replays: 0,
+            bwd_cursor: usize::MAX,
         }
     }
 
@@ -1163,17 +1210,46 @@ impl<'e> Run<'e> {
             .clone();
         let lease = pool.lease(bytes)?;
         self.replays += 1;
+        let scratch = SegmentScratch {
+            values,
+            saved,
+            shapes,
+            _lease: lease,
+            min_index,
+            n_required: 0,
+        };
+        // Count the backward ops from the cursor down that may read this
+        // scratch — each decrements the refcount as it finishes.
+        let cursor = self.bwd_cursor.min(graph.len().saturating_sub(1));
+        let n_required = (0..=cursor)
+            .filter(|&d| reads_scratch(&graph, &self.needed, d, &scratch))
+            .count();
         self.scratch.insert(
             seg,
             SegmentScratch {
-                values,
-                saved,
-                shapes,
-                _lease: lease,
-                min_index,
+                n_required,
+                ..scratch
             },
         );
         Ok(())
+    }
+
+    /// Retires replay scratches after backward finished node `idx`:
+    /// decrements the `n_required` refcount of every scratch `idx` read
+    /// from (freeing at zero) and drops any scratch whose whole segment
+    /// lies at or above the cursor.
+    fn retire_scratches(&mut self, idx: usize) {
+        let graph = Arc::clone(&self.exec.graph);
+        let needed = &self.needed;
+        self.scratch.retain(|_, s| {
+            if reads_scratch(&graph, needed, idx, s) {
+                s.n_required = s.n_required.saturating_sub(1);
+                if s.n_required == 0 {
+                    return false;
+                }
+            }
+            s.min_index < idx
+        });
     }
 
     fn backward(&mut self, loss: NodeId) -> Result<()> {
@@ -1188,6 +1264,7 @@ impl<'e> Run<'e> {
 
         for idx in (0..graph.len()).rev() {
             let id = NodeId(idx);
+            self.bwd_cursor = idx;
             if !self.needed[idx] || !self.grad_present[idx] {
                 continue;
             }
@@ -1312,9 +1389,11 @@ impl<'e> Run<'e> {
             self.values[idx] = None;
             self.saved[idx] = None;
 
-            // Retire scratches whose segment is fully below the cursor.
-            self.scratch.retain(|_, s| s.min_index < idx);
+            // Retire scratches: refcounted by remaining readers, with the
+            // min-index rule as backstop.
+            self.retire_scratches(idx);
         }
+        self.bwd_cursor = usize::MAX;
         self.scratch.clear();
         Ok(())
     }
@@ -1501,6 +1580,7 @@ impl<'e> Run<'e> {
         for i in 0..plan.bwd_schedule.len() {
             let id = plan.bwd_schedule[i];
             let idx = id.index();
+            self.bwd_cursor = idx;
             if !self.grad_present[idx] {
                 // The static schedule is a superset of the runtime gradient
                 // flow (an op may emit no gradient for a differentiable
@@ -1655,8 +1735,9 @@ impl<'e> Run<'e> {
             }
             self.saved[idx] = None;
 
-            self.scratch.retain(|_, s| s.min_index < idx);
+            self.retire_scratches(idx);
         }
+        self.bwd_cursor = usize::MAX;
         self.scratch.clear();
         Ok(())
     }

@@ -87,6 +87,21 @@ pub(crate) fn record_plan_fallback() {
 /// A per-(layer, data-structure) byte total in a planned breakdown.
 pub type PlannedBreakdown = Vec<((LayerKind, DataStructureKind), u64)>;
 
+/// Total floating-point operations of a launch list. Roofline kernels
+/// declare their flops directly; a GEMM's are derived from its geometry
+/// (`2·m·n·k` multiply-adds).
+pub fn launch_flops(launches: &[KernelLaunch]) -> u64 {
+    launches
+        .iter()
+        .map(|l| match &l.spec {
+            crate::op::LaunchSpec::Kernel(cost) => cost.flops,
+            crate::op::LaunchSpec::Gemm(spec) => {
+                2 * (spec.m as u64) * (spec.n as u64) * (spec.k as u64)
+            }
+        })
+        .sum()
+}
+
 /// Per-op-node static tables the planned interpreter reads instead of
 /// re-deriving. Indexed by the node's dense index.
 #[derive(Debug, Clone, Default)]
@@ -160,6 +175,12 @@ pub struct ExecPlan {
     pub(crate) fwd_peak_breakdown: PlannedBreakdown,
     /// Segment replays one training step performs.
     pub(crate) planned_replays: u64,
+    /// Flops of one step's scheduled forward + backward launches,
+    /// excluding replays — the no-extra-recompute work a step must do
+    /// under *any* stash plan for this cone.
+    pub(crate) planned_step_flops: u64,
+    /// Extra flops the step spends replaying recompute segments.
+    pub(crate) planned_recompute_flops: u64,
 }
 
 impl ExecPlan {
@@ -449,7 +470,22 @@ impl ExecPlan {
             peak_breakdown: Vec::new(),
             fwd_peak_breakdown: Vec::new(),
             planned_replays: 0,
+            planned_step_flops: 0,
+            planned_recompute_flops: 0,
         };
+        let fwd_flops: u64 = plan
+            .schedule
+            .iter()
+            .filter_map(|id| plan.ops[id.index()].as_ref())
+            .map(|t| launch_flops(&t.fwd_launches))
+            .sum();
+        let bwd_flops: u64 = plan
+            .bwd_schedule
+            .iter()
+            .filter_map(|id| plan.ops[id.index()].as_ref())
+            .map(|t| launch_flops(&t.bwd_launches))
+            .sum();
+        plan.planned_step_flops = fwd_flops + bwd_flops;
         let sim = AccountingSim::new(graph, stash, &plan).run();
         plan.planned_peak_bytes = sim.planned_peak_bytes;
         plan.step_delta = sim.step_delta;
@@ -458,6 +494,7 @@ impl ExecPlan {
         plan.peak_breakdown = sim.peak_breakdown;
         plan.fwd_peak_breakdown = sim.fwd_peak_breakdown;
         plan.planned_replays = sim.planned_replays;
+        plan.planned_recompute_flops = sim.planned_recompute_flops;
         PLANS_BUILT.fetch_add(1, Ordering::Relaxed);
         Ok(plan)
     }
@@ -529,6 +566,21 @@ impl ExecPlan {
     /// Segment replays one planned training step performs.
     pub fn planned_replays(&self) -> u64 {
         self.planned_replays
+    }
+
+    /// Flops of one step's scheduled forward + backward launches,
+    /// excluding replays. Identical across stash plans for the same cone,
+    /// which is what makes it the reference a recompute-FLOP budget is a
+    /// multiplier over.
+    pub fn planned_step_flops(&self) -> u64 {
+        self.planned_step_flops
+    }
+
+    /// Extra forward flops one step spends replaying recompute segments —
+    /// the cost side of the memory/recompute trade a stash-set search
+    /// optimizes under a budget.
+    pub fn planned_recompute_flops(&self) -> u64 {
+        self.planned_recompute_flops
     }
 
     /// The full live set at the planned peak moment, per (layer, kind).
@@ -609,6 +661,7 @@ struct AccountingSim<'a> {
     /// Pool id -> (layer at creation, high-water bytes).
     pools: HashMap<usize, (LayerKind, u64)>,
     replays: u64,
+    replay_flops: u64,
 }
 
 impl<'a> AccountingSim<'a> {
@@ -624,6 +677,7 @@ impl<'a> AccountingSim<'a> {
             active: HashMap::new(),
             pools: HashMap::new(),
             replays: 0,
+            replay_flops: 0,
         }
     }
 
@@ -698,6 +752,9 @@ impl<'a> AccountingSim<'a> {
                 }
             }
             bytes += self.bytes_of(id.index()) + self.saved_bytes_of(id.index());
+            self.replay_flops += self.plan.ops[id.index()]
+                .as_ref()
+                .map_or(0, |t| launch_flops(&t.fwd_launches));
         }
         let layer = self.graph.nodes()[min_index].layer;
         let entry = self.pools.entry(pool_id).or_insert((layer, 0));
@@ -872,6 +929,7 @@ impl<'a> AccountingSim<'a> {
         results.assumed_workspace = self.pools.values().map(|&(_, high)| high).sum();
         results.peak_breakdown = breakdown_vec(&self.peak_by_tag);
         results.planned_replays = self.replays;
+        results.planned_recompute_flops = self.replay_flops;
         results
     }
 }
@@ -886,6 +944,7 @@ struct SimResults {
     peak_breakdown: PlannedBreakdown,
     fwd_peak_breakdown: PlannedBreakdown,
     planned_replays: u64,
+    planned_recompute_flops: u64,
 }
 
 fn breakdown_vec(map: &HashMap<(LayerKind, DataStructureKind), u64>) -> PlannedBreakdown {

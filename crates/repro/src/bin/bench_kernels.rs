@@ -17,23 +17,31 @@
 //!   Echo-vs-stash-all planned peaks; with `--gate`, fail unless the
 //!   planned word-LM step is ≥1.2× legacy and the Echo planned peak is
 //!   strictly below stash-all.
+//! * `--search` — sweep the cost-model stash-set search vs the O-shape
+//!   heuristic: static planned peaks on word-LM, NMT and a GRU chain,
+//!   plus step timing on NMT with each plan installed; with `--gate`,
+//!   fail unless the searched NMT peak is strictly below the heuristic's
+//!   at ≤ 1.15× its step time.
 //!
 //! Every run also re-checks the bit-exactness contract (packed bands
 //! {1, 2, 4, 8} and end-to-end losses across policies) — a benchmark
 //! that silently changed numerics would be worse than a slow one.
 
-use echo::{EchoCompiler, EchoConfig};
+use echo::{EchoCompiler, EchoConfig, SearchReport, StashSelection};
 use echo_data::{BpttBatches, LmCorpus, NmtBatch, ParallelCorpus, Vocab};
-use echo_graph::{ExecOptions, Executor, StashPlan};
-use echo_memory::DeviceMemory;
-use echo_models::{NmtHyper, NmtModel, Sgd, WordLm, WordLmHyper};
-use echo_rnn::LstmBackend;
+use echo_graph::{ExecOptions, Executor, Graph, NodeId, StashPlan};
+use echo_memory::{DeviceMemory, LayerKind};
+use echo_models::{NmtHyper, NmtModel, Sgd, Speedometer, WordLm, WordLmHyper};
+use echo_ops::MeanAll;
+use echo_rnn::{GruStep, LstmBackend};
 use echo_tensor::init::{seeded_rng, uniform};
+use echo_tensor::Tensor;
 use echo_tensor::{
     gemm, gemm_packed_parallel, set_matmul_policy, MatViewMut, MatmulBackend, MatmulPolicy,
     MatrixLayout, Shape,
 };
 use serde_json::json;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -384,11 +392,148 @@ fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
+/// One model of the search sweep: heuristic-vs-searched planned peaks.
+struct SearchRow {
+    name: &'static str,
+    report: SearchReport,
+}
+
+/// Compiles one model under `StashSelection::Search` and returns the
+/// search report (which carries the stash-all and heuristic reference
+/// peaks alongside the winner's).
+fn search_peaks(
+    name: &'static str,
+    graph: &Arc<Graph>,
+    bindings: &HashMap<NodeId, Tensor>,
+    params: &HashMap<NodeId, echo_tensor::Shape>,
+    protected: &[NodeId],
+) -> SearchRow {
+    let compiled = EchoCompiler::new(EchoConfig {
+        selection: StashSelection::Search { flop_budget: 1.0 },
+        ..EchoConfig::default()
+    })
+    .compile(graph, bindings, params, protected)
+    .expect("search compile");
+    SearchRow {
+        name,
+        report: compiled.report.search.expect("search report"),
+    }
+}
+
+/// A GRU chain (fused recurrent steps, no GEMM-free interior): the
+/// degenerate end of the sweep, where the search must fall back to the
+/// heuristic rather than inventing recomputation.
+fn gru_chain_case() -> (
+    Arc<Graph>,
+    HashMap<NodeId, Tensor>,
+    HashMap<NodeId, echo_tensor::Shape>,
+    NodeId,
+) {
+    let (b, h, steps) = (8usize, 32usize, 8usize);
+    let mut g = Graph::new();
+    let h0 = g.input("h0", LayerKind::Rnn);
+    let wx = g.param("wx", LayerKind::Rnn);
+    let wh = g.param("wh", LayerKind::Rnn);
+    let bias = g.param("bias", LayerKind::Rnn);
+    let mut bindings = HashMap::new();
+    bindings.insert(h0, Tensor::zeros(echo_tensor::Shape::d2(b, h)));
+    let mut state = h0;
+    for t in 0..steps {
+        let x = g.input(format!("x{t}"), LayerKind::Rnn);
+        bindings.insert(x, Tensor::zeros(echo_tensor::Shape::d2(b, h)));
+        state = g.apply(
+            format!("gru{t}"),
+            Arc::new(GruStep::new(h)),
+            &[x, state, wx, wh, bias],
+            LayerKind::Rnn,
+        );
+    }
+    let loss = g.apply("loss", Arc::new(MeanAll), &[state], LayerKind::Output);
+    let mut params = HashMap::new();
+    params.insert(wx, echo_tensor::Shape::d2(3 * h, h));
+    params.insert(wh, echo_tensor::Shape::d2(3 * h, h));
+    params.insert(bias, echo_tensor::Shape::d1(6 * h));
+    (Arc::new(g), bindings, params, loss)
+}
+
+/// Outcome of the heuristic-vs-searched NMT step timing.
+struct SearchStepBench {
+    heuristic_ms: Vec<f64>,
+    searched_ms: Vec<f64>,
+    heuristic_replays: f64,
+    searched_replays: f64,
+    ratio: f64,
+}
+
+/// Times full train steps on the NMT bucket with the heuristic plan vs
+/// the searched plan attached (both plan-driven). Losses must stay
+/// bit-identical — recomputation choices may never change numerics.
+fn search_bench_nmt(steps: usize) -> SearchStepBench {
+    set_matmul_policy(MatmulPolicy::Auto);
+    let corpus = ParallelCorpus::synthetic(Vocab::new(100), Vocab::new(90), 200, 5..=8, 5);
+    let model = NmtModel::build(NmtHyper::tiny(
+        corpus.src_vocab().size(),
+        corpus.tgt_vocab().size(),
+    ));
+    let batch = NmtBatch::bucketed(corpus.pairs(), 8).remove(0);
+    let bindings = model.bindings(&batch);
+
+    let make = |selection: StashSelection| {
+        let mut exec = Executor::new(Arc::clone(&model.graph), StashPlan::stash_all(), mem());
+        model.bind_params(&mut exec, 2).expect("bind");
+        EchoCompiler::new(EchoConfig {
+            selection,
+            ..EchoConfig::default()
+        })
+        .attach(
+            &mut exec,
+            &bindings,
+            &model.param_shapes(),
+            &[model.loss, model.logits],
+        )
+        .expect("attach");
+        exec
+    };
+    let mut heuristic_exec = make(StashSelection::Heuristic);
+    let mut searched_exec = make(StashSelection::Search { flop_budget: 1.0 });
+    let batch_size = batch.batch;
+    let run = |exec: &mut Executor| -> (Vec<f64>, Vec<u32>, Speedometer) {
+        let mut meter = Speedometer::new();
+        let step = |exec: &mut Executor, meter: &mut Speedometer| -> (f64, u32) {
+            let start = Instant::now();
+            let stats = exec
+                .train_step(&bindings, model.loss, ExecOptions::default(), None)
+                .expect("train step");
+            meter.record_with_replays(batch_size, stats.sim_ns.unwrap_or(0), stats.replays);
+            (
+                start.elapsed().as_secs_f64() * 1e3,
+                stats.loss.expect("loss").to_bits(),
+            )
+        };
+        let (ms, bits) = plan_bench(|| step(exec, &mut meter), steps);
+        (ms, bits, meter)
+    };
+    let (heuristic_ms, heuristic_bits, heuristic_meter) = run(&mut heuristic_exec);
+    let (searched_ms, searched_bits, searched_meter) = run(&mut searched_exec);
+    assert_eq!(
+        heuristic_bits, searched_bits,
+        "searched-plan nmt losses diverged from heuristic — numerics bug"
+    );
+    SearchStepBench {
+        ratio: mean(&searched_ms) / mean(&heuristic_ms),
+        heuristic_replays: heuristic_meter.replays_per_iteration(),
+        searched_replays: searched_meter.replays_per_iteration(),
+        heuristic_ms,
+        searched_ms,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let gate = args.iter().any(|a| a == "--gate");
     let plan = args.iter().any(|a| a == "--plan");
+    let search = args.iter().any(|a| a == "--search");
     let reps = if quick { 3 } else { 7 };
     let steps = if quick { 3 } else { 6 };
 
@@ -541,6 +686,111 @@ fn main() {
         }
     }
 
+    // ---- Stash-set search vs O-shape heuristic (--search) -------------
+    let mut search_json = serde_json::Value::Null;
+    if search {
+        let lm = WordLm::build(WordLmHyper::tiny(60, LstmBackend::CuDnn));
+        let nmt = NmtModel::build(NmtHyper::tiny(100, 90));
+        let (gru_graph, gru_bindings, gru_params, gru_loss) = gru_chain_case();
+        let rows = [
+            search_peaks(
+                "word_lm",
+                &lm.graph,
+                &lm.symbolic_bindings(8),
+                &lm.param_shapes(),
+                &[lm.loss, lm.logits],
+            ),
+            search_peaks(
+                "nmt",
+                &nmt.graph,
+                &nmt.symbolic_bindings(8),
+                &nmt.param_shapes(),
+                &[nmt.loss, nmt.logits],
+            ),
+            search_peaks(
+                "gru_chain",
+                &gru_graph,
+                &gru_bindings,
+                &gru_params,
+                &[gru_loss],
+            ),
+        ];
+        echo_repro::print_table(
+            "stash-set search vs heuristic (planned peak bytes)",
+            &[
+                "model",
+                "stash-all",
+                "heuristic",
+                "searched",
+                "candidates",
+                "replay GFLOP",
+            ],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.name.to_string(),
+                        r.report.stash_all_peak_bytes.to_string(),
+                        r.report.heuristic_peak_bytes.to_string(),
+                        r.report.searched_peak_bytes.to_string(),
+                        r.report.candidates_explored.to_string(),
+                        format!("{:.4}", r.report.recompute_flops as f64 / 1e9),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        let step_steps = if quick { 5 } else { 12 };
+        let bench = search_bench_nmt(step_steps);
+        println!(
+            "nmt step time: heuristic {:.2} ms vs searched {:.2} ms ({:.2}x), replays/step {:.1} -> {:.1}",
+            mean(&bench.heuristic_ms),
+            mean(&bench.searched_ms),
+            bench.ratio,
+            bench.heuristic_replays,
+            bench.searched_replays,
+        );
+        search_json = json!({
+            "flop_budget": 1.0,
+            "models": rows.iter().map(|r| json!({
+                "name": r.name,
+                "stash_all_peak_bytes": r.report.stash_all_peak_bytes,
+                "heuristic_peak_bytes": r.report.heuristic_peak_bytes,
+                "searched_peak_bytes": r.report.searched_peak_bytes,
+                "candidates_explored": r.report.candidates_explored,
+                "recompute_flops": r.report.recompute_flops,
+                "step_flops": r.report.step_flops,
+                "budget_flops": r.report.budget_flops,
+                "capped": r.report.capped,
+                "fell_back_to_heuristic": r.report.fell_back_to_heuristic,
+            })).collect::<Vec<_>>(),
+            "nmt_step": {
+                "heuristic_ms": bench.heuristic_ms,
+                "searched_ms": bench.searched_ms,
+                "time_ratio_searched_vs_heuristic": bench.ratio,
+                "heuristic_replays_per_step": bench.heuristic_replays,
+                "searched_replays_per_step": bench.searched_replays,
+            },
+        });
+        if gate {
+            let nmt_row = &rows[1].report;
+            assert!(
+                nmt_row.searched_peak_bytes < nmt_row.heuristic_peak_bytes,
+                "search gate: searched NMT peak {} not strictly below heuristic {}",
+                nmt_row.searched_peak_bytes,
+                nmt_row.heuristic_peak_bytes
+            );
+            assert!(
+                bench.ratio <= 1.15,
+                "search gate: searched NMT step is {:.2}x heuristic (need <= 1.15x)",
+                bench.ratio
+            );
+            println!(
+                "search gate passed: peak {} < {} at {:.2}x step time",
+                nmt_row.searched_peak_bytes, nmt_row.heuristic_peak_bytes, bench.ratio
+            );
+        }
+    }
+
     let autotune = echo_tensor::policy::autotune_outcome().map(|o| {
         json!({
             "chosen": o.chosen.name(),
@@ -563,6 +813,7 @@ fn main() {
             "nmt_loss_bits_identical_across_policies": true,
         },
         "plan": plan_json,
+        "search": search_json,
         "train_steps": {
             "word_lm": {
                 "naive_ms": lm_naive_ms,

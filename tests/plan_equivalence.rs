@@ -4,8 +4,8 @@
 //! The ahead-of-time `ExecPlan` (`echo_graph::plan`) precomputes the
 //! schedule, shapes, liveness intervals and buffer slots, and the executor
 //! interprets it instead of rebuilding per-run tables. This sweep pins the
-//! contract from the ISSUE: across {stash-all, Echo, Chen-√N} stash plans
-//! and all `MatmulPolicy` backends, on both a tiny word-level LM and a
+//! contract from the ISSUE: across {stash-all, Echo, Chen-√N, searched}
+//! stash plans and all `MatmulPolicy` backends, on both a tiny word-level LM and a
 //! hand-built GRU chain, the planned path is **bit-identical** to legacy in
 //! loss, every exported gradient, and replay counts — and the plan's static
 //! `planned_peak_bytes` never exceeds the peak the legacy interpreter
@@ -16,7 +16,10 @@
 //! policies sequentially inside a single test (this file is its own
 //! integration-test binary, i.e. its own process).
 
-use echo::{analysis::infer_shapes, chen_sqrt_plan, sqrt_stride, EchoCompiler, EchoConfig};
+use echo::{
+    analysis::infer_shapes, chen_sqrt_plan, sqrt_stride, EchoCompiler, EchoConfig, OshapeConfig,
+    SearchConfig, StashSearch,
+};
 use echo_data::{BpttBatches, LmCorpus, Vocab};
 use echo_graph::{ExecOptions, Executor, Graph, NodeId, StashPlan};
 use echo_memory::{DeviceMemory, LayerKind};
@@ -49,8 +52,9 @@ impl Scenario {
             .collect()
     }
 
-    /// The three stash plans of the sweep: the framework baseline, the
-    /// Echo pass's output, and Chen et al.'s generic √N checkpointing.
+    /// The four stash plans of the sweep: the framework baseline, the
+    /// Echo pass's output, Chen et al.'s generic √N checkpointing, and the
+    /// cost-model search's winner.
     fn stash_plans(&self) -> Vec<(&'static str, StashPlan)> {
         let shapes = infer_shapes(&self.graph, &self.bindings, &self.param_shapes())
             .expect("shape inference");
@@ -60,10 +64,32 @@ impl Scenario {
         let (chen, _) = chen_sqrt_plan(&self.graph, &shapes, &[self.loss], {
             sqrt_stride(&self.graph)
         });
+        let binding_shapes: HashMap<NodeId, Shape> = self
+            .bindings
+            .iter()
+            .map(|(&id, t)| (id, t.shape().clone()))
+            .collect();
+        let searched = StashSearch::new(SearchConfig {
+            flop_budget: 1.0,
+            ..SearchConfig::default()
+        })
+        .run(
+            &self.graph,
+            &shapes,
+            &binding_shapes,
+            &self.param_shapes(),
+            &[self.loss],
+            &OshapeConfig::default(),
+            true,
+            ExecOptions::default(),
+        )
+        .expect("stash search")
+        .plan;
         vec![
             ("stash-all", StashPlan::stash_all()),
             ("echo", echo),
             ("chen-sqrt-n", chen),
+            ("searched", searched),
         ]
     }
 }
