@@ -2,7 +2,7 @@
 //! memory accounting and kernel dispatch.
 
 use crate::graph::{Graph, NodeId, NodeKind};
-use crate::op::{KernelLaunch, LaunchSpec, Saved};
+use crate::op::{KernelLaunch, LaunchSpec, Operator, Saved, StashNeeds};
 use crate::plan::ExecPlan;
 use crate::policy::{StashPlan, StashPolicy};
 use crate::{GraphError, Result};
@@ -11,9 +11,9 @@ use echo_memory::{
     Allocation, AllocationTag, DataStructureKind, DeviceMemory, TensorPool, WorkspaceLease,
     WorkspacePool,
 };
-use echo_tensor::{Shape, Tensor};
+use echo_tensor::{Shape, Tensor, WorkerPool};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Options controlling one execution.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +29,64 @@ impl Default for ExecOptions {
         ExecOptions {
             training: true,
             numeric: true,
+        }
+    }
+}
+
+/// How the plan-driven executor schedules independent plan entries.
+///
+/// Wavefront execution groups the plan's forward and backward schedules
+/// into dependency levels (see `ExecPlan`'s wave tables) and runs each
+/// level's entries concurrently on a worker pool, committing results
+/// serially in schedule order. The commit discipline — and the fixed
+/// per-element reduction order of every kernel underneath — keeps planned
+/// steps bit-identical to the serial interpreter at any thread count.
+///
+/// Wavefront scheduling only ever engages on the numeric plane with no
+/// device simulator attached: kernel dispatch order is part of a
+/// simulation's observable timeline, so simulated runs stay serial.
+#[derive(Clone)]
+pub enum WavefrontMode {
+    /// Use the process-global worker pool when it has more than one
+    /// thread and `ECHO_WAVEFRONT` is not `0`. The default.
+    Auto,
+    /// Always execute plans serially.
+    Off,
+    /// Use this specific pool regardless of `ECHO_WAVEFRONT` — how tests
+    /// sweep thread counts in-process without re-spawning under a
+    /// different `ECHO_NUM_THREADS`.
+    Pool(Arc<WorkerPool>),
+}
+
+impl std::fmt::Debug for WavefrontMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WavefrontMode::Auto => f.write_str("Auto"),
+            WavefrontMode::Off => f.write_str("Off"),
+            WavefrontMode::Pool(p) => write!(f, "Pool({} threads)", p.num_threads()),
+        }
+    }
+}
+
+/// Whether `ECHO_WAVEFRONT` permits wavefront execution (anything but
+/// `0`; unset means enabled).
+fn wavefront_env_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("ECHO_WAVEFRONT").map_or(true, |v| v != "0"))
+}
+
+/// An owned handle on the pool a wavefront run executes on (owning it
+/// keeps the run free to borrow itself mutably while the handle lives).
+enum PoolRef {
+    Global,
+    Shared(Arc<WorkerPool>),
+}
+
+impl PoolRef {
+    fn get(&self) -> &WorkerPool {
+        match self {
+            PoolRef::Global => echo_tensor::pool::global(),
+            PoolRef::Shared(p) => p,
         }
     }
 }
@@ -68,6 +126,8 @@ pub struct Executor {
     state: PlanState,
     /// Cumulative segment replays across every step this executor ran.
     replays_total: u64,
+    /// How planned steps schedule independent entries.
+    wavefront: WavefrontMode,
 }
 
 /// Dense per-node tables the plan-driven interpreter reuses across steps
@@ -126,7 +186,14 @@ impl Executor {
             exec_plan: None,
             state: PlanState::default(),
             replays_total: 0,
+            wavefront: WavefrontMode::Auto,
         }
+    }
+
+    /// Selects how planned steps schedule independent entries (see
+    /// [`WavefrontMode`]). Defaults to [`WavefrontMode::Auto`].
+    pub fn set_wavefront_mode(&mut self, mode: WavefrontMode) {
+        self.wavefront = mode;
     }
 
     /// Cumulative segment replays across every step this executor has run
@@ -439,6 +506,7 @@ impl Executor {
         // The execution plan is immutable and shape-derived, so replicas
         // share it: K replicas cost one planning pass.
         replica.exec_plan = self.exec_plan.clone();
+        replica.wavefront = self.wavefront.clone();
         Ok(replica)
     }
 
@@ -743,6 +811,15 @@ struct Run<'e> {
     /// `usize::MAX` outside backward. Replays triggered at the cursor
     /// count their remaining readers from here down.
     bwd_cursor: usize,
+    /// Whether a wavefront backward is in flight. Waves visit node
+    /// indices non-monotonically, so the serial cursor disciplines —
+    /// counting scratch readers from the cursor down at replay time and
+    /// the `min_index < cursor` retirement backstop — are replaced by an
+    /// exact refcount over `bwd_done`.
+    wavefront: bool,
+    /// Per-node "backward entry processed" mask (wavefront backward
+    /// only); the basis for scratch-reader refcounts.
+    bwd_done: Vec<bool>,
 }
 
 struct SegmentScratch {
@@ -783,6 +860,54 @@ fn reads_scratch(graph: &Graph, needed: &[bool], idx: usize, scratch: &SegmentSc
     }
 }
 
+/// Shared-read value lookup for wavefront compute phases: the same
+/// resolution order as [`Run::value_of`], without borrowing the run
+/// (closures running on the worker pool only capture the tables they
+/// read).
+fn lookup_value<'a>(
+    values: &'a [Option<Tensor>],
+    params: &'a HashMap<NodeId, Tensor>,
+    bindings: &'a HashMap<NodeId, Tensor>,
+    graph: &Graph,
+    id: NodeId,
+) -> Result<&'a Tensor> {
+    if let Some(v) = &values[id.index()] {
+        return Ok(v);
+    }
+    if let Some(v) = params.get(&id) {
+        return Ok(v);
+    }
+    if let Some(v) = bindings.get(&id) {
+        return Ok(v);
+    }
+    Err(GraphError::MissingBinding {
+        name: graph.nodes()[id.index()].name.clone(),
+    })
+}
+
+/// [`lookup_value`] extended with active replay scratches — the
+/// resolution order of [`Run::borrowed_value`].
+fn lookup_backward_value<'a>(
+    values: &'a [Option<Tensor>],
+    params: &'a HashMap<NodeId, Tensor>,
+    bindings: &'a HashMap<NodeId, Tensor>,
+    scratch: &'a HashMap<usize, SegmentScratch>,
+    graph: &Graph,
+    id: NodeId,
+) -> Result<&'a Tensor> {
+    if let Ok(v) = lookup_value(values, params, bindings, graph, id) {
+        return Ok(v);
+    }
+    for s in scratch.values() {
+        if let Some(v) = s.values.get(&id) {
+            return Ok(v);
+        }
+    }
+    Err(GraphError::MissingBinding {
+        name: graph.nodes()[id.index()].name.clone(),
+    })
+}
+
 impl<'e> Run<'e> {
     fn new(
         exec: &'e mut Executor,
@@ -810,6 +935,8 @@ impl<'e> Run<'e> {
             scratch: HashMap::new(),
             replays: 0,
             bwd_cursor: usize::MAX,
+            wavefront: false,
+            bwd_done: Vec::new(),
         }
     }
 
@@ -852,6 +979,8 @@ impl<'e> Run<'e> {
             scratch: HashMap::new(),
             replays: 0,
             bwd_cursor: usize::MAX,
+            wavefront: false,
+            bwd_done: Vec::new(),
         }
     }
 
@@ -1218,12 +1347,23 @@ impl<'e> Run<'e> {
             min_index,
             n_required: 0,
         };
-        // Count the backward ops from the cursor down that may read this
-        // scratch — each decrements the refcount as it finishes.
-        let cursor = self.bwd_cursor.min(graph.len().saturating_sub(1));
-        let n_required = (0..=cursor)
-            .filter(|&d| reads_scratch(&graph, &self.needed, d, &scratch))
-            .count();
+        // Count the backward ops that may still read this scratch — each
+        // decrements the refcount as it finishes. The serial walk counts
+        // from the descending cursor down; a wavefront walk visits
+        // indices non-monotonically, so it counts every not-yet-processed
+        // entry instead (`bwd_done` is exact where the cursor is only a
+        // lower bound, which is what lets wavefront retirement drop the
+        // `min_index` backstop entirely).
+        let n_required = if self.wavefront {
+            (0..graph.len())
+                .filter(|&d| !self.bwd_done[d] && reads_scratch(&graph, &self.needed, d, &scratch))
+                .count()
+        } else {
+            let cursor = self.bwd_cursor.min(graph.len().saturating_sub(1));
+            (0..=cursor)
+                .filter(|&d| reads_scratch(&graph, &self.needed, d, &scratch))
+                .count()
+        };
         self.scratch.insert(
             seg,
             SegmentScratch {
@@ -1241,6 +1381,7 @@ impl<'e> Run<'e> {
     fn retire_scratches(&mut self, idx: usize) {
         let graph = Arc::clone(&self.exec.graph);
         let needed = &self.needed;
+        let wavefront = self.wavefront;
         self.scratch.retain(|_, s| {
             if reads_scratch(&graph, needed, idx, s) {
                 s.n_required = s.n_required.saturating_sub(1);
@@ -1248,7 +1389,12 @@ impl<'e> Run<'e> {
                     return false;
                 }
             }
-            s.min_index < idx
+            // The `min_index` backstop assumes a monotonically descending
+            // cursor; wavefront order is non-monotonic, and its refcount
+            // is exact (every pending reader — including ones that will
+            // be skipped — was counted and decrements when processed), so
+            // the refcount alone decides retirement there.
+            wavefront || s.min_index < idx
         });
     }
 
@@ -1514,9 +1660,33 @@ impl<'e> Run<'e> {
         Ok(loss_value)
     }
 
+    /// The worker pool a wavefront execution runs on, when wavefront
+    /// scheduling applies at all: numeric plane, no device simulator
+    /// attached, and a pool with real parallelism behind it.
+    fn wavefront_pool(&self) -> Option<PoolRef> {
+        if !self.opts.numeric || self.device.is_some() {
+            return None;
+        }
+        match &self.exec.wavefront {
+            WavefrontMode::Off => None,
+            WavefrontMode::Pool(p) if p.num_threads() > 1 => Some(PoolRef::Shared(Arc::clone(p))),
+            WavefrontMode::Pool(_) => None,
+            WavefrontMode::Auto => {
+                if wavefront_env_enabled() && echo_tensor::pool::global().num_threads() > 1 {
+                    Some(PoolRef::Global)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     fn plan_forward(&mut self) -> Result<()> {
         let plan = Arc::clone(self.plan.as_ref().expect("planned run"));
         let graph = self.graph();
+        if let Some(pool) = self.wavefront_pool() {
+            return self.plan_forward_waves(&plan, &graph, pool.get());
+        }
         let has_device = self.device.is_some();
         for &id in &plan.schedule {
             let idx = id.index();
@@ -1563,6 +1733,76 @@ impl<'e> Run<'e> {
         Ok(())
     }
 
+    /// Wavefront forward: each wave's ops compute concurrently on `pool`
+    /// into per-entry slots, then commit serially in ascending node
+    /// order — exactly the store/free sequence of the serial loop. Every
+    /// op reads only values committed by earlier waves (the wave tables
+    /// level strictly by producer depth) and every kernel underneath has
+    /// a fixed per-element reduction order, so the step is bit-identical
+    /// to serial execution at any thread count.
+    fn plan_forward_waves(
+        &mut self,
+        plan: &ExecPlan,
+        graph: &Graph,
+        pool: &WorkerPool,
+    ) -> Result<()> {
+        type FwdOut = Result<(Tensor, Saved)>;
+        let mut slots: Vec<Mutex<Option<FwdOut>>> = Vec::new();
+        for w in 0..plan.fwd_waves.waves() {
+            let wave = plan.fwd_waves.wave(w);
+            slots.clear();
+            slots.resize_with(wave.len(), || Mutex::new(None));
+            {
+                let values = &self.values;
+                let params = &self.exec.params;
+                let bindings = self.bindings;
+                let slots = &slots;
+                pool.run_indexed(wave.len(), &|k| {
+                    let idx = wave[k] as usize;
+                    let NodeKind::Op { op, inputs } = &graph.nodes()[idx].kind else {
+                        unreachable!("forward waves contain only ops");
+                    };
+                    let result = (|| -> FwdOut {
+                        let mut in_values = Vec::with_capacity(inputs.len());
+                        for &i in inputs {
+                            in_values.push(lookup_value(values, params, bindings, graph, i)?);
+                        }
+                        op.forward(&in_values)
+                    })();
+                    *slots[k].lock().expect("forward slot") = Some(result);
+                });
+            }
+            for (k, &entry) in wave.iter().enumerate() {
+                let idx = entry as usize;
+                let (out, saved) = slots[k]
+                    .lock()
+                    .expect("forward slot")
+                    .take()
+                    .expect("wave entry computed")?;
+                self.values[idx] = Some(out);
+                self.saved[idx] = if plan.keep_saved[idx] && !saved.is_empty() {
+                    Some(saved)
+                } else {
+                    None
+                };
+                let NodeKind::Op { inputs, .. } = &graph.nodes()[idx].kind else {
+                    unreachable!("forward waves contain only ops");
+                };
+                for &input in inputs {
+                    let iidx = input.index();
+                    self.fwd_uses[iidx] -= 1;
+                    if self.fwd_uses[iidx] == 0 && !plan.keep[iidx] && plan.transient[iidx] {
+                        if let Some(t) = self.values[iidx].take() {
+                            self.recycle(t);
+                        }
+                        self.saved[iidx] = None;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn plan_backward(&mut self, loss: NodeId) -> Result<()> {
         let plan = Arc::clone(self.plan.as_ref().expect("planned run"));
         let graph = self.graph();
@@ -1576,6 +1816,10 @@ impl<'e> Run<'e> {
                 Some(Tensor::from_vec(shape, buf).map_err(GraphError::from)?);
         }
         self.grad_present[loss.index()] = true;
+
+        if let Some(pool) = self.wavefront_pool() {
+            return self.plan_backward_waves(&plan, &graph, pool.get());
+        }
 
         for i in 0..plan.bwd_schedule.len() {
             let id = plan.bwd_schedule[i];
@@ -1738,6 +1982,224 @@ impl<'e> Run<'e> {
             self.retire_scratches(idx);
         }
         self.bwd_cursor = usize::MAX;
+        self.scratch.clear();
+        Ok(())
+    }
+
+    /// Wavefront backward: three phases per wave, descending node index
+    /// throughout.
+    ///
+    /// * **Phase A (serial)** — the replay triggers of every live entry,
+    ///   in exactly the serial interpreter's per-node order. Replays
+    ///   mutate the scratch map and workspace pools, so they stay
+    ///   single-threaded.
+    /// * **Phase B (parallel)** — `op.backward` for every live op entry,
+    ///   over borrowed views of values, saved state, scratches and the
+    ///   upstream gradient, into per-entry slots. Strictly read-only.
+    /// * **Phase C (serial)** — gradient accumulation, frees and scratch
+    ///   retirement, in descending order. Two consumers of one node
+    ///   therefore `axpy` into its gradient in exactly the serial walk's
+    ///   order: the wave tables forbid a lower-index consumer from
+    ///   landing in an earlier wave, and within a wave the descending
+    ///   commit decides.
+    fn plan_backward_waves(
+        &mut self,
+        plan: &ExecPlan,
+        graph: &Graph,
+        pool: &WorkerPool,
+    ) -> Result<()> {
+        enum Action {
+            /// No gradient materialized; processed for refcounts only.
+            Skip,
+            /// Param (accumulate + free) or Input (discard) entry.
+            Leaf,
+            Compute {
+                op: Arc<dyn Operator + Send + Sync>,
+                inputs: Vec<NodeId>,
+                needs: StashNeeds,
+            },
+        }
+        type BwdOut = Result<Vec<Option<Tensor>>>;
+        self.wavefront = true;
+        self.bwd_done.clear();
+        self.bwd_done.resize(plan.graph_len, false);
+        let mut actions: Vec<Action> = Vec::new();
+        let mut slots: Vec<Mutex<Option<BwdOut>>> = Vec::new();
+        for w in 0..plan.bwd_waves.waves() {
+            let wave = plan.bwd_waves.wave(w);
+
+            // Phase A — replay triggers, serial, descending.
+            actions.clear();
+            for &entry in wave {
+                let idx = entry as usize;
+                let id = NodeId::from_index(idx);
+                self.bwd_cursor = idx;
+                if !self.grad_present[idx] {
+                    actions.push(Action::Skip);
+                    continue;
+                }
+                let node = &graph.nodes()[idx];
+                let (op, input_ids) = match &node.kind {
+                    NodeKind::Op { op, inputs } => (Arc::clone(op), inputs.clone()),
+                    _ => {
+                        actions.push(Action::Leaf);
+                        continue;
+                    }
+                };
+                let needs = plan.ops[idx].as_ref().expect("op tables").needs;
+                if needs.inputs {
+                    for &i in &input_ids {
+                        if !self.value_at_hand(i) {
+                            if let StashPolicy::Recompute(seg) = self.exec.plan.policy(i) {
+                                self.ensure_replayed(seg.id)?;
+                            }
+                        }
+                    }
+                }
+                if needs.output && !self.value_at_hand(id) {
+                    if let StashPolicy::Recompute(seg) = self.exec.plan.policy(id) {
+                        self.ensure_replayed(seg.id)?;
+                    }
+                }
+                if self.saved[idx].is_none() {
+                    if let StashPolicy::Recompute(seg) = self.exec.plan.policy(id) {
+                        self.ensure_replayed(seg.id)?;
+                    }
+                }
+                actions.push(Action::Compute {
+                    op,
+                    inputs: input_ids,
+                    needs,
+                });
+            }
+
+            // Phase B — backward kernels, parallel, read-only.
+            slots.clear();
+            slots.resize_with(wave.len(), || Mutex::new(None));
+            {
+                let values = &self.values;
+                let grads = &self.grads;
+                let saved = &self.saved;
+                let scratch = &self.scratch;
+                let params = &self.exec.params;
+                let bindings = self.bindings;
+                let slots = &slots;
+                let actions = &actions;
+                pool.run_indexed(wave.len(), &|k| {
+                    let Action::Compute { op, inputs, needs } = &actions[k] else {
+                        return;
+                    };
+                    let idx = wave[k] as usize;
+                    let id = NodeId::from_index(idx);
+                    let result = (|| -> BwdOut {
+                        let input_refs: Vec<Option<&Tensor>> = if needs.inputs {
+                            let mut refs = Vec::with_capacity(inputs.len());
+                            for &i in inputs {
+                                refs.push(Some(lookup_backward_value(
+                                    values, params, bindings, scratch, graph, i,
+                                )?));
+                            }
+                            refs
+                        } else {
+                            vec![None; inputs.len()]
+                        };
+                        let output_ref = if needs.output {
+                            Some(lookup_backward_value(
+                                values, params, bindings, scratch, graph, id,
+                            )?)
+                        } else {
+                            None
+                        };
+                        let saved_ref: &[Tensor] = match &saved[idx] {
+                            Some(s) => s,
+                            None => scratch
+                                .values()
+                                .find_map(|s| s.saved.get(&id))
+                                .map_or(&[][..], |s| s.as_slice()),
+                        };
+                        let dy = grads[idx].as_ref().expect("grad present");
+                        op.backward(&input_refs, output_ref, saved_ref, dy)
+                    })();
+                    *slots[k].lock().expect("backward slot") = Some(result);
+                });
+            }
+
+            // Phase C — accumulate, free, retire; serial, descending.
+            for (k, &entry) in wave.iter().enumerate() {
+                let idx = entry as usize;
+                let id = NodeId::from_index(idx);
+                match &actions[k] {
+                    Action::Skip => {}
+                    Action::Leaf => {
+                        match &graph.nodes()[idx].kind {
+                            NodeKind::Param => {
+                                if let Some(g) = self.grads[idx].take() {
+                                    let acc = self
+                                        .exec
+                                        .grads
+                                        .get_mut(&id)
+                                        .expect("param grad buffer exists");
+                                    acc.axpy(1.0, &g).map_err(GraphError::from)?;
+                                    self.recycle(g);
+                                }
+                            }
+                            NodeKind::Input => {
+                                if let Some(g) = self.grads[idx].take() {
+                                    self.recycle(g);
+                                }
+                            }
+                            NodeKind::Op { .. } => {
+                                unreachable!("leaf entries are params or inputs")
+                            }
+                        }
+                        self.grad_present[idx] = false;
+                    }
+                    Action::Compute { op, inputs, .. } => {
+                        let mut input_grads = slots[k]
+                            .lock()
+                            .expect("backward slot")
+                            .take()
+                            .expect("wave entry computed")?;
+                        if input_grads.len() != inputs.len() {
+                            return Err(GraphError::Operator {
+                                op: op.name().to_string(),
+                                message: format!(
+                                    "backward returned {} gradients for {} inputs",
+                                    input_grads.len(),
+                                    inputs.len()
+                                ),
+                            });
+                        }
+                        for (slot, &input) in inputs.iter().enumerate() {
+                            if !op.input_differentiable(slot) {
+                                continue;
+                            }
+                            if let Some(g) = input_grads[slot].take() {
+                                match &mut self.grads[input.index()] {
+                                    Some(acc) => acc.axpy(1.0, &g).map_err(GraphError::from)?,
+                                    slot_ref @ None => *slot_ref = Some(g),
+                                }
+                            } else {
+                                continue;
+                            }
+                            self.grad_present[input.index()] = true;
+                        }
+                        if let Some(g) = self.grads[idx].take() {
+                            self.recycle(g);
+                        }
+                        self.grad_present[idx] = false;
+                        if let Some(t) = self.values[idx].take() {
+                            self.recycle(t);
+                        }
+                        self.saved[idx] = None;
+                    }
+                }
+                self.bwd_done[idx] = true;
+                self.retire_scratches(idx);
+            }
+        }
+        self.bwd_cursor = usize::MAX;
+        self.wavefront = false;
         self.scratch.clear();
         Ok(())
     }

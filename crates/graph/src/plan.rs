@@ -102,6 +102,44 @@ pub fn launch_flops(launches: &[KernelLaunch]) -> u64 {
         .sum()
 }
 
+/// A wavefront schedule: node indices grouped into dependency levels.
+///
+/// Wave `w` contains entries whose dependencies all complete in waves
+/// `< w`, so every entry of one wave can execute concurrently. The
+/// grouping is stored flat (`order`) with per-wave `bounds` so reading a
+/// wave is a slice, not an allocation.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WaveTable {
+    /// Node indices, contiguous by wave.
+    pub order: Vec<u32>,
+    /// Wave boundaries into `order`: wave `w` is
+    /// `order[bounds[w]..bounds[w + 1]]`. Always `waves() + 1` long.
+    pub bounds: Vec<u32>,
+}
+
+impl WaveTable {
+    fn from_buckets(buckets: Vec<Vec<u32>>) -> WaveTable {
+        let mut order = Vec::with_capacity(buckets.iter().map(Vec::len).sum());
+        let mut bounds = Vec::with_capacity(buckets.len() + 1);
+        bounds.push(0);
+        for bucket in buckets {
+            order.extend_from_slice(&bucket);
+            bounds.push(order.len() as u32);
+        }
+        WaveTable { order, bounds }
+    }
+
+    /// Number of waves.
+    pub fn waves(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// The node indices of wave `w`.
+    pub fn wave(&self, w: usize) -> &[u32] {
+        &self.order[self.bounds[w] as usize..self.bounds[w + 1] as usize]
+    }
+}
+
 /// Per-op-node static tables the planned interpreter reads instead of
 /// re-deriving. Indexed by the node's dense index.
 #[derive(Debug, Clone, Default)]
@@ -181,6 +219,21 @@ pub struct ExecPlan {
     pub(crate) planned_step_flops: u64,
     /// Extra flops the step spends replaying recompute segments.
     pub(crate) planned_recompute_flops: u64,
+    /// Forward op wavefronts: ops grouped by producer depth, ascending
+    /// node index within a wave. Ops in one wave share no
+    /// producer-consumer edge, so the wavefront executor may compute them
+    /// concurrently (committing results serially in index order keeps the
+    /// step bit-identical to the serial interpreter).
+    pub(crate) fwd_waves: WaveTable,
+    /// Backward wavefronts over `bwd_schedule`, descending node index
+    /// within a wave. Levels respect two edge kinds: *strict* edges (a
+    /// node's backward runs only after every contributing consumer's
+    /// backward has committed its gradient) and *non-strict*
+    /// accumulation-chain edges (two consumers of the same node may not
+    /// commit their `axpy` into its gradient out of descending-index
+    /// order; same wave is allowed because within-wave commits are serial
+    /// and descending). Empty for inference plans.
+    pub(crate) bwd_waves: WaveTable,
 }
 
 impl ExecPlan {
@@ -351,6 +404,83 @@ impl ExecPlan {
             }
         }
 
+        // Forward wavefronts: an op's level is one past the deepest of its
+        // producers (inputs and params sit at level 0 — they are bindings,
+        // not compute). The schedule is ascending, so pushing in schedule
+        // order keeps every wave sorted ascending for the serial commit.
+        let mut fwd_level = vec![0u32; n];
+        let mut fwd_buckets: Vec<Vec<u32>> = Vec::new();
+        for &id in &schedule {
+            if let NodeKind::Op { inputs, .. } = &graph.nodes()[id.index()].kind {
+                let lvl = 1 + inputs
+                    .iter()
+                    .map(|i| fwd_level[i.index()])
+                    .max()
+                    .unwrap_or(0);
+                fwd_level[id.index()] = lvl;
+                let wave = (lvl - 1) as usize;
+                if fwd_buckets.len() <= wave {
+                    fwd_buckets.resize_with(wave + 1, Vec::new);
+                }
+                fwd_buckets[wave].push(id.index() as u32);
+            }
+        }
+        let fwd_waves = WaveTable::from_buckets(fwd_buckets);
+
+        // Backward wavefronts. Walking `bwd_schedule` (descending) levels
+        // every entry after all of its consumers:
+        //  * strict edges — each contributing consumer `c` of node `v`
+        //    (an op for which `v` sits in a differentiable slot) raises
+        //    `v`'s floor to `level(c) + 1`, so `v`'s own backward runs
+        //    only once its gradient is fully accumulated;
+        //  * non-strict accumulation-chain edges — consumers of `v`
+        //    accumulate into `v`'s gradient in descending index order in
+        //    the serial interpreter. A lower-index consumer therefore may
+        //    not land in an *earlier* wave than a higher-index one
+        //    (`level >= level(prev higher-index consumer)`); landing in
+        //    the same wave is fine because within-wave gradient commits
+        //    are serial and descending.
+        let mut bwd_waves = WaveTable::default();
+        if opts.training {
+            let mut blevel = vec![0u32; n];
+            let mut floor = vec![0u32; n];
+            // Lowest-index contributing consumer leveled so far, per node.
+            let mut last_contrib = vec![u32::MAX; n];
+            let mut buckets: Vec<Vec<u32>> = Vec::new();
+            for &id in &bwd_schedule {
+                let idx = id.index();
+                let mut lvl = floor[idx];
+                if let NodeKind::Op { op, inputs } = &graph.nodes()[idx].kind {
+                    for (slot, &v) in inputs.iter().enumerate() {
+                        if !op.input_differentiable(slot) || !grad_reaches[v.index()] {
+                            continue;
+                        }
+                        let prev = last_contrib[v.index()];
+                        if prev != u32::MAX {
+                            lvl = lvl.max(blevel[prev as usize]);
+                        }
+                        last_contrib[v.index()] = idx as u32;
+                    }
+                }
+                blevel[idx] = lvl;
+                if let NodeKind::Op { op, inputs } = &graph.nodes()[idx].kind {
+                    for (slot, &v) in inputs.iter().enumerate() {
+                        if op.input_differentiable(slot) && grad_reaches[v.index()] {
+                            floor[v.index()] = floor[v.index()].max(lvl + 1);
+                        }
+                    }
+                }
+                let wave = lvl as usize;
+                if buckets.len() <= wave {
+                    buckets.resize_with(wave + 1, Vec::new);
+                }
+                // `bwd_schedule` is descending, so each wave stays sorted
+                // descending for the serial commit phase.
+                buckets[wave].push(idx as u32);
+            }
+            bwd_waves = WaveTable::from_buckets(buckets);
+        }
+
         let bytes_of =
             |id: NodeId| shapes[id.index()].as_ref().expect("in cone").num_bytes() as u64;
 
@@ -472,6 +602,8 @@ impl ExecPlan {
             planned_replays: 0,
             planned_step_flops: 0,
             planned_recompute_flops: 0,
+            fwd_waves,
+            bwd_waves,
         };
         let fwd_flops: u64 = plan
             .schedule
@@ -538,6 +670,19 @@ impl ExecPlan {
     /// what a step of the plan-driven executor reports as `peak_bytes`.
     pub fn planned_peak_bytes(&self) -> u64 {
         self.planned_peak_bytes
+    }
+
+    /// Number of forward wavefronts (dependency levels over the op
+    /// schedule). A stacked multi-step LSTM cone has fewer waves than ops
+    /// whenever layers or gates are independent — the headroom the
+    /// wavefront executor converts into parallelism.
+    pub fn forward_wave_count(&self) -> usize {
+        self.fwd_waves.waves()
+    }
+
+    /// Number of backward wavefronts (zero for inference plans).
+    pub fn backward_wave_count(&self) -> usize {
+        self.bwd_waves.waves()
     }
 
     /// Number of reusable transient buffers the plan packs values and

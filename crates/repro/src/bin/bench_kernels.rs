@@ -22,6 +22,18 @@
 //!   plus step timing on NMT with each plan installed; with `--gate`,
 //!   fail unless the searched NMT peak is strictly below the heuristic's
 //!   at ≤ 1.15× its step time.
+//! * `--threads` — re-invoke this binary as a subprocess under
+//!   `ECHO_NUM_THREADS` ∈ {1, 2, 4} (the worker pool is sized once per
+//!   process, so each thread count needs a fresh process) and record the
+//!   planned word-LM step time at each count; with `--gate`, fail unless
+//!   the 4-thread step is strictly faster than 1-thread (skipped on
+//!   hosts with fewer than 4 cores). Loss bits must match across thread
+//!   counts unconditionally.
+//!
+//! Every run also times each available SIMD micro-kernel variant against
+//! the scalar micro-kernel on the packed path; with `--gate`, the best
+//! SIMD variant must be ≥ 1.5× scalar (skipped on hosts with neither
+//! AVX2 nor NEON).
 //!
 //! Every run also re-checks the bit-exactness contract (packed bands
 //! {1, 2, 4, 8} and end-to-end losses across policies) — a benchmark
@@ -37,8 +49,8 @@ use echo_rnn::{GruStep, LstmBackend};
 use echo_tensor::init::{seeded_rng, uniform};
 use echo_tensor::Tensor;
 use echo_tensor::{
-    gemm, gemm_packed_parallel, set_matmul_policy, MatViewMut, MatmulBackend, MatmulPolicy,
-    MatrixLayout, Shape,
+    available_micro_kernels, gemm, gemm_packed_parallel, gemm_packed_parallel_with,
+    set_matmul_policy, MatViewMut, MatmulBackend, MatmulPolicy, MatrixLayout, MicroKernel, Shape,
 };
 use serde_json::json;
 use std::collections::HashMap;
@@ -158,6 +170,138 @@ fn check_band_bitexactness(m: usize, k: usize, n: usize) -> bool {
         }
     }
     true
+}
+
+/// Times every available micro-kernel variant (scalar always; AVX2/NEON
+/// where the host supports them) on the packed path at the default
+/// tiling, single-banded so the comparison isolates the inner kernel.
+fn bench_micro_kernels(m: usize, k: usize, n: usize, reps: usize) -> Vec<(MicroKernel, f64)> {
+    let mut rng = seeded_rng(11);
+    let a = uniform(Shape::d2(m, k), 1.0, &mut rng);
+    let b = uniform(Shape::d2(k, n), 1.0, &mut rng);
+    let mut c = vec![0.0f32; m * n];
+    available_micro_kernels()
+        .into_iter()
+        .map(|kernel| {
+            let us = median_us(reps, || {
+                gemm_packed_parallel_with(
+                    1.0,
+                    a.as_mat(),
+                    b.as_mat(),
+                    0.0,
+                    &mut MatViewMut::new(&mut c, m, n, MatrixLayout::RowMajor),
+                    1,
+                    kernel,
+                    256,
+                    128,
+                )
+                .expect("gemm");
+            });
+            (kernel, us)
+        })
+        .collect()
+}
+
+/// One row of the `--threads` sweep: thread count, mean planned word-LM
+/// step time in nanoseconds, and the per-step loss bits (which must be
+/// identical at every thread count).
+struct ThreadsRow {
+    threads: usize,
+    ns_per_step: u64,
+    loss_bits: Vec<u32>,
+}
+
+/// Hidden `--threads-worker` mode: runs plan-driven word-LM train steps
+/// under whatever `ECHO_NUM_THREADS` sized the global pool to, and
+/// prints one parseable result line. The parent process (`--threads`)
+/// re-invokes the binary once per thread count because the worker pool —
+/// and therefore the wavefront scheduler's engagement — is fixed at
+/// first use for the life of the process.
+fn threads_worker(quick: bool) {
+    set_matmul_policy(MatmulPolicy::Auto);
+    let steps = if quick { 3 } else { 8 };
+    let hyper = WordLmHyper {
+        vocab: 500,
+        embed: 128,
+        hidden: 256,
+        layers: 1,
+        seq_len: 16,
+        backend: LstmBackend::CuDnn,
+    };
+    let lm = WordLm::build(hyper);
+    let corpus = LmCorpus::synthetic(Vocab::new(500), 4000, 0.9, 5);
+    let batch = BpttBatches::new(corpus.tokens(), 16, lm.hyper.seq_len)
+        .next()
+        .expect("batch");
+    let bindings = lm.bindings(&batch);
+    let mut exec = Executor::new(Arc::clone(&lm.graph), StashPlan::stash_all(), mem());
+    lm.bind_params(&mut exec, 3).expect("bind");
+    lm.install_exec_plan(&mut exec, 16).expect("plan installs");
+    let mut step = || -> (f64, u32) {
+        let start = Instant::now();
+        let stats = exec
+            .train_step(&bindings, lm.loss, ExecOptions::default(), None)
+            .expect("train step");
+        (
+            start.elapsed().as_secs_f64() * 1e9,
+            stats.loss.expect("loss").to_bits(),
+        )
+    };
+    step(); // warm-up: pools, autotune, plan caches
+    let mut ns = Vec::with_capacity(steps);
+    let mut bits = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let (t, b) = step();
+        ns.push(t);
+        bits.push(b);
+    }
+    let joined: Vec<String> = bits.iter().map(|b| b.to_string()).collect();
+    println!(
+        "threads_worker ns_per_step={} loss_bits={}",
+        mean(&ns) as u64,
+        joined.join(",")
+    );
+}
+
+/// Re-invokes this binary under `ECHO_NUM_THREADS` ∈ {1, 2, 4} and
+/// collects each worker's result line.
+fn threads_sweep(quick: bool) -> Vec<ThreadsRow> {
+    let exe = std::env::current_exe().expect("current exe");
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("--threads-worker")
+                .env("ECHO_NUM_THREADS", threads.to_string());
+            if quick {
+                cmd.arg("--quick");
+            }
+            let out = cmd.output().expect("threads worker spawns");
+            assert!(
+                out.status.success(),
+                "threads worker (ECHO_NUM_THREADS={threads}) failed:\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            let line = stdout
+                .lines()
+                .find_map(|l| l.strip_prefix("threads_worker "))
+                .expect("worker result line");
+            let field = |key: &str| -> &str {
+                line.split_whitespace()
+                    .find_map(|kv| kv.strip_prefix(key))
+                    .expect("worker field")
+            };
+            ThreadsRow {
+                threads,
+                ns_per_step: field("ns_per_step=").parse().expect("ns_per_step"),
+                loss_bits: field("loss_bits=")
+                    .split(',')
+                    .map(|b| b.parse().expect("loss bits"))
+                    .collect(),
+            }
+        })
+        .collect()
 }
 
 fn mem() -> DeviceMemory {
@@ -534,6 +678,11 @@ fn main() {
     let gate = args.iter().any(|a| a == "--gate");
     let plan = args.iter().any(|a| a == "--plan");
     let search = args.iter().any(|a| a == "--search");
+    let threads_mode = args.iter().any(|a| a == "--threads");
+    if args.iter().any(|a| a == "--threads-worker") {
+        threads_worker(quick);
+        return;
+    }
     let reps = if quick { 3 } else { 7 };
     let steps = if quick { 3 } else { 6 };
 
@@ -580,6 +729,88 @@ fn main() {
         &["shape", "naive", "blocked", "packed", "packed-speedup"],
         &gemm_rows,
     );
+
+    // ---- SIMD micro-kernel variants -----------------------------------
+    // Single-banded on the word-LM gate shape, so the numbers isolate the
+    // inner MR×NR kernel (scalar vs AVX2/NEON) from thread scaling.
+    let (mk_name, mk_m, mk_k, mk_n) = shapes[0];
+    let micro = bench_micro_kernels(mk_m, mk_k, mk_n, reps);
+    let scalar_us = micro
+        .iter()
+        .find(|(k, _)| *k == MicroKernel::Scalar)
+        .expect("scalar kernel is always available")
+        .1;
+    echo_repro::print_table(
+        &format!("packed micro-kernels on {mk_name} (median us, 1 band)"),
+        &["kernel", "us", "vs scalar"],
+        &micro
+            .iter()
+            .map(|(k, us)| {
+                vec![
+                    k.name().to_string(),
+                    format!("{us:.0}"),
+                    format!("{:.2}x", scalar_us / us),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let micro_json: Vec<_> = micro
+        .iter()
+        .map(|(k, us)| {
+            json!({
+                "kernel": k.name(),
+                "us": us,
+                "speedup_vs_scalar": scalar_us / us,
+            })
+        })
+        .collect();
+    let best_simd = micro
+        .iter()
+        .filter(|(k, _)| *k != MicroKernel::Scalar)
+        .map(|&(k, us)| (k, scalar_us / us))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+
+    // ---- Thread-count sweep (--threads) -------------------------------
+    let mut threads_json = serde_json::Value::Null;
+    let mut threads_rows: Vec<ThreadsRow> = Vec::new();
+    if threads_mode {
+        threads_rows = threads_sweep(quick);
+        for row in &threads_rows[1..] {
+            assert_eq!(
+                row.loss_bits, threads_rows[0].loss_bits,
+                "planned word_lm losses diverged at {} threads — wavefront numerics bug",
+                row.threads
+            );
+        }
+        echo_repro::print_table(
+            "planned word_lm step vs worker-pool size (mean ns)",
+            &["threads", "ns/step", "vs 1 thread"],
+            &threads_rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.threads.to_string(),
+                        r.ns_per_step.to_string(),
+                        format!(
+                            "{:.2}x",
+                            threads_rows[0].ns_per_step as f64 / r.ns_per_step as f64
+                        ),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        threads_json = json!(threads_rows
+            .iter()
+            .map(|r| {
+                json!({
+                    "threads": r.threads,
+                    "ns_per_step": r.ns_per_step,
+                    "speedup_vs_1t": threads_rows[0].ns_per_step as f64 / r.ns_per_step as f64,
+                    "loss_bits": r.loss_bits,
+                })
+            })
+            .collect::<Vec<_>>());
+    }
 
     // ---- Bit-exactness re-checks --------------------------------------
     let bands_ok = check_band_bitexactness(64, 512, 2048);
@@ -798,6 +1029,9 @@ fn main() {
             "packed_ns": o.packed_ns,
             "shape": [o.shape.0, o.shape.1, o.shape.2],
             "measured": o.measured,
+            "kernel": o.kernel.name(),
+            "tiles_kc_mc": [o.tiles.0, o.tiles.1],
+            "tiles_measured": o.tiles_measured,
         })
     });
 
@@ -805,8 +1039,11 @@ fn main() {
         "harness": "bench_kernels",
         "quick": quick,
         "pool_threads": threads,
+        "active_micro_kernel": echo_tensor::active_micro_kernel().name(),
         "autotune": autotune,
         "gemm": gemm_json,
+        "micro_kernels": micro_json,
+        "threads": threads_json,
         "bitexact": {
             "packed_bands_identical": bands_ok,
             "word_lm_loss_bits_identical_across_policies": true,
@@ -849,5 +1086,42 @@ fn main() {
             shapes[0].0
         );
         println!("perf gate passed: {speedup:.2}x >= 2x on {}", shapes[0].0);
+
+        match best_simd {
+            Some((kernel, simd_speedup)) => {
+                assert!(
+                    simd_speedup >= 1.5,
+                    "simd gate: {} kernel is only {simd_speedup:.2}x scalar on {mk_name} (need >= 1.5x)",
+                    kernel.name()
+                );
+                println!(
+                    "simd gate passed: {} {simd_speedup:.2}x >= 1.5x scalar on {mk_name}",
+                    kernel.name()
+                );
+            }
+            None => println!("simd gate skipped: host has neither AVX2 nor NEON"),
+        }
+
+        if threads_mode {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            if cores < 4 {
+                println!("threads gate skipped: host has {cores} core(s) (need >= 4)");
+            } else {
+                let one = threads_rows[0].ns_per_step;
+                let four = threads_rows
+                    .iter()
+                    .find(|r| r.threads == 4)
+                    .expect("4-thread row")
+                    .ns_per_step;
+                assert!(
+                    four < one,
+                    "threads gate: 4-thread planned step ({four} ns) not faster than 1-thread ({one} ns)"
+                );
+                println!(
+                    "threads gate passed: 4 threads {four} ns < 1 thread {one} ns ({:.2}x)",
+                    one as f64 / four as f64
+                );
+            }
+        }
     }
 }

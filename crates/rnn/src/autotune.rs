@@ -84,7 +84,11 @@ pub fn autotune(
             layers,
             seq_len,
         },
-        host_matmul: echo_tensor::matmul_policy().name().to_string(),
+        host_matmul: format!(
+            "{}+{}",
+            echo_tensor::matmul_policy().name(),
+            echo_tensor::active_micro_kernel().name()
+        ),
     })
 }
 

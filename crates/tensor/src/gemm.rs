@@ -240,28 +240,25 @@ pub fn gemm_parallel(
         return gemm_blocked(alpha, a, b, beta, c);
     }
     let rows_per = m.div_ceil(threads);
-    let cd = c.data_mut();
-    let bands: Vec<&mut [f32]> = cd.chunks_mut(rows_per * n).collect();
-    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = bands
-        .into_iter()
-        .enumerate()
-        .map(|(band_idx, band)| {
-            let row0 = band_idx * rows_per;
-            let band_rows = band.len() / n;
-            Box::new(move || {
-                // Re-view A's band; A may be any layout, so carve by rows
-                // logically rather than physically.
-                let a_band = BandView {
-                    inner: a,
-                    row0,
-                    rows: band_rows,
-                };
-                let mut c_band = MatViewMut::new(band, band_rows, n, MatrixLayout::RowMajor);
-                band_gemm(alpha, &a_band, b, beta, &mut c_band);
-            }) as Box<dyn FnOnce() + Send + '_>
-        })
-        .collect();
-    crate::pool::global().run(jobs);
+    let bands = m.div_ceil(rows_per);
+    let cbase = crate::pool::SendPtr(c.data_mut().as_mut_ptr());
+    let cbase = &cbase;
+    crate::pool::global().run_indexed(bands, &move |band_idx| {
+        let row0 = band_idx * rows_per;
+        let band_rows = rows_per.min(m - row0);
+        // SAFETY: bands partition C's rows disjointly, so each index
+        // writes a non-overlapping `band_rows × n` slice.
+        let band = unsafe { std::slice::from_raw_parts_mut(cbase.0.add(row0 * n), band_rows * n) };
+        // Re-view A's band; A may be any layout, so carve by rows
+        // logically rather than physically.
+        let a_band = BandView {
+            inner: a,
+            row0,
+            rows: band_rows,
+        };
+        let mut c_band = MatViewMut::new(band, band_rows, n, MatrixLayout::RowMajor);
+        band_gemm(alpha, &a_band, b, beta, &mut c_band);
+    });
     Ok(())
 }
 

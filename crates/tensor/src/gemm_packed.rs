@@ -14,9 +14,14 @@
 //!    entirely in register accumulators, touching `C` memory only to load
 //!    the tile once per panel and store it once per panel.
 //!
-//! `MR = 4, NR = 8` keeps the 4×2 accumulator vectors plus the `A`/`B`
-//! operands within the 16 XMM registers of the baseline x86-64 target.
-//! Pack buffers are leased from a thread-local
+//! `MR = 4, NR = 8` maps one C row of the tile onto a single 8-lane f32
+//! vector register (`ymm` on AVX2; a `float32x4` pair on NEON), with the
+//! portable scalar kernel computing the identical `[[f32; NR]; MR]`
+//! accumulator block. The micro-kernel variant is chosen once per process
+//! by [`active_micro_kernel`] — runtime feature detection, overridable via
+//! `ECHO_GEMM_KERNEL` or [`set_micro_kernel`] — and `KC`/`MC` are runtime
+//! tile sizes ([`gemm_tiles`], autotuned by the policy layer's one-shot
+//! microbench). Pack buffers are leased from a thread-local
 //! [`ScratchArena`](echo_memory::ScratchArena), so steady-state training
 //! performs **zero** heap allocation per GEMM call.
 //!
@@ -28,25 +33,38 @@
 //! micro-kernel preserves it — the accumulator is *loaded from* `C`, so
 //! storing the tile between k-panels round-trips the exact f32 value —
 //! and row-band parallelism assigns each output element to exactly one
-//! band. Naive, blocked, packed, and packed-parallel at any `ways` are
-//! therefore **bit-identical**, which is what lets the dispatch layer
-//! pick a backend per problem size without perturbing training.
+//! band. The SIMD variants preserve it too: each vector lane `j` performs
+//! the same scalar `acc += a_i * b_j` chain (a separate IEEE multiply and
+//! add per step — **never** a fused multiply-add, which would round once
+//! instead of twice), so scalar, AVX2 and NEON kernels are bit-identical,
+//! as are all tile sizes (the C tile round-trips exactly through memory
+//! at every `KC`/`MC` boundary). Naive, blocked, packed, and
+//! packed-parallel at any `ways` are therefore **bit-identical**, which
+//! is what lets the dispatch layer pick a backend per problem size
+//! without perturbing training.
 
 use crate::error::TensorError;
 use crate::layout::MatrixLayout;
 use crate::matrix::{MatView, MatViewMut};
-use crate::pool::{self, band_count};
+use crate::pool::{self, band_count, SendPtr};
 use crate::Result;
 use echo_memory::ScratchArena;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 /// Rows per A strip / micro-tile.
 pub const MR: usize = 4;
 /// Columns per B strip / micro-tile.
 pub const NR: usize = 8;
-/// Depth of one packed k-panel.
-const KC: usize = 256;
-/// Rows of A packed per block (bounds the A pack buffer at `MC × KC`).
-const MC: usize = 128;
+/// Default depth of one packed k-panel (see [`gemm_tiles`]).
+pub const DEFAULT_KC: usize = 256;
+/// Default rows of A packed per block (bounds the A pack buffer at
+/// `MC × KC`; see [`gemm_tiles`]).
+pub const DEFAULT_MC: usize = 128;
+
+/// Element count below which B panels are packed serially — the latch
+/// round-trip costs more than the copy for small operands.
+const PAR_PACK_MIN_ELEMS: usize = 32 * 1024;
 
 thread_local! {
     /// Per-thread pack-buffer arena: each pool worker (and the caller)
@@ -57,6 +75,200 @@ thread_local! {
 /// Statistics of the calling thread's pack arena (for tests/benchmarks).
 pub fn pack_arena_stats() -> (u64, u64, usize) {
     PACK_ARENA.with(|a| (a.lease_count(), a.reuse_hits(), a.high_water_elems()))
+}
+
+/// The inner-tile implementation used for full `MR × NR` tiles.
+///
+/// All variants compute the identical per-lane FP sequence (separate
+/// multiply and add — no FMA contraction), so they are bit-identical and
+/// the choice is purely a speed knob. Edge tiles always use the scalar
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroKernel {
+    /// Portable scalar accumulator block (always available).
+    Scalar,
+    /// 8-lane `ymm` kernel via AVX2 intrinsics (x86_64 only).
+    Avx2,
+    /// Paired `float32x4` kernel via NEON intrinsics (aarch64 only).
+    Neon,
+}
+
+impl MicroKernel {
+    /// Short stable name (used by `ECHO_GEMM_KERNEL` and bench JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            MicroKernel::Scalar => "scalar",
+            MicroKernel::Avx2 => "avx2",
+            MicroKernel::Neon => "neon",
+        }
+    }
+
+    /// Whether this variant can run on the current host.
+    pub fn is_available(self) -> bool {
+        match self {
+            MicroKernel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            MicroKernel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            MicroKernel::Avx2 => false,
+            // NEON is a baseline feature of aarch64.
+            MicroKernel::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+
+    /// The fastest variant available on this host.
+    pub fn detect() -> MicroKernel {
+        if MicroKernel::Avx2.is_available() {
+            MicroKernel::Avx2
+        } else if MicroKernel::Neon.is_available() {
+            MicroKernel::Neon
+        } else {
+            MicroKernel::Scalar
+        }
+    }
+
+    fn micro_fn(self) -> MicroFn {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            MicroKernel::Avx2 if self.is_available() => micro_full_avx2,
+            #[cfg(target_arch = "aarch64")]
+            MicroKernel::Neon if self.is_available() => micro_full_neon,
+            // Unavailable variants silently fall back to scalar: the
+            // result is bit-identical either way.
+            _ => micro_full_scalar,
+        }
+    }
+}
+
+/// Every variant that can run on this host (scalar first).
+pub fn available_micro_kernels() -> Vec<MicroKernel> {
+    [MicroKernel::Scalar, MicroKernel::Avx2, MicroKernel::Neon]
+        .into_iter()
+        .filter(|k| k.is_available())
+        .collect()
+}
+
+const KERNEL_UNSET: u8 = u8::MAX;
+
+/// Process-wide micro-kernel override (set via [`set_micro_kernel`]).
+static KERNEL_OVERRIDE: AtomicU8 = AtomicU8::new(KERNEL_UNSET);
+
+fn encode_kernel(k: MicroKernel) -> u8 {
+    match k {
+        MicroKernel::Scalar => 0,
+        MicroKernel::Avx2 => 1,
+        MicroKernel::Neon => 2,
+    }
+}
+
+fn decode_kernel(v: u8) -> Option<MicroKernel> {
+    match v {
+        0 => Some(MicroKernel::Scalar),
+        1 => Some(MicroKernel::Avx2),
+        2 => Some(MicroKernel::Neon),
+        _ => None,
+    }
+}
+
+/// `ECHO_GEMM_KERNEL` parsed once per process (unknown or unavailable
+/// names are ignored and detection applies).
+pub(crate) fn env_kernel() -> Option<MicroKernel> {
+    static ENV: OnceLock<Option<MicroKernel>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let raw = std::env::var("ECHO_GEMM_KERNEL").ok()?;
+        let kernel = match raw.trim().to_ascii_lowercase().as_str() {
+            "scalar" => MicroKernel::Scalar,
+            "avx2" => MicroKernel::Avx2,
+            "neon" => MicroKernel::Neon,
+            _ => return None,
+        };
+        kernel.is_available().then_some(kernel)
+    })
+}
+
+/// The micro-kernel variant every packed GEMM in this process uses:
+/// explicit override ([`set_micro_kernel`]) > `ECHO_GEMM_KERNEL` >
+/// runtime detection. All variants are bit-identical, so flipping this is
+/// safe at any point; pinning one keeps the *speed* reproducible too.
+pub fn active_micro_kernel() -> MicroKernel {
+    decode_kernel(KERNEL_OVERRIDE.load(Ordering::Relaxed))
+        .or_else(env_kernel)
+        .unwrap_or_else(MicroKernel::detect)
+}
+
+/// Overrides the process-wide micro-kernel (`None` restores env/detect
+/// order). Returns `false` — leaving the state unchanged — if the
+/// requested variant is unavailable on this host.
+pub fn set_micro_kernel(kernel: Option<MicroKernel>) -> bool {
+    match kernel {
+        Some(k) if !k.is_available() => false,
+        Some(k) => {
+            KERNEL_OVERRIDE.store(encode_kernel(k), Ordering::Relaxed);
+            true
+        }
+        None => {
+            KERNEL_OVERRIDE.store(KERNEL_UNSET, Ordering::Relaxed);
+            true
+        }
+    }
+}
+
+/// Installs `kernel` as the process-wide choice only if no explicit
+/// override is already present — the autotuner's entry point, so user and
+/// test pins always win. Returns whether the pin took effect.
+pub fn pin_micro_kernel_if_unset(kernel: MicroKernel) -> bool {
+    if !kernel.is_available() || env_kernel().is_some() {
+        return false;
+    }
+    KERNEL_OVERRIDE
+        .compare_exchange(
+            KERNEL_UNSET,
+            encode_kernel(kernel),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        )
+        .is_ok()
+}
+
+/// Autotuned `(KC, MC)` override, packed `kc << 32 | mc`; 0 = defaults.
+static TILE_OVERRIDE: AtomicU64 = AtomicU64::new(0);
+
+/// `ECHO_GEMM_TILES` (`"KCxMC"`, e.g. `256x128`) parsed once per process.
+pub(crate) fn env_tiles() -> Option<(usize, usize)> {
+    static ENV: OnceLock<Option<(usize, usize)>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let raw = std::env::var("ECHO_GEMM_TILES").ok()?;
+        let (kc, mc) = raw.trim().split_once(['x', 'X'])?;
+        let kc = kc.trim().parse::<usize>().ok().filter(|&v| v > 0)?;
+        let mc = mc.trim().parse::<usize>().ok().filter(|&v| v > 0)?;
+        Some((kc, mc))
+    })
+}
+
+/// The `(KC, MC)` tile sizes packed GEMM uses: `ECHO_GEMM_TILES` >
+/// [`set_gemm_tiles`] (the autotuner) > compiled defaults. Tile sizes are
+/// bit-transparent — the C tile round-trips exactly through memory at
+/// every panel boundary — so this is purely a speed knob.
+pub fn gemm_tiles() -> (usize, usize) {
+    if let Some(t) = env_tiles() {
+        return t;
+    }
+    let packed = TILE_OVERRIDE.load(Ordering::Relaxed);
+    if packed == 0 {
+        (DEFAULT_KC, DEFAULT_MC)
+    } else {
+        ((packed >> 32) as usize, (packed & u32::MAX as u64) as usize)
+    }
+}
+
+/// Installs autotuned tile sizes (subordinate to `ECHO_GEMM_TILES`).
+/// Returns `false` for degenerate or unrepresentable sizes.
+pub fn set_gemm_tiles(kc: usize, mc: usize) -> bool {
+    if kc == 0 || mc == 0 || kc > u32::MAX as usize || mc > u32::MAX as usize {
+        return false;
+    }
+    TILE_OVERRIDE.store(((kc as u64) << 32) | mc as u64, Ordering::Relaxed);
+    true
 }
 
 /// Serial packed GEMM: `C = alpha*A*B + beta*C` with a row-major `C`.
@@ -76,12 +288,14 @@ pub fn gemm_packed(
 }
 
 /// Packed GEMM over at most `ways` row bands run on the shared
-/// [worker pool](crate::pool).
+/// [worker pool](crate::pool), with the process-wide micro-kernel and
+/// tile configuration ([`active_micro_kernel`], [`gemm_tiles`]).
 ///
-/// `B` is packed once by the caller and shared read-only by all bands;
-/// each band packs its own rows of `A` into its thread-local arena. Bands
-/// partition **output rows only**, so the per-element accumulation order
-/// is independent of `ways` (see the module docs).
+/// `B` is packed once — in parallel `(panel, strip)` items for large
+/// operands — and shared read-only by all bands; each band packs its own
+/// rows of `A` into its thread-local arena. Bands partition **output rows
+/// only**, so the per-element accumulation order is independent of `ways`
+/// (see the module docs).
 ///
 /// # Errors
 ///
@@ -94,6 +308,31 @@ pub fn gemm_packed_parallel(
     beta: f32,
     c: &mut MatViewMut<'_>,
     ways: usize,
+) -> Result<()> {
+    let (kc, mc) = gemm_tiles();
+    gemm_packed_parallel_with(alpha, a, b, beta, c, ways, active_micro_kernel(), kc, mc)
+}
+
+/// [`gemm_packed_parallel`] with an explicit micro-kernel and `(KC, MC)`
+/// tile configuration — the entry point tests, benches and the autotuner
+/// use to avoid racing on the process-global settings. An unavailable
+/// `kernel` silently falls back to scalar (bit-identical result).
+///
+/// # Errors
+///
+/// Returns [`TensorError::GemmDimension`] when the operand shapes do not
+/// line up or `C` is not row-major.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_packed_parallel_with(
+    alpha: f32,
+    a: MatView<'_>,
+    b: MatView<'_>,
+    beta: f32,
+    c: &mut MatViewMut<'_>,
+    ways: usize,
+    kernel: MicroKernel,
+    kc_tile: usize,
+    mc_tile: usize,
 ) -> Result<()> {
     crate::gemm::check_dims(&a, &b, c)?;
     if c.layout() != MatrixLayout::RowMajor {
@@ -108,43 +347,79 @@ pub fn gemm_packed_parallel(
     if m == 0 || n == 0 || k == 0 {
         return Ok(()); // beta-scale already applied; no products contribute
     }
+    let kc_tile = kc_tile.max(1);
+    let mc_tile = mc_tile.max(MR);
+    let micro = kernel.micro_fn();
 
     let n_strips = n.div_ceil(NR);
     // Panel starting at p0 lives at offset p0 * n_strips * NR: panels are
     // stored back to back and each holds kc * n_strips * NR values.
     PACK_ARENA.with(|arena| {
         arena.with_f32(k * n_strips * NR, |bpack| {
-            let mut p0 = 0;
-            while p0 < k {
-                let kc = KC.min(k - p0);
-                let panel = &mut bpack[p0 * n_strips * NR..][..kc * n_strips * NR];
-                pack_b_panel(b, p0, kc, n, n_strips, panel);
-                p0 += kc;
-            }
+            pack_b(b, k, n, n_strips, kc_tile, bpack);
 
             let bands = band_count(m, MR, ways);
             let cd = c.data_mut();
             if bands <= 1 {
-                packed_band(alpha, a, 0, m, bpack, k, n, n_strips, cd);
+                packed_band(
+                    alpha, a, 0, m, bpack, k, n, n_strips, cd, micro, kc_tile, mc_tile,
+                );
                 return;
             }
             let rows_per = m.div_ceil(bands);
             let bpack: &[f32] = bpack;
-            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = cd
-                .chunks_mut(rows_per * n)
-                .enumerate()
-                .map(|(band_idx, band)| {
-                    let row0 = band_idx * rows_per;
-                    let band_rows = band.len() / n;
-                    Box::new(move || {
-                        packed_band(alpha, a, row0, band_rows, bpack, k, n, n_strips, band);
-                    }) as Box<dyn FnOnce() + Send + '_>
-                })
-                .collect();
-            pool::global().run(jobs);
+            let cbase = SendPtr(cd.as_mut_ptr());
+            let cbase = &cbase;
+            pool::global().run_indexed(bands, &move |band_idx| {
+                let row0 = band_idx * rows_per;
+                if row0 >= m {
+                    return; // rounding can leave a trailing empty band
+                }
+                let band_rows = rows_per.min(m - row0);
+                // SAFETY: bands partition C's rows disjointly, so each
+                // index writes a non-overlapping `band_rows × n` slice.
+                let band =
+                    unsafe { std::slice::from_raw_parts_mut(cbase.0.add(row0 * n), band_rows * n) };
+                packed_band(
+                    alpha, a, row0, band_rows, bpack, k, n, n_strips, band, micro, kc_tile, mc_tile,
+                );
+            });
         });
     });
     Ok(())
+}
+
+/// Packs all of `B` into `kc_tile`-deep panels of `NR`-column strips —
+/// in parallel `(panel, strip)` items on the pool for large operands.
+fn pack_b(b: MatView<'_>, k: usize, n: usize, n_strips: usize, kc_tile: usize, bpack: &mut [f32]) {
+    let n_panels = k.div_ceil(kc_tile);
+    let items = n_panels * n_strips;
+    let pool = pool::global();
+    if items > 1 && k * n >= PAR_PACK_MIN_ELEMS && pool.num_threads() > 1 {
+        let base = SendPtr(bpack.as_mut_ptr());
+        let base = &base;
+        pool.run_indexed(items, &move |item| {
+            let panel = item / n_strips;
+            let js = item % n_strips;
+            let p0 = panel * kc_tile;
+            let kc = kc_tile.min(k - p0);
+            let off = p0 * n_strips * NR + js * kc * NR;
+            // SAFETY: each (panel, strip) item owns a disjoint `kc × NR`
+            // region of the pack buffer.
+            let strip = unsafe { std::slice::from_raw_parts_mut(base.0.add(off), kc * NR) };
+            pack_b_strip(b, p0, kc, js * NR, n, strip);
+        });
+        return;
+    }
+    let mut p0 = 0;
+    while p0 < k {
+        let kc = kc_tile.min(k - p0);
+        for js in 0..n_strips {
+            let strip = &mut bpack[p0 * n_strips * NR + js * kc * NR..][..kc * NR];
+            pack_b_strip(b, p0, kc, js * NR, n, strip);
+        }
+        p0 += kc;
+    }
 }
 
 /// Computes rows `row0 .. row0 + rows` of `C` (a row-major `rows × n`
@@ -160,15 +435,18 @@ fn packed_band(
     n: usize,
     n_strips: usize,
     cband: &mut [f32],
+    micro: MicroFn,
+    kc_tile: usize,
+    mc_tile: usize,
 ) {
     PACK_ARENA.with(|arena| {
         let mut p0 = 0;
         while p0 < k {
-            let kc = KC.min(k - p0);
+            let kc = kc_tile.min(k - p0);
             let bpanel = &bpack[p0 * n_strips * NR..][..kc * n_strips * NR];
             let mut i0 = 0;
             while i0 < rows {
-                let ic = MC.min(rows - i0);
+                let ic = mc_tile.min(rows - i0);
                 let i_strips = ic.div_ceil(MR);
                 arena.with_f32(i_strips * MR * kc, |apack| {
                     pack_a_block(alpha, a, row0 + i0, ic, p0, kc, apack);
@@ -182,7 +460,10 @@ fn packed_band(
                             let astrip = &apack[is * kc * MR..][..kc * MR];
                             let coff = (i0 + ii) * n + j0;
                             if mr == MR && nr == NR {
-                                micro_full(kc, astrip, bstrip, &mut cband[coff..], n);
+                                // SAFETY: the variant behind `micro` was
+                                // availability-checked in `micro_fn`, and
+                                // the C slice holds the full MR×NR tile.
+                                unsafe { micro(kc, astrip, bstrip, &mut cband[coff..], n) };
                             } else {
                                 micro_edge(kc, astrip, bstrip, cband, coff, n, mr, nr);
                             }
@@ -196,29 +477,24 @@ fn packed_band(
     });
 }
 
-/// Packs the `kc`-deep panel of `B` starting at row `p0` into `NR`-column
-/// strips: strip `js` holds `kc × NR` values, row-of-panel major, with
-/// zero padding past column `n`.
-fn pack_b_panel(b: MatView<'_>, p0: usize, kc: usize, n: usize, n_strips: usize, out: &mut [f32]) {
+/// Packs one `NR`-column strip of a `kc`-deep B panel: `kc × NR` values,
+/// row-of-panel major, zero-padded past column `n`.
+fn pack_b_strip(b: MatView<'_>, p0: usize, kc: usize, j0: usize, n: usize, strip: &mut [f32]) {
     let (brs, bcs) = (
         b.layout().row_stride(b.rows(), b.cols()),
         b.layout().col_stride(b.rows(), b.cols()),
     );
     let bd = b.data();
-    for js in 0..n_strips {
-        let j0 = js * NR;
-        let nr = NR.min(n - j0);
-        let strip = &mut out[js * kc * NR..][..kc * NR];
-        for p in 0..kc {
-            let brow = (p0 + p) * brs;
-            let dst = &mut strip[p * NR..p * NR + NR];
-            for (j, d) in dst.iter_mut().enumerate() {
-                *d = if j < nr {
-                    bd[brow + (j0 + j) * bcs]
-                } else {
-                    0.0
-                };
-            }
+    let nr = NR.min(n - j0);
+    for p in 0..kc {
+        let brow = (p0 + p) * brs;
+        let dst = &mut strip[p * NR..p * NR + NR];
+        for (j, d) in dst.iter_mut().enumerate() {
+            *d = if j < nr {
+                bd[brow + (j0 + j) * bcs]
+            } else {
+                0.0
+            };
         }
     }
 }
@@ -260,11 +536,17 @@ fn pack_a_block(
     }
 }
 
-/// Full `MR × NR` micro-kernel: loads the C tile into register
+/// Signature shared by every full-tile micro-kernel variant. `unsafe`
+/// because the SIMD variants require their target feature (checked once
+/// at selection time) and index `c` through raw pointers.
+type MicroFn = unsafe fn(usize, &[f32], &[f32], &mut [f32], usize);
+
+/// Full `MR × NR` scalar micro-kernel: loads the C tile into register
 /// accumulators, adds `kc` rank-1 updates in ascending `p`, stores back.
 /// `c` points at the tile's top-left element; `ldc` is C's row stride.
-#[inline(always)]
-fn micro_full(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize) {
+///
+/// (`unsafe fn` only to match [`MicroFn`]; the body is safe code.)
+unsafe fn micro_full_scalar(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize) {
     let mut acc = [[0.0f32; NR]; MR];
     for (i, row) in acc.iter_mut().enumerate() {
         row.copy_from_slice(&c[i * ldc..i * ldc + NR]);
@@ -286,9 +568,93 @@ fn micro_full(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize) {
     }
 }
 
+/// Full-tile AVX2 micro-kernel: one 8-lane `ymm` accumulator per C row.
+/// Uses a separate `_mm256_mul_ps` + `_mm256_add_ps` per update — *not*
+/// FMA — so each lane's rounding sequence matches the scalar kernel
+/// exactly (see the module docs on bit-exactness).
+///
+/// # Safety
+///
+/// Requires AVX2 (callers go through [`MicroKernel::micro_fn`], which
+/// checks availability) and a `c` slice covering the full `MR × NR` tile
+/// at row stride `ldc`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn micro_full_avx2(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    debug_assert!(c.len() >= (MR - 1) * ldc + NR);
+    unsafe {
+        let cp = c.as_mut_ptr();
+        let mut acc0 = _mm256_loadu_ps(cp);
+        let mut acc1 = _mm256_loadu_ps(cp.add(ldc));
+        let mut acc2 = _mm256_loadu_ps(cp.add(2 * ldc));
+        let mut acc3 = _mm256_loadu_ps(cp.add(3 * ldc));
+        let mut a = ap.as_ptr();
+        let mut b = bp.as_ptr();
+        for _ in 0..kc {
+            let bv = _mm256_loadu_ps(b);
+            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(*a), bv));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_set1_ps(*a.add(1)), bv));
+            acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_set1_ps(*a.add(2)), bv));
+            acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_set1_ps(*a.add(3)), bv));
+            a = a.add(MR);
+            b = b.add(NR);
+        }
+        _mm256_storeu_ps(cp, acc0);
+        _mm256_storeu_ps(cp.add(ldc), acc1);
+        _mm256_storeu_ps(cp.add(2 * ldc), acc2);
+        _mm256_storeu_ps(cp.add(3 * ldc), acc3);
+    }
+}
+
+/// Full-tile NEON micro-kernel: two `float32x4` accumulators per C row.
+/// Separate `vmulq_f32` + `vaddq_f32` per update — no FMA — for the same
+/// bit-exactness argument as the AVX2 variant.
+///
+/// # Safety
+///
+/// Requires NEON (baseline on aarch64; callers go through
+/// [`MicroKernel::micro_fn`]) and a `c` slice covering the full `MR × NR`
+/// tile at row stride `ldc`.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn micro_full_neon(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize) {
+    use std::arch::aarch64::*;
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    debug_assert!(c.len() >= (MR - 1) * ldc + NR);
+    unsafe {
+        let cp = c.as_mut_ptr();
+        let mut lo = [vdupq_n_f32(0.0); MR];
+        let mut hi = [vdupq_n_f32(0.0); MR];
+        for i in 0..MR {
+            lo[i] = vld1q_f32(cp.add(i * ldc));
+            hi[i] = vld1q_f32(cp.add(i * ldc + 4));
+        }
+        let mut a = ap.as_ptr();
+        let mut b = bp.as_ptr();
+        for _ in 0..kc {
+            let blo = vld1q_f32(b);
+            let bhi = vld1q_f32(b.add(4));
+            for i in 0..MR {
+                let ai = vdupq_n_f32(*a.add(i));
+                lo[i] = vaddq_f32(lo[i], vmulq_f32(ai, blo));
+                hi[i] = vaddq_f32(hi[i], vmulq_f32(ai, bhi));
+            }
+            a = a.add(MR);
+            b = b.add(NR);
+        }
+        for i in 0..MR {
+            vst1q_f32(cp.add(i * ldc), lo[i]);
+            vst1q_f32(cp.add(i * ldc + 4), hi[i]);
+        }
+    }
+}
+
 /// Edge micro-kernel for partial tiles (`mr ≤ MR`, `nr ≤ NR`): valid
 /// lanes are loaded from C and stored back; padded lanes accumulate only
-/// products of physical zeros and are discarded.
+/// products of physical zeros and are discarded. Always scalar — partial
+/// tiles are rare and the scalar block is bit-identical to SIMD anyway.
 #[allow(clippy::too_many_arguments)]
 fn micro_edge(
     kc: usize,
@@ -377,6 +743,59 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn every_kernel_and_tile_config_is_bit_identical() {
+        let (m, k, n) = (37, 300, 65);
+        let a_data = fill(m * k, 21);
+        let b_data = fill(k * n, 22);
+        let init = fill(m * n, 23);
+        let mut reference = init.clone();
+        gemm(
+            1.25,
+            MatView::new(&a_data, m, k, RowMajor),
+            MatView::new(&b_data, k, n, RowMajor),
+            0.5,
+            &mut MatViewMut::new(&mut reference, m, n, RowMajor),
+        )
+        .unwrap();
+        for kernel in available_micro_kernels() {
+            for (kc, mc) in [(DEFAULT_KC, DEFAULT_MC), (64, 32), (128, 64), (512, 256)] {
+                for ways in [1usize, 3] {
+                    let mut c = init.clone();
+                    gemm_packed_parallel_with(
+                        1.25,
+                        MatView::new(&a_data, m, k, RowMajor),
+                        MatView::new(&b_data, k, n, RowMajor),
+                        0.5,
+                        &mut MatViewMut::new(&mut c, m, n, RowMajor),
+                        ways,
+                        kernel,
+                        kc,
+                        mc,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "kernel {} kc {kc} mc {mc} ways {ways}",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_override_round_trips() {
+        // The default on this host must itself be available.
+        assert!(active_micro_kernel().is_available());
+        assert!(set_micro_kernel(Some(MicroKernel::Scalar)));
+        assert_eq!(active_micro_kernel(), MicroKernel::Scalar);
+        assert!(set_micro_kernel(None));
+        #[cfg(not(target_arch = "x86_64"))]
+        assert!(!set_micro_kernel(Some(MicroKernel::Avx2)));
     }
 
     #[test]

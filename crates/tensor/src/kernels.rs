@@ -44,19 +44,23 @@ fn for_each_row(
         return;
     }
     let rows_per = rows.div_ceil(bands);
+    let base = pool::SendPtr(out.as_mut_ptr());
+    let base = &base;
     let per_row = &per_row;
-    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
-        .chunks_mut(rows_per * cols)
-        .enumerate()
-        .map(|(bi, band)| {
-            Box::new(move || {
-                for (rr, dst) in band.chunks_mut(cols).enumerate() {
-                    per_row(bi * rows_per + rr, dst);
-                }
-            }) as Box<dyn FnOnce() + Send + '_>
-        })
-        .collect();
-    pool::global().run(jobs);
+    pool::global().run_indexed(bands, &move |bi| {
+        let r0 = bi * rows_per;
+        if r0 >= rows {
+            return;
+        }
+        let band_rows = rows_per.min(rows - r0);
+        // SAFETY: bands partition the rows disjointly, so each index
+        // writes a non-overlapping `band_rows × cols` slice.
+        let band =
+            unsafe { std::slice::from_raw_parts_mut(base.0.add(r0 * cols), band_rows * cols) };
+        for (rr, dst) in band.chunks_mut(cols).enumerate() {
+            per_row(r0 + rr, dst);
+        }
+    });
 }
 
 /// Numerically-stable logistic sigmoid.
@@ -371,28 +375,31 @@ pub fn layer_norm(
         }
     } else {
         let rows_per = rows.div_ceil(bands);
+        let out_base = pool::SendPtr(out.data_mut().as_mut_ptr());
+        let norm_base = pool::SendPtr(normalized.data_mut().as_mut_ptr());
+        let istd_base = pool::SendPtr(inv_std.as_mut_ptr());
+        let (out_base, norm_base, istd_base) = (&out_base, &norm_base, &istd_base);
         let ln_row = &ln_row;
-        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
-            .data_mut()
-            .chunks_mut(rows_per * cols)
-            .zip(normalized.data_mut().chunks_mut(rows_per * cols))
-            .zip(inv_std.chunks_mut(rows_per))
-            .enumerate()
-            .map(|(bi, ((out_band, norm_band), istd_band))| {
-                Box::new(move || {
-                    for (rr, ((out_row, norm_row), istd)) in out_band
-                        .chunks_mut(cols)
-                        .zip(norm_band.chunks_mut(cols))
-                        .zip(istd_band.iter_mut())
-                        .enumerate()
-                    {
-                        let r = bi * rows_per + rr;
-                        ln_row(&xd[r * cols..(r + 1) * cols], out_row, norm_row, istd);
-                    }
-                }) as Box<dyn FnOnce() + Send + '_>
-            })
-            .collect();
-        pool::global().run(jobs);
+        pool::global().run_indexed(bands, &move |bi| {
+            let r0 = bi * rows_per;
+            if r0 >= rows {
+                return;
+            }
+            let band_rows = rows_per.min(rows - r0);
+            for rr in 0..band_rows {
+                let r = r0 + rr;
+                // SAFETY: bands partition the rows disjointly, so each
+                // index writes non-overlapping rows of all three buffers.
+                let (out_row, norm_row, istd) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut(out_base.0.add(r * cols), cols),
+                        std::slice::from_raw_parts_mut(norm_base.0.add(r * cols), cols),
+                        &mut *istd_base.0.add(r),
+                    )
+                };
+                ln_row(&xd[r * cols..(r + 1) * cols], out_row, norm_row, istd);
+            }
+        });
     }
     Ok((
         out,

@@ -45,7 +45,10 @@ pub mod tensor;
 
 pub use error::TensorError;
 pub use gemm::{gemm, gemm_parallel, Transpose};
-pub use gemm_packed::{gemm_packed, gemm_packed_parallel};
+pub use gemm_packed::{
+    active_micro_kernel, available_micro_kernels, gemm_packed, gemm_packed_parallel,
+    gemm_packed_parallel_with, gemm_tiles, set_gemm_tiles, set_micro_kernel, MicroKernel,
+};
 pub use layout::MatrixLayout;
 pub use matrix::{MatView, MatViewMut};
 pub use policy::{

@@ -18,7 +18,10 @@
 //! `naive`, `blocked`, `packed`, or `auto` to pin the policy at startup.
 
 use crate::gemm::{gemm, gemm_blocked};
-use crate::gemm_packed::gemm_packed_parallel;
+use crate::gemm_packed::{
+    self, active_micro_kernel, available_micro_kernels, gemm_packed_parallel,
+    gemm_packed_parallel_with, gemm_tiles, pin_micro_kernel_if_unset, set_gemm_tiles, MicroKernel,
+};
 use crate::layout::MatrixLayout;
 use crate::matrix::{MatView, MatViewMut};
 use crate::pool;
@@ -145,6 +148,14 @@ pub struct AutotuneOutcome {
     /// Whether the times were actually measured (`ECHO_MATMUL_AUTOTUNE`
     /// not `0`) or the static fallback was taken.
     pub measured: bool,
+    /// Micro-kernel variant pinned for the packed backend (see
+    /// [`active_micro_kernel`]).
+    pub kernel: MicroKernel,
+    /// `(KC, MC)` tile sizes in effect after autotuning.
+    pub tiles: (usize, usize),
+    /// Whether the tile race actually ran (release builds with autotune
+    /// enabled and no `ECHO_GEMM_TILES` pin).
+    pub tiles_measured: bool,
 }
 
 static AUTOTUNE: OnceLock<AutotuneOutcome> = OnceLock::new();
@@ -171,6 +182,9 @@ fn large_tier_backend() -> MatmulBackend {
                     packed_ns: 0,
                     shape: (m, k, n),
                     measured: false,
+                    kernel: active_micro_kernel(),
+                    tiles: gemm_tiles(),
+                    tiles_measured: false,
                 };
             }
             let a: Vec<f32> = (0..m * k).map(|v| (v % 17) as f32 * 0.25 - 2.0).collect();
@@ -189,6 +203,11 @@ fn large_tier_backend() -> MatmulBackend {
                 }
                 (start.elapsed().as_nanos() / reps as u128) as u64
             };
+            // The micro-kernel and tile races only run in release builds:
+            // debug timings are meaningless and every variant/tile is
+            // bit-identical anyway, so debug runs just take the detected
+            // kernel and compiled defaults.
+            let tiles_measured = !cfg!(debug_assertions) && tune_kernel_and_tiles(av, bv, ways);
             let blocked_ns = time(&|c| {
                 gemm_blocked(1.0, av, bv, 0.0, c).expect("probe gemm");
             });
@@ -206,9 +225,61 @@ fn large_tier_backend() -> MatmulBackend {
                 packed_ns,
                 shape: (m, k, n),
                 measured: true,
+                kernel: active_micro_kernel(),
+                tiles: gemm_tiles(),
+                tiles_measured,
             }
         })
         .chosen
+}
+
+/// One-shot micro-kernel + `(KC, MC)` race for the packed backend.
+///
+/// Every candidate is bit-identical (see `gemm_packed`), so this is purely
+/// a speed decision: the fastest variant is pinned process-wide via
+/// [`pin_micro_kernel_if_unset`] (user/test overrides and
+/// `ECHO_GEMM_KERNEL` always win) and the fastest tile pair installed via
+/// [`set_gemm_tiles`] (subordinate to `ECHO_GEMM_TILES`). Returns whether
+/// the tile race ran.
+fn tune_kernel_and_tiles(av: MatView<'_>, bv: MatView<'_>, ways: usize) -> bool {
+    let (m, n) = (av.rows(), bv.cols());
+    let time_packed = |kernel: MicroKernel, kc: usize, mc: usize| {
+        let mut c = vec![0.0f32; m * n];
+        let mut cv = MatViewMut::new(&mut c, m, n, MatrixLayout::RowMajor);
+        gemm_packed_parallel_with(1.0, av, bv, 0.0, &mut cv, ways, kernel, kc, mc)
+            .expect("probe gemm");
+        let reps = 3;
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            gemm_packed_parallel_with(1.0, av, bv, 0.0, &mut cv, ways, kernel, kc, mc)
+                .expect("probe gemm");
+        }
+        (start.elapsed().as_nanos() / reps as u128) as u64
+    };
+
+    if gemm_packed::env_kernel().is_none() {
+        let (kc0, mc0) = gemm_tiles();
+        let winner = available_micro_kernels()
+            .into_iter()
+            .map(|kernel| (time_packed(kernel, kc0, mc0), kernel))
+            .min_by_key(|&(ns, _)| ns)
+            .map(|(_, kernel)| kernel)
+            .unwrap_or(MicroKernel::Scalar);
+        pin_micro_kernel_if_unset(winner);
+    }
+
+    if gemm_packed::env_tiles().is_some() {
+        return false;
+    }
+    let kernel = active_micro_kernel();
+    let best = [(256usize, 128usize), (128, 64), (256, 64), (512, 128)]
+        .into_iter()
+        .map(|(kc, mc)| (time_packed(kernel, kc, mc), kc, mc))
+        .min_by_key(|&(ns, _, _)| ns);
+    if let Some((_, kc, mc)) = best {
+        set_gemm_tiles(kc, mc);
+    }
+    true
 }
 
 /// The backend [`dispatch_gemm`] would use for an `m × k × n` problem

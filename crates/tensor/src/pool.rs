@@ -11,6 +11,17 @@
 //! data-parallel model replicas contend for one fixed set of threads
 //! instead of oversubscribing the host with `K × cores` transient spawns.
 //!
+//! # Dispatch without allocation
+//!
+//! The original dispatch path boxed every band as a `Box<dyn FnOnce>` and
+//! collected them into a fresh `Vec` per call — several heap allocations on
+//! every GEMM of every LSTM time step. [`WorkerPool::run_indexed`] replaces
+//! that for the hot paths: the caller hands over one `&dyn Fn(usize)` plus a
+//! count, a single stack-allocated [`IndexedBatch`] travels through the
+//! channel as a raw pointer, and workers *claim indices* from an atomic
+//! cursor instead of receiving one boxed closure each. Steady-state plan
+//! execution therefore launches kernels with zero dispatch allocations.
+//!
 //! # Determinism
 //!
 //! The pool runs *jobs*, and every caller in this crate partitions work so
@@ -25,9 +36,60 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// A unit of work queued on the pool. Tasks are `'static` internally; the
-/// scoped-lifetime API ([`WorkerPool::run`]) guarantees completion before
-/// borrowed data can die.
-type Task = Box<dyn FnOnce() + Send + 'static>;
+/// scoped-lifetime APIs ([`WorkerPool::run`], [`WorkerPool::run_indexed`])
+/// guarantee completion before borrowed data can die.
+enum Task {
+    /// A boxed one-shot closure ([`WorkerPool::run`]).
+    Owned(Box<dyn FnOnce() + Send + 'static>),
+    /// A ticket pointing at a caller-stack [`IndexedBatch`]
+    /// ([`WorkerPool::run_indexed`]); the receiving worker claims indices
+    /// from the batch's cursor until it is exhausted.
+    Shared(SharedBatch),
+}
+
+/// Raw pointer to a stack-allocated [`IndexedBatch`], made `Send` so it can
+/// travel through the channel.
+///
+/// SAFETY: `run_indexed` blocks on the batch latch until every ticket it
+/// sent has been consumed *and completed*, so the pointee strictly outlives
+/// every `SharedBatch` referring to it.
+struct SharedBatch(*const IndexedBatch);
+unsafe impl Send for SharedBatch {}
+
+/// One `run_indexed` call's worth of work: an erased closure, an atomic
+/// index cursor, and a completion latch counting *tickets* (not indices).
+struct IndexedBatch {
+    /// The caller's `&dyn Fn(usize)` with its lifetime erased; only
+    /// dereferenced while `run_indexed` is blocked in this stack frame.
+    f: *const (dyn Fn(usize) + Sync),
+    next: AtomicUsize,
+    count: usize,
+    latch: Latch,
+}
+
+// SAFETY: `f` points at a `Sync` closure and every other field is itself
+// thread-safe, so workers may drain the batch concurrently.
+unsafe impl Sync for IndexedBatch {}
+
+impl IndexedBatch {
+    /// Claims and runs indices until the cursor is exhausted. Panics inside
+    /// the closure are caught and recorded on the latch so the submitting
+    /// caller — not a pool worker — reports them.
+    fn claim(&self) {
+        // SAFETY: see `SharedBatch` — the owning `run_indexed` frame is
+        // still blocked on the latch, so the closure is alive.
+        let f = unsafe { &*self.f };
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.count {
+                return;
+            }
+            if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+                self.latch.poisoned.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+}
 
 /// Completion latch for one [`WorkerPool::run`] batch.
 struct Latch {
@@ -75,6 +137,13 @@ thread_local! {
     static IN_POOL_TASK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
+/// A raw `*mut f32` wrapper so band kernels can hand disjoint slices of one
+/// output buffer to `run_indexed` closures. Each call site must guarantee
+/// its bands never overlap.
+pub(crate) struct SendPtr(pub *mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
 /// A persistent pool of kernel worker threads fed over a shared channel.
 ///
 /// See [`global`] for the process-wide instance every kernel uses; direct
@@ -96,6 +165,21 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
+/// Runs one received task (worker loop and help-drain share this).
+fn execute(task: Task) {
+    match task {
+        Task::Owned(f) => f(),
+        Task::Shared(batch) => {
+            // SAFETY: the submitting `run_indexed` frame waits on this
+            // batch's latch for exactly as many completions as tickets it
+            // sent, so the pointee is alive until we call `complete`.
+            let batch = unsafe { &*batch.0 };
+            batch.claim();
+            batch.latch.complete(false);
+        }
+    }
+}
+
 impl WorkerPool {
     /// Builds a pool with `threads` total lanes of parallelism (the
     /// calling thread counts as one; `threads - 1` workers are spawned).
@@ -114,7 +198,7 @@ impl WorkerPool {
                     // global pool, which is intentional: kernel workers
                     // live for the life of the process.
                     for task in worker_rx.iter() {
-                        task();
+                        execute(task);
                         counter.fetch_add(1, Ordering::Relaxed);
                     }
                 })
@@ -146,6 +230,9 @@ impl WorkerPool {
     /// calls (a job that itself calls `run`) execute inline rather than
     /// re-entering the queue.
     ///
+    /// Prefer [`WorkerPool::run_indexed`] on hot paths — this entry point
+    /// boxes every job.
+    ///
     /// # Panics
     ///
     /// Panics if any job panicked (after all jobs have finished).
@@ -174,18 +261,93 @@ impl WorkerPool {
             // so no borrow inside `job` outlives `'scope`. The wrapper
             // catches panics, so a panicking job still completes the latch
             // instead of poisoning a worker.
-            let wrapped: Task =
-                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(wrapped) };
-            self.tx.send(wrapped).expect("pool receiver alive");
+            let wrapped: Box<dyn FnOnce() + Send + 'static> = unsafe {
+                std::mem::transmute::<
+                    Box<dyn FnOnce() + Send + 'scope>,
+                    Box<dyn FnOnce() + Send + 'static>,
+                >(wrapped)
+            };
+            self.tx
+                .send(Task::Owned(wrapped))
+                .expect("pool receiver alive");
+        }
+        self.drain_until(&latch);
+        assert!(
+            !latch.poisoned.load(Ordering::Relaxed),
+            "worker-pool job panicked"
+        );
+    }
+
+    /// Runs `f(0), f(1), …, f(count - 1)`, each index exactly once, using
+    /// the pool's workers plus the calling thread — without allocating.
+    ///
+    /// One stack-allocated batch descriptor is shared by every lane;
+    /// workers claim indices from an atomic cursor. The closure may borrow
+    /// from the caller's stack: the call blocks until every index has run
+    /// *and* every worker ticket has been consumed, so neither the closure
+    /// nor the descriptor can be observed after return. Nested calls (from
+    /// inside a pool job) degrade to an inline serial loop.
+    ///
+    /// Indices are claimed in arbitrary order across lanes — callers must
+    /// partition work so each output element is written by exactly one
+    /// index (the same contract as [`WorkerPool::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` panicked for any index (after the batch has drained).
+    pub fn run_indexed(&self, count: usize, f: &(dyn Fn(usize) + Sync)) {
+        if count == 0 {
+            return;
+        }
+        if count == 1 || self.threads == 1 || IN_POOL_TASK.with(|flag| flag.get()) {
+            for i in 0..count {
+                f(i);
+            }
+            return;
         }
 
+        // One ticket per worker lane that could usefully help; stale
+        // tickets (batch already drained) complete immediately, so the
+        // latch still converges.
+        let tickets = (self.threads - 1).min(count);
+        // SAFETY: the lifetime of `f` is erased only so the pointer can sit
+        // in a channel message; `latch.wait()` in `drain_until` does not
+        // return until all `tickets` completions have arrived, and a ticket
+        // only completes after its final (failed) cursor claim — so no
+        // worker can touch `batch` or `f` after this frame returns.
+        let f: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        let batch = IndexedBatch {
+            f,
+            next: AtomicUsize::new(0),
+            count,
+            latch: Latch::new(tickets),
+        };
+        for _ in 0..tickets {
+            self.tx
+                .send(Task::Shared(SharedBatch(&batch)))
+                .expect("pool receiver alive");
+        }
+        // The caller is a lane too: claim indices alongside the workers.
+        IN_POOL_TASK.with(|flag| flag.set(true));
+        batch.claim();
+        IN_POOL_TASK.with(|flag| flag.set(false));
+        self.drain_until(&batch.latch);
+        assert!(
+            !batch.latch.poisoned.load(Ordering::Relaxed),
+            "worker-pool job panicked"
+        );
+    }
+
+    /// Helps drain the shared queue until `latch` completes, then waits.
+    fn drain_until(&self, latch: &Latch) {
         // Help drain the queue while waiting; the caller may execute its
         // own jobs or another batch's — both make progress.
         IN_POOL_TASK.with(|f| f.set(true));
         while !latch.is_done() {
             match self.rx.try_recv() {
                 Ok(task) => {
-                    task();
+                    execute(task);
                     self.executed.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
@@ -193,10 +355,6 @@ impl WorkerPool {
         }
         IN_POOL_TASK.with(|f| f.set(false));
         latch.wait();
-        assert!(
-            !latch.poisoned.load(Ordering::Relaxed),
-            "worker-pool job panicked"
-        );
     }
 
     /// Splits `0..total` into at most `max_bands` contiguous ranges of at
@@ -220,15 +378,13 @@ impl WorkerPool {
             return;
         }
         let per = total.div_ceil(bands);
-        let f = &f;
-        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..bands)
-            .map(|b| {
-                let start = b * per;
-                let end = ((b + 1) * per).min(total);
-                Box::new(move || f(start, end)) as Box<dyn FnOnce() + Send + '_>
-            })
-            .collect();
-        self.run(jobs);
+        self.run_indexed(bands, &|b| {
+            let start = b * per;
+            let end = ((b + 1) * per).min(total);
+            if start < end {
+                f(start, end);
+            }
+        });
     }
 }
 
@@ -279,6 +435,44 @@ mod tests {
         for h in &hits {
             assert_eq!(h.load(Ordering::Relaxed), 1);
         }
+    }
+
+    #[test]
+    fn run_indexed_hits_every_index_once() {
+        let pool = WorkerPool::with_threads(4);
+        for count in [1usize, 2, 3, 64, 257] {
+            let hits: Vec<AtomicUsize> = (0..count).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_indexed(count, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn run_indexed_nested_degrades_to_inline() {
+        let pool = WorkerPool::with_threads(2);
+        let outer = AtomicUsize::new(0);
+        pool.run_indexed(4, &|_| {
+            let inner = AtomicUsize::new(0);
+            global().run_indexed(3, &|_| {
+                inner.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(inner.load(Ordering::Relaxed), 3);
+            outer.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker-pool job panicked")]
+    fn run_indexed_panic_is_propagated_not_deadlocked() {
+        let pool = WorkerPool::with_threads(2);
+        pool.run_indexed(4, &|i| {
+            if i == 2 {
+                panic!("boom");
+            }
+        });
     }
 
     #[test]

@@ -29,13 +29,20 @@ fn ewise_bands(out: &mut [f32], f: impl Fn(usize, &mut [f32]) + Sync) {
         return;
     }
     let per = n.div_ceil(bands);
+    let base = pool::SendPtr(out.as_mut_ptr());
+    let base = &base;
     let f = &f;
-    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
-        .chunks_mut(per)
-        .enumerate()
-        .map(|(bi, chunk)| Box::new(move || f(bi * per, chunk)) as Box<dyn FnOnce() + Send + '_>)
-        .collect();
-    pool::global().run(jobs);
+    pool::global().run_indexed(bands, &move |bi| {
+        let start = bi * per;
+        let end = ((bi + 1) * per).min(n);
+        if start >= end {
+            return;
+        }
+        // SAFETY: bands partition `0..n` disjointly, so each index writes
+        // a non-overlapping chunk of `out`.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+        f(start, chunk);
+    });
 }
 
 /// An owned, contiguous, row-major `f32` tensor.

@@ -7,7 +7,10 @@
 //! autotuned dispatch layer numerically transparent and extends the
 //! data-parallel engine's bit-exactness contract to "any thread count".
 
-use echo_tensor::{gemm, gemm_packed, gemm_packed_parallel, MatViewMut, MatrixLayout, Shape};
+use echo_tensor::{
+    available_micro_kernels, gemm, gemm_packed, gemm_packed_parallel, gemm_packed_parallel_with,
+    MatViewMut, MatrixLayout, Shape,
+};
 use proptest::prelude::*;
 
 fn bits(v: &[f32]) -> Vec<u32> {
@@ -68,6 +71,53 @@ proptest! {
                 ways,
             ).unwrap();
             prop_assert_eq!(&bits(&c), &reference, "packed ways={} vs naive", ways);
+        }
+    }
+
+    /// Every available SIMD micro-kernel (scalar always; AVX2/NEON when
+    /// the host has them), at several KC/MC tilings and way counts, is
+    /// bit-identical to the naive kernel. The SIMD kernels use separate
+    /// multiply and add (never FMA), so each lane replays the scalar
+    /// kernel's exact IEEE operation sequence — this property is the
+    /// proof.
+    #[test]
+    fn simd_kernels_bit_identical_across_tiles(
+        m in 1usize..40,
+        k in 1usize..48,
+        n in 1usize..40,
+        seed in 0u64..200,
+        ai in 0usize..3,
+        bi in 0usize..3,
+    ) {
+        let alpha = [1.0f32, 1.5, -0.75][ai];
+        let beta = [0.0f32, 1.0, 0.5][bi];
+        let mut rng = echo_tensor::init::seeded_rng(seed);
+        let a = echo_tensor::init::uniform(Shape::d2(m, k), 2.0, &mut rng);
+        let b = echo_tensor::init::uniform(Shape::d2(k, n), 2.0, &mut rng);
+        let c0 = echo_tensor::init::uniform(Shape::d2(m, n), 1.0, &mut rng);
+
+        let mut reference = c0.data().to_vec();
+        gemm::gemm(
+            alpha, a.as_mat(), b.as_mat(), beta,
+            &mut MatViewMut::new(&mut reference, m, n, MatrixLayout::RowMajor),
+        ).unwrap();
+        let reference = bits(&reference);
+
+        for kernel in available_micro_kernels() {
+            for (kc, mc) in [(256usize, 128usize), (64, 32), (16, 8)] {
+                for ways in [1usize, 3] {
+                    let mut c = c0.data().to_vec();
+                    gemm_packed_parallel_with(
+                        alpha, a.as_mat(), b.as_mat(), beta,
+                        &mut MatViewMut::new(&mut c, m, n, MatrixLayout::RowMajor),
+                        ways, kernel, kc, mc,
+                    ).unwrap();
+                    prop_assert_eq!(
+                        &bits(&c), &reference,
+                        "kernel={} kc={} mc={} ways={}", kernel.name(), kc, mc, ways
+                    );
+                }
+            }
         }
     }
 
@@ -134,5 +184,31 @@ fn lstm_shaped_product_bit_identical() {
         )
         .unwrap();
         assert_eq!(bits(&c), bits(&reference), "ways = {ways}");
+    }
+    // And every SIMD variant at the default tiling — a shape this large
+    // crosses every KC/MC boundary, so edge-column/row handling is
+    // exercised alongside the full-tile micro-kernel.
+    for kernel in available_micro_kernels() {
+        for ways in [1usize, 8] {
+            let mut c = vec![0.0f32; m * n];
+            gemm_packed_parallel_with(
+                1.0,
+                a.as_mat(),
+                b.as_mat(),
+                0.0,
+                &mut MatViewMut::new(&mut c, m, n, MatrixLayout::RowMajor),
+                ways,
+                kernel,
+                256,
+                128,
+            )
+            .unwrap();
+            assert_eq!(
+                bits(&c),
+                bits(&reference),
+                "kernel = {} ways = {ways}",
+                kernel.name()
+            );
+        }
     }
 }

@@ -19,7 +19,9 @@ use echo_graph::{Executor, StashPlan};
 use echo_memory::DeviceMemory;
 use echo_models::{MicrobatchTrainer, Sgd, WordLm, WordLmHyper};
 use echo_rnn::LstmBackend;
-use echo_tensor::{set_matmul_policy, MatmulBackend, MatmulPolicy};
+use echo_tensor::{
+    available_micro_kernels, set_matmul_policy, set_micro_kernel, MatmulBackend, MatmulPolicy,
+};
 use std::sync::Arc;
 
 const LANES: usize = 8;
@@ -34,10 +36,13 @@ fn batches(lm: &WordLm) -> Vec<LmBatch> {
         .collect()
 }
 
+/// Per-step `(loss bits, grad-norm bits)` plus final parameter bits.
+type Fingerprint = (Vec<(u32, u64)>, Vec<Vec<u32>>);
+
 /// Trains `STEPS` steps under the given policy and fingerprints every
 /// observable number: per-step loss and gradient-norm bits, plus the
 /// bits of every final parameter.
-fn run_under_policy(lm: &WordLm, policy: MatmulPolicy) -> (Vec<(u32, u64)>, Vec<Vec<u32>>) {
+fn run_under_policy(lm: &WordLm, policy: MatmulPolicy) -> Fingerprint {
     set_matmul_policy(policy);
     let mem = DeviceMemory::with_overhead_model(1 << 30, 0, 0.0);
     let mut exec = Executor::new(Arc::clone(&lm.graph), StashPlan::stash_all(), mem);
@@ -73,18 +78,39 @@ fn word_lm_training_is_bit_identical_under_every_matmul_policy() {
         MatmulPolicy::Fixed(MatmulBackend::PackedParallel),
         MatmulPolicy::Auto,
     ];
-    let (ref_fp, ref_params) = run_under_policy(&lm, policies[0]);
-    assert_eq!(ref_fp.len(), STEPS, "training must actually run");
-    for &policy in &policies[1..] {
-        let (fp, params) = run_under_policy(&lm, policy);
-        assert_eq!(
-            fp, ref_fp,
-            "per-step loss/grad-norm bits diverged under {policy:?}"
+    // The outer sweep forces each available SIMD micro-kernel (scalar
+    // everywhere; AVX2/NEON where the host supports them) through the
+    // same policy grid: the packed tier must produce the same training
+    // bits whichever variant executes it.
+    let mut reference: Option<Fingerprint> = None;
+    for kernel in available_micro_kernels() {
+        assert!(
+            set_micro_kernel(Some(kernel)),
+            "{} reported available but refused to install",
+            kernel.name()
         );
-        assert_eq!(
-            params, ref_params,
-            "final parameter bits diverged under {policy:?}"
-        );
+        for &policy in &policies {
+            let (fp, params) = run_under_policy(&lm, policy);
+            assert_eq!(fp.len(), STEPS, "training must actually run");
+            match &reference {
+                None => reference = Some((fp, params)),
+                Some((ref_fp, ref_params)) => {
+                    assert_eq!(
+                        &fp,
+                        ref_fp,
+                        "per-step loss/grad-norm bits diverged under {policy:?} with the {} kernel",
+                        kernel.name()
+                    );
+                    assert_eq!(
+                        &params,
+                        ref_params,
+                        "final parameter bits diverged under {policy:?} with the {} kernel",
+                        kernel.name()
+                    );
+                }
+            }
+        }
     }
+    set_micro_kernel(None);
     set_matmul_policy(MatmulPolicy::Auto);
 }
