@@ -50,15 +50,37 @@ pub fn infer_shapes(
     bindings: &HashMap<NodeId, Tensor>,
     param_shapes: &HashMap<NodeId, Shape>,
 ) -> Result<ShapeTable> {
+    let binding_shapes: HashMap<NodeId, Shape> = bindings
+        .iter()
+        .map(|(&id, t)| (id, t.shape().clone()))
+        .collect();
+    infer_shapes_from(graph, &binding_shapes, param_shapes)
+}
+
+/// Like [`infer_shapes`], but taking input shapes directly rather than
+/// bound tensors — the form the unified pass-pipeline front end uses,
+/// since compilation never needs input *values*.
+///
+/// # Errors
+///
+/// Returns [`GraphError::MissingBinding`] when an input or parameter has
+/// no shape, or operator errors when shapes are inconsistent.
+pub fn infer_shapes_from(
+    graph: &Graph,
+    binding_shapes: &HashMap<NodeId, Shape>,
+    param_shapes: &HashMap<NodeId, Shape>,
+) -> Result<ShapeTable> {
     let mut shapes: Vec<Shape> = Vec::with_capacity(graph.len());
     for node in graph.nodes() {
         let shape = match &node.kind {
-            echo_graph::NodeKind::Input => bindings
-                .get(&node.id)
-                .map(|t| t.shape().clone())
-                .ok_or_else(|| GraphError::MissingBinding {
-                    name: node.name.clone(),
-                })?,
+            echo_graph::NodeKind::Input => {
+                binding_shapes
+                    .get(&node.id)
+                    .cloned()
+                    .ok_or_else(|| GraphError::MissingBinding {
+                        name: node.name.clone(),
+                    })?
+            }
             echo_graph::NodeKind::Param => {
                 param_shapes
                     .get(&node.id)

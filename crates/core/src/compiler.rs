@@ -1,13 +1,15 @@
 //! The Echo compiler front-end.
 
-use crate::analysis::{infer_shapes, ShapeTable};
+use crate::analysis::{infer_shapes_from, ShapeTable};
 use crate::oshape::{build_plan, find_segments, OshapeConfig, SegmentInfo};
+use crate::pipeline::{run_structural_passes, stage_trace, PipelineMode};
 use crate::search::{SearchConfig, SearchReport, StashSearch};
-use echo_graph::{ExecOptions, ExecPlan, Graph, GraphError, NodeId, StashPlan};
+use echo_graph::{ExecOptions, ExecPlan, Graph, GraphError, NodeId, PassTrace, StashPlan};
 use echo_tensor::{Shape, Tensor};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Errors from compilation.
 #[derive(Debug)]
@@ -79,6 +81,22 @@ pub struct EchoConfig {
     pub share_workspace: bool,
     /// Heuristic stash selection, or exact-cost search over stash sets.
     pub selection: StashSelection,
+    /// Run the LSTM-cell and elementwise-chain fusion passes. Off by
+    /// default: fusion rewrites the graph, so the compiled plan carries a
+    /// replacement graph ([`CompiledPlan::graph`]) the executor must swap
+    /// in — [`EchoCompiler::attach`] does that automatically.
+    pub fusion: bool,
+    /// Run the CSE pass: detect duplicate subexpressions (training
+    /// pipelines, reported in the pass trace) or merge them (inference
+    /// pipelines, where forward-only execution keeps the rewrite
+    /// bit-exact).
+    pub cse: bool,
+    /// Run device-sim-driven layout selection over operators advertising
+    /// [`layout_variants`](echo_graph::Operator::layout_variants).
+    pub layout_select: bool,
+    /// Pretty-print the GIR before the pipeline and after each pass that
+    /// changed it (also enabled by the `ECHO_DUMP_IR` env var).
+    pub dump_ir: bool,
 }
 
 impl Default for EchoConfig {
@@ -88,6 +106,10 @@ impl Default for EchoConfig {
             oshape: OshapeConfig::default(),
             share_workspace: true,
             selection: StashSelection::Heuristic,
+            fusion: false,
+            cse: false,
+            layout_select: false,
+            dump_ir: false,
         }
     }
 }
@@ -130,6 +152,12 @@ pub struct PassReport {
     /// heuristic peak, recompute FLOPs), when
     /// [`StashSelection::Search`] ran.
     pub search: Option<SearchReport>,
+    /// One trace per pipeline stage that ran, in execution order:
+    /// structural passes (CSE, fusion, layout) followed by stash
+    /// selection and lowering. Each entry carries the stage's rewrite
+    /// count, live-cone metric deltas, wall time and the result of the
+    /// structural equivalence check.
+    pub passes: Vec<PassTrace>,
 }
 
 impl PassReport {
@@ -194,6 +222,22 @@ impl fmt::Display for PassReport {
                 s.boundary_bytes >> 10
             )?;
         }
+        for p in &self.passes {
+            writeln!(
+                f,
+                "  pass {}: {} rewrites, launches {} -> {}, {:.0} us{}",
+                p.pass,
+                p.rewrites,
+                p.fwd_launches_before,
+                p.fwd_launches_after,
+                p.wall_us,
+                if p.bit_exact {
+                    ""
+                } else {
+                    " (flagged: not bit-exact)"
+                },
+            )?;
+        }
         Ok(())
     }
 }
@@ -210,6 +254,14 @@ pub struct CompiledPlan {
     /// had no target or ran from a bare shape table
     /// ([`EchoCompiler::compile_with_shapes`]). Shareable across replicas.
     pub exec_plan: Option<Arc<ExecPlan>>,
+    /// The rewritten graph, when a structural pass (fusion, CSE merging,
+    /// layout selection) changed it. Node ids are preserved, so existing
+    /// bindings, parameters and targets stay valid — but the executor
+    /// must swap this graph in ([`Executor::set_graph`]
+    /// (echo_graph::Executor::set_graph)) before using the plan;
+    /// [`EchoCompiler::attach`] does so automatically. `None` means the
+    /// caller's graph is untouched.
+    pub graph: Option<Arc<Graph>>,
 }
 
 /// The Echo compiler.
@@ -246,14 +298,40 @@ impl EchoCompiler {
         &self.config
     }
 
-    /// Runs shape inference and the O-shape pass, producing a stash plan.
+    /// Shared pipeline front end: clones the caller's graph behind an
+    /// `Arc`, runs the configured structural passes (CSE, fusion, layout
+    /// selection), and re-derives the shape table from the rewritten IR.
+    fn front_end(
+        &self,
+        graph: &Graph,
+        binding_shapes: &HashMap<NodeId, Shape>,
+        param_shapes: &HashMap<NodeId, Shape>,
+        protected: &[NodeId],
+        mode: PipelineMode,
+    ) -> Result<(crate::pipeline::StructuralOutput, ShapeTable), EchoError> {
+        let out = run_structural_passes(
+            &self.config,
+            Arc::new(graph.clone()),
+            binding_shapes,
+            param_shapes,
+            protected,
+            mode,
+        )?;
+        let shapes = infer_shapes_from(out.gir.graph(), binding_shapes, param_shapes)?;
+        Ok((out, shapes))
+    }
+
+    /// Compiles for training: runs the structural pass pipeline, then the
+    /// O-shape (or searched) stash-selection pass, then lowers to an
+    /// execution plan when a target is given.
     ///
     /// `protected` nodes (execution targets such as the loss or logits)
-    /// are never recomputed.
+    /// are never recomputed or fused away.
     ///
     /// # Errors
     ///
-    /// Propagates shape-inference failures.
+    /// Propagates shape-inference, pass-equivalence and plan-validation
+    /// failures.
     pub fn compile(
         &self,
         graph: &Graph,
@@ -261,68 +339,106 @@ impl EchoCompiler {
         param_shapes: &HashMap<NodeId, Shape>,
         protected: &[NodeId],
     ) -> Result<CompiledPlan, EchoError> {
-        let shapes = infer_shapes(graph, bindings, param_shapes)?;
-        let mut compiled = if self.config.recompute {
-            let segments = find_segments(graph, &shapes, &self.config.oshape, protected);
-            let plan = build_plan(&segments, self.config.share_workspace);
-            let report = self.report(graph, &segments);
-            CompiledPlan {
-                plan,
+        let binding_shapes: HashMap<NodeId, Shape> = bindings
+            .iter()
+            .map(|(&id, t)| (id, t.shape().clone()))
+            .collect();
+        let (fe, shapes) = self.front_end(
+            graph,
+            &binding_shapes,
+            param_shapes,
+            protected,
+            PipelineMode::Training,
+        )?;
+        let graph_r = Arc::clone(fe.gir.graph());
+        let mut passes = fe.passes;
+
+        // Stash-selection stage. The exact-cost search needs a target (it
+        // scores candidates by their lowered plans, so selection and
+        // lowering run together inside it); without one it falls back to
+        // the heuristic below.
+        let start = Instant::now();
+        if let (true, StashSelection::Search { flop_budget }, Some(_)) = (
+            self.config.recompute,
+            self.config.selection,
+            protected.first(),
+        ) {
+            let outcome = StashSearch::new(SearchConfig {
+                flop_budget,
+                ..SearchConfig::default()
+            })
+            .run(
+                &graph_r,
+                &shapes,
+                &binding_shapes,
+                param_shapes,
+                protected,
+                &self.config.oshape,
+                self.config.share_workspace,
+                ExecOptions::default(),
+            )?;
+            let mut report = self.report(&graph_r, &outcome.segments);
+            report.planned_peak_bytes = Some(outcome.exec_plan.planned_peak_bytes());
+            report.slot_count = Some(outcome.exec_plan.slot_count());
+            report.search = Some(outcome.report);
+            passes.push(stage_trace(
+                &fe.gir,
+                "stash-select(search)+lower",
+                report.segments.len(),
+                start.elapsed().as_secs_f64() * 1e6,
+            ));
+            report.passes = passes;
+            return Ok(CompiledPlan {
+                plan: outcome.plan,
                 report,
-                exec_plan: None,
-            }
+                exec_plan: Some(outcome.exec_plan),
+                graph: fe.rewritten.then_some(graph_r),
+            });
+        }
+        let (plan, mut report) = if self.config.recompute {
+            let segments = find_segments(&graph_r, &shapes, &self.config.oshape, protected);
+            let plan = build_plan(&segments, self.config.share_workspace);
+            let report = self.report(&graph_r, &segments);
+            (plan, report)
         } else {
-            CompiledPlan {
-                plan: StashPlan::stash_all(),
-                report: PassReport::default(),
-                exec_plan: None,
-            }
+            (StashPlan::stash_all(), PassReport::default())
         };
+        passes.push(stage_trace(
+            &fe.gir,
+            "stash-select",
+            report.segments.len(),
+            start.elapsed().as_secs_f64() * 1e6,
+        ));
+
+        // Lowering stage: GIR -> launch-level ExecPlan tables.
+        let mut exec_plan = None;
         if let Some(&target) = protected.first() {
-            let binding_shapes: HashMap<NodeId, Shape> = bindings
-                .iter()
-                .map(|(&id, t)| (id, t.shape().clone()))
-                .collect();
-            if self.config.recompute {
-                if let StashSelection::Search { flop_budget } = self.config.selection {
-                    let outcome = StashSearch::new(SearchConfig {
-                        flop_budget,
-                        ..SearchConfig::default()
-                    })
-                    .run(
-                        graph,
-                        &shapes,
-                        &binding_shapes,
-                        param_shapes,
-                        protected,
-                        &self.config.oshape,
-                        self.config.share_workspace,
-                        ExecOptions::default(),
-                    )?;
-                    let mut report = self.report(graph, &outcome.segments);
-                    report.planned_peak_bytes = Some(outcome.exec_plan.planned_peak_bytes());
-                    report.slot_count = Some(outcome.exec_plan.slot_count());
-                    report.search = Some(outcome.report);
-                    return Ok(CompiledPlan {
-                        plan: outcome.plan,
-                        report,
-                        exec_plan: Some(outcome.exec_plan),
-                    });
-                }
-            }
-            let exec_plan = ExecPlan::build(
-                graph,
-                &compiled.plan,
+            let start = Instant::now();
+            let lowered = ExecPlan::build(
+                &graph_r,
+                &plan,
                 ExecOptions::default(),
                 &binding_shapes,
                 param_shapes,
                 target,
             )?;
-            compiled.report.planned_peak_bytes = Some(exec_plan.planned_peak_bytes());
-            compiled.report.slot_count = Some(exec_plan.slot_count());
-            compiled.exec_plan = Some(Arc::new(exec_plan));
+            report.planned_peak_bytes = Some(lowered.planned_peak_bytes());
+            report.slot_count = Some(lowered.slot_count());
+            passes.push(stage_trace(
+                &fe.gir,
+                "lower",
+                lowered.launch_count(),
+                start.elapsed().as_secs_f64() * 1e6,
+            ));
+            exec_plan = Some(Arc::new(lowered));
         }
-        Ok(compiled)
+        report.passes = passes;
+        Ok(CompiledPlan {
+            plan,
+            report,
+            exec_plan,
+            graph: fe.rewritten.then_some(graph_r),
+        })
     }
 
     /// Compiles and installs the plan into an executor in one step — the
@@ -363,6 +479,9 @@ impl EchoCompiler {
         protected: &[NodeId],
     ) -> Result<PassReport, EchoError> {
         let compiled = self.compile(exec.graph(), bindings, param_shapes, protected)?;
+        if let Some(graph) = &compiled.graph {
+            exec.set_graph(Arc::clone(graph))?;
+        }
         exec.set_plan(compiled.plan);
         if let Some(exec_plan) = compiled.exec_plan {
             exec.set_exec_plan(exec_plan)?;
@@ -396,16 +515,35 @@ impl EchoCompiler {
             .iter()
             .map(|(&id, t)| (id, t.shape().clone()))
             .collect();
-        let exec_plan = ExecPlan::build_inference(graph, &binding_shapes, param_shapes, outputs)?;
+        let (fe, _) = self.front_end(
+            graph,
+            &binding_shapes,
+            param_shapes,
+            outputs,
+            PipelineMode::Inference,
+        )?;
+        let graph_r = Arc::clone(fe.gir.graph());
+        let mut passes = fe.passes;
+        let start = Instant::now();
+        let exec_plan =
+            ExecPlan::build_inference(&graph_r, &binding_shapes, param_shapes, outputs)?;
+        passes.push(stage_trace(
+            &fe.gir,
+            "lower",
+            exec_plan.launch_count(),
+            start.elapsed().as_secs_f64() * 1e6,
+        ));
         let report = PassReport {
             planned_peak_bytes: Some(exec_plan.planned_peak_bytes()),
             slot_count: Some(exec_plan.slot_count()),
+            passes,
             ..PassReport::default()
         };
         Ok(CompiledPlan {
             plan: StashPlan::stash_all(),
             report,
             exec_plan: Some(Arc::new(exec_plan)),
+            graph: fe.rewritten.then_some(graph_r),
         })
     }
 
@@ -424,6 +562,9 @@ impl EchoCompiler {
         outputs: &[NodeId],
     ) -> Result<PassReport, EchoError> {
         let compiled = self.compile_inference(exec.graph(), bindings, param_shapes, outputs)?;
+        if let Some(graph) = &compiled.graph {
+            exec.set_graph(Arc::clone(graph))?;
+        }
         exec.set_plan(compiled.plan);
         if let Some(exec_plan) = compiled.exec_plan {
             exec.set_exec_plan(exec_plan)?;
@@ -431,27 +572,65 @@ impl EchoCompiler {
         Ok(compiled.report)
     }
 
-    /// Like [`EchoCompiler::compile`] but reusing an existing shape table.
+    /// Like [`EchoCompiler::compile`] but reusing an existing shape table
+    /// and never lowering (no execution plan is built). Same pipeline,
+    /// training configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a structural pass fails on a graph whose shapes already
+    /// inferred — a pipeline bug, not an input condition.
     pub fn compile_with_shapes(
         &self,
         graph: &Graph,
         shapes: &ShapeTable,
         protected: &[NodeId],
     ) -> CompiledPlan {
-        if !self.config.recompute {
-            return CompiledPlan {
-                plan: StashPlan::stash_all(),
-                report: PassReport::default(),
-                exec_plan: None,
-            };
+        let mut binding_shapes: HashMap<NodeId, Shape> = HashMap::new();
+        let mut param_shapes: HashMap<NodeId, Shape> = HashMap::new();
+        for node in graph.nodes() {
+            match &node.kind {
+                echo_graph::NodeKind::Input => {
+                    binding_shapes.insert(node.id, shapes.shape(node.id).clone());
+                }
+                echo_graph::NodeKind::Param => {
+                    param_shapes.insert(node.id, shapes.shape(node.id).clone());
+                }
+                echo_graph::NodeKind::Op { .. } => {}
+            }
         }
-        let segments = find_segments(graph, shapes, &self.config.oshape, protected);
-        let plan = build_plan(&segments, self.config.share_workspace);
-        let report = self.report(graph, &segments);
+        let (fe, shapes_r) = self
+            .front_end(
+                graph,
+                &binding_shapes,
+                &param_shapes,
+                protected,
+                PipelineMode::Training,
+            )
+            .expect("structural passes failed on a shape-checked graph");
+        let graph_r = Arc::clone(fe.gir.graph());
+        let mut passes = fe.passes;
+        let start = Instant::now();
+        let (plan, mut report) = if self.config.recompute {
+            let segments = find_segments(&graph_r, &shapes_r, &self.config.oshape, protected);
+            let plan = build_plan(&segments, self.config.share_workspace);
+            let report = self.report(&graph_r, &segments);
+            (plan, report)
+        } else {
+            (StashPlan::stash_all(), PassReport::default())
+        };
+        passes.push(stage_trace(
+            &fe.gir,
+            "stash-select",
+            report.segments.len(),
+            start.elapsed().as_secs_f64() * 1e6,
+        ));
+        report.passes = passes;
         CompiledPlan {
             plan,
             report,
             exec_plan: None,
+            graph: fe.rewritten.then_some(graph_r),
         }
     }
 
@@ -473,6 +652,7 @@ impl EchoCompiler {
             planned_peak_bytes: None,
             slot_count: None,
             search: None,
+            passes: Vec::new(),
         }
     }
 }

@@ -45,6 +45,7 @@ pub mod analysis;
 pub mod baselines;
 pub mod compiler;
 pub mod oshape;
+pub mod pipeline;
 pub mod search;
 
 pub use analysis::ShapeTable;
@@ -53,6 +54,7 @@ pub use compiler::{
     CompiledPlan, EchoCompiler, EchoConfig, EchoError, PassReport, SegmentReport, StashSelection,
 };
 pub use oshape::{OshapeConfig, SegmentInfo};
+pub use pipeline::PipelineMode;
 pub use search::{segments_from_plan, SearchConfig, SearchOutcome, SearchReport, StashSearch};
 
 /// Re-export of the autotuning microbenchmark (paper §5.4).
@@ -60,3 +62,6 @@ pub use echo_rnn::autotune;
 
 /// Re-export of the executor the compiled plans run on.
 pub use echo_graph::Executor;
+
+/// Re-exports of the graph-level IR the pass pipeline rewrites.
+pub use echo_graph::{Gir, PassTrace};

@@ -1,0 +1,186 @@
+//! The explicit pass pipeline: ordered, individually-reported structural
+//! rewrites over the graph-level IR.
+//!
+//! Compilation runs in three stages. First the **structural passes** here
+//! rewrite the GIR — CSE, LSTM-cell fusion, elementwise-chain fusion,
+//! layout selection, in that order, each one gated by its
+//! [`EchoConfig`] flag and defaulting to off so the pipeline is
+//! behaviour-preserving unless asked otherwise. Then **stash selection**
+//! (the O-shape heuristic or the exact-cost [`StashSearch`]
+//! (crate::StashSearch)) chooses the recompute set over the rewritten
+//! graph, and finally the GIR **lowers** to the launch-level
+//! [`ExecPlan`](echo_graph::ExecPlan) tables. The compiler records every
+//! stage as a [`PassTrace`] in the [`PassReport`]
+//! (crate::PassReport).
+//!
+//! After each structural pass the driver re-checks **structural
+//! equivalence** ([`echo_graph::check_equivalence`]): same node ids and
+//! kinds, identical protected interface, identical protected shapes. A
+//! pass that fails the check aborts compilation — every shipped transform
+//! is bit-exact by construction or explicitly flagged via
+//! [`PassTrace::bit_exact`] (CSE merging, which re-associates gradient
+//! accumulation, only runs in inference pipelines where it is exact).
+//!
+//! Set `ECHO_DUMP_IR=1` (or [`EchoConfig::dump_ir`]) to pretty-print the
+//! IR before the pipeline and after every pass that changed it.
+
+use crate::compiler::{EchoConfig, EchoError};
+use echo_graph::gir::{
+    check_equivalence, common_subexpr_elim, fuse_elementwise_chains, fuse_lstm_cells,
+    select_layouts, Gir, PassTrace,
+};
+use echo_graph::{Graph, NodeId, Result as GraphResult};
+use echo_tensor::Shape;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Whether the pipeline compiles for training or forward-only serving —
+/// the one knob that separates `compile` from `compile_inference`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Forward + backward: stash selection runs, CSE merging is unsafe.
+    Training,
+    /// Forward only: no stashing to choose, CSE may merge freely.
+    Inference,
+}
+
+/// What the structural stage produced: the (possibly rewritten) GIR,
+/// one trace per pass that ran, and whether any rewrite happened.
+pub(crate) struct StructuralOutput {
+    /// The IR after all structural passes.
+    pub gir: Gir,
+    /// Per-pass traces, in execution order.
+    pub passes: Vec<PassTrace>,
+    /// True when some pass rewrote the graph — the compiled plan must
+    /// then carry the rewritten graph for the executor to swap in.
+    pub rewritten: bool,
+}
+
+/// Runs the configured structural passes over `graph`.
+pub(crate) fn run_structural_passes(
+    config: &EchoConfig,
+    graph: Arc<Graph>,
+    binding_shapes: &HashMap<NodeId, Shape>,
+    param_shapes: &HashMap<NodeId, Shape>,
+    protected: &[NodeId],
+    mode: PipelineMode,
+) -> Result<StructuralOutput, EchoError> {
+    let dump = config.dump_ir || env_dump();
+    let mut gir =
+        Gir::from_graph(graph, binding_shapes, param_shapes, protected).map_err(EchoError::from)?;
+    if dump {
+        eprintln!("== GIR (pipeline input)\n{}", gir.dump());
+    }
+    let original = Arc::clone(gir.graph());
+    let mut passes = Vec::new();
+    if config.cse {
+        // Merging re-associates gradient accumulation on the surviving
+        // node, so training pipelines only *detect* duplicates (the trace
+        // reports the count); inference pipelines merge — forward-only
+        // execution makes the rewrite bit-exact.
+        let merge = mode == PipelineMode::Inference;
+        run_pass(&mut gir, &mut passes, "cse", true, dump, |g| {
+            common_subexpr_elim(g, merge)
+        })?;
+    }
+    if config.fusion {
+        run_pass(
+            &mut gir,
+            &mut passes,
+            "fuse-lstm-cell",
+            true,
+            dump,
+            fuse_lstm_cells,
+        )?;
+        run_pass(
+            &mut gir,
+            &mut passes,
+            "fuse-ewise-chain",
+            true,
+            dump,
+            fuse_elementwise_chains,
+        )?;
+    }
+    if config.layout_select {
+        run_pass(&mut gir, &mut passes, "layout", true, dump, select_layouts)?;
+    }
+    let rewritten = !Arc::ptr_eq(&original, gir.graph());
+    Ok(StructuralOutput {
+        gir,
+        passes,
+        rewritten,
+    })
+}
+
+/// Wraps one structural pass: snapshot metrics, time it, verify
+/// structural equivalence, dump the IR when it changed, record the trace.
+fn run_pass(
+    gir: &mut Gir,
+    passes: &mut Vec<PassTrace>,
+    name: &str,
+    bit_exact: bool,
+    dump: bool,
+    pass: impl FnOnce(&mut Gir) -> GraphResult<usize>,
+) -> Result<(), EchoError> {
+    let before = gir.clone();
+    let (ops_b, launches_b, flops_b, bytes_b) = metrics(gir);
+    let start = Instant::now();
+    let rewrites = pass(gir).map_err(EchoError::from)?;
+    let wall_us = start.elapsed().as_secs_f64() * 1e6;
+    check_equivalence(&before, gir).map_err(EchoError::from)?;
+    let (ops_a, launches_a, flops_a, bytes_a) = metrics(gir);
+    if dump && !Arc::ptr_eq(before.graph(), gir.graph()) {
+        eprintln!("== GIR after {name}\n{}", gir.dump());
+    }
+    passes.push(PassTrace {
+        pass: name.to_string(),
+        rewrites,
+        live_ops_before: ops_b,
+        live_ops_after: ops_a,
+        fwd_launches_before: launches_b,
+        fwd_launches_after: launches_a,
+        fwd_flops_before: flops_b,
+        fwd_flops_after: flops_a,
+        live_bytes_before: bytes_b,
+        live_bytes_after: bytes_a,
+        wall_us,
+        bit_exact,
+        equivalence_ok: true,
+    });
+    Ok(())
+}
+
+/// A trace entry for a non-structural stage (stash selection, lowering):
+/// the graph is untouched, so before/after metrics coincide.
+pub(crate) fn stage_trace(gir: &Gir, name: &str, rewrites: usize, wall_us: f64) -> PassTrace {
+    let (ops, launches, flops, bytes) = metrics(gir);
+    PassTrace {
+        pass: name.to_string(),
+        rewrites,
+        live_ops_before: ops,
+        live_ops_after: ops,
+        fwd_launches_before: launches,
+        fwd_launches_after: launches,
+        fwd_flops_before: flops,
+        fwd_flops_after: flops,
+        live_bytes_before: bytes,
+        live_bytes_after: bytes,
+        wall_us,
+        bit_exact: true,
+        equivalence_ok: true,
+    }
+}
+
+fn metrics(gir: &Gir) -> (usize, usize, u64, u64) {
+    (
+        gir.live_ops(),
+        gir.forward_launch_count(),
+        gir.forward_flops(),
+        gir.live_bytes(),
+    )
+}
+
+fn env_dump() -> bool {
+    std::env::var("ECHO_DUMP_IR").is_ok_and(|v| !v.is_empty() && v != "0")
+}

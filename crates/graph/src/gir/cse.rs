@@ -1,0 +1,87 @@
+//! Common-subexpression elimination over the GIR.
+//!
+//! Two live op nodes are duplicates when their operators render to the
+//! same `Debug` string (operators are pure value types, so their debug
+//! form is their full configuration) and their canonical inputs match.
+//! Detection walks nodes in ascending id order, resolving inputs through
+//! the redirect table as it goes, so chains of duplicates collapse
+//! transitively.
+//!
+//! **Merging is not always bit-exact for training.** Redirecting every
+//! consumer of a duplicate onto one canonical node concentrates gradient
+//! contributions that the serial interpreter would have accumulated into
+//! separate tensors, re-associating float adds. Callers therefore choose:
+//! `merge = false` reports duplicates without touching the graph (the
+//! training default — the pipeline records the count in the pass trace),
+//! `merge = true` rewrites consumers (bit-exact for inference, which runs
+//! forward only).
+
+use super::{Gir, Rewrite};
+use crate::graph::{NodeId, NodeKind};
+use crate::Result;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Finds (and with `merge`, eliminates) duplicate live op nodes. Returns
+/// the number of duplicates found.
+///
+/// # Errors
+///
+/// Returns an error when the merged graph fails to re-infer shapes — a
+/// pass bug, never expected on well-formed graphs.
+pub fn common_subexpr_elim(gir: &mut Gir, merge: bool) -> Result<usize> {
+    let graph = Arc::clone(gir.graph());
+    let n = graph.len();
+    let mask = gir.live_mask();
+
+    // redirect[i]: the canonical node computing node i's value.
+    let mut redirect: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+    let mut seen: HashMap<(String, Vec<NodeId>), NodeId> = HashMap::new();
+    let mut duplicates = 0usize;
+    for node in graph.nodes() {
+        if !mask[node.id.index()] {
+            continue;
+        }
+        let NodeKind::Op { op, inputs } = &node.kind else {
+            continue;
+        };
+        let canon_inputs: Vec<NodeId> = inputs.iter().map(|i| redirect[i.index()]).collect();
+        let key = (format!("{op:?}"), canon_inputs);
+        match seen.get(&key) {
+            Some(&first) => {
+                redirect[node.id.index()] = first;
+                duplicates += 1;
+            }
+            None => {
+                seen.insert(key, node.id);
+            }
+        }
+    }
+    if duplicates == 0 || !merge {
+        return Ok(duplicates);
+    }
+
+    // Rewrite consumers whose inputs changed under the redirect table.
+    // Duplicates keep their definitions but fall out of the cone (unless
+    // protected, in which case they stay live and still compute the same
+    // value).
+    let mut rewrites: Vec<Rewrite> = Vec::new();
+    for node in graph.nodes() {
+        let NodeKind::Op { op, inputs } = &node.kind else {
+            continue;
+        };
+        if redirect[node.id.index()] != node.id {
+            continue; // the duplicate itself: leave its definition alone
+        }
+        let new_inputs: Vec<NodeId> = inputs.iter().map(|i| redirect[i.index()]).collect();
+        if new_inputs != *inputs {
+            rewrites.push(Rewrite {
+                id: node.id,
+                op: Arc::clone(op),
+                inputs: new_inputs,
+            });
+        }
+    }
+    gir.apply_rewrites(rewrites)?;
+    Ok(duplicates)
+}

@@ -1,0 +1,479 @@
+//! The generic fused-group operator.
+//!
+//! A [`FusedGroup`] hosts a single-escape subgraph — a set of elementwise
+//! constituents whose only externally visible value is the group's last
+//! (host) output — behind the ordinary [`Operator`] interface, so every
+//! downstream layer (stash policies, O-shape detection, plan lowering,
+//! both executor paths) treats it as one node launching one kernel each
+//! way.
+//!
+//! **Bit-exactness.** Forward runs the constituents in their original
+//! ascending node-id order with the same input tensors the unfused graph
+//! would pass, so every value is bit-identical by construction. Backward
+//! runs them in descending id order and accumulates gradients with the
+//! executor's exact discipline — first contribution stored, later ones
+//! added via `axpy` in arrival order — which matches the serial
+//! interpreter's descending-consumer traversal of the unfused graph. The
+//! one ordering freedom fusion introduces (a group posts its combined
+//! contribution to a shared external value at the host's schedule
+//! position rather than at each constituent's) is only permitted by the
+//! fusion pass when it is provably bit-neutral; see
+//! [`fusion`](super::fusion) for the admission rules.
+//!
+//! Interior outputs are returned as operator-private `Saved` state — the
+//! analogue of cuDNN's LSTM "reserve space": fusion removes launches, not
+//! backward dependencies, so the saved bytes match what the unfused graph
+//! stashed for the same nodes.
+
+use crate::op::{KernelLaunch, Operator, Saved, StashNeeds};
+use crate::{GraphError, Result};
+use echo_device::{KernelCategory, KernelCost};
+use echo_tensor::{Shape, Tensor};
+use std::sync::Arc;
+
+/// Where one constituent input comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedInput {
+    /// The group's `k`-th external input.
+    External(usize),
+    /// The output of constituent step `j` (an interior value).
+    Interior(usize),
+}
+
+/// One constituent of a fused group, in original topological position.
+#[derive(Debug, Clone)]
+pub struct FusedStep {
+    /// The original operator.
+    pub op: Arc<dyn Operator + Send + Sync>,
+    /// Where each of its inputs comes from.
+    pub inputs: Vec<FusedInput>,
+    /// The original node name (for traces and errors).
+    pub name: String,
+}
+
+/// A fused single-escape group of elementwise operators. See the module
+/// docs for the construction and bit-exactness contract.
+#[derive(Debug, Clone)]
+pub struct FusedGroup {
+    name: String,
+    steps: Vec<FusedStep>,
+    n_inputs: usize,
+    needs: StashNeeds,
+    differentiable: Vec<bool>,
+}
+
+impl FusedGroup {
+    /// Assembles a fused group from constituents listed in ascending
+    /// original-id order; the last step is the host whose output escapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or an interior reference points at or
+    /// past its own step — programming errors in the fusion pass.
+    pub fn new(name: impl Into<String>, steps: Vec<FusedStep>, n_inputs: usize) -> Self {
+        assert!(!steps.is_empty(), "fused group needs at least one step");
+        for (j, step) in steps.iter().enumerate() {
+            for input in &step.inputs {
+                match *input {
+                    FusedInput::External(k) => assert!(k < n_inputs, "external {k} out of range"),
+                    FusedInput::Interior(i) => assert!(i < j, "interior {i} not before step {j}"),
+                }
+            }
+        }
+        // The group needs its external inputs stashed iff some
+        // constituent's backward reads an input that is external; the
+        // host's output iff the host's own backward reads its output.
+        let inputs_needed = steps.iter().any(|s| {
+            s.op.stash().inputs
+                && s.inputs
+                    .iter()
+                    .any(|i| matches!(i, FusedInput::External(_)))
+        });
+        let host_needs_output = steps.last().expect("non-empty").op.stash().output;
+        // An external input is differentiable iff any consuming slot is.
+        let mut differentiable = vec![false; n_inputs];
+        for step in &steps {
+            for (slot, input) in step.inputs.iter().enumerate() {
+                if let FusedInput::External(k) = *input {
+                    if step.op.input_differentiable(slot) {
+                        differentiable[k] = true;
+                    }
+                }
+            }
+        }
+        FusedGroup {
+            name: name.into(),
+            steps,
+            n_inputs,
+            needs: StashNeeds {
+                inputs: inputs_needed,
+                output: host_needs_output,
+            },
+            differentiable,
+        }
+    }
+
+    /// The constituents, in execution (ascending original-id) order.
+    pub fn steps(&self) -> &[FusedStep] {
+        &self.steps
+    }
+
+    /// Number of fused-away launches: constituents minus the single fused
+    /// kernel.
+    pub fn launches_saved(&self) -> usize {
+        self.steps.len().saturating_sub(1)
+    }
+
+    /// Shapes of every step output, computed from the external input
+    /// shapes.
+    fn step_shapes(&self, inputs: &[&Shape]) -> Result<Vec<Shape>> {
+        let mut shapes: Vec<Shape> = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
+            let in_shapes: Vec<&Shape> = step
+                .inputs
+                .iter()
+                .map(|i| match *i {
+                    FusedInput::External(k) => inputs[k],
+                    FusedInput::Interior(j) => &shapes[j],
+                })
+                .collect();
+            shapes.push(step.op.infer_shape(&in_shapes)?);
+        }
+        Ok(shapes)
+    }
+
+    /// Summed kernel costs of the constituents' launches, rolled into one
+    /// fused launch description.
+    fn fused_cost(
+        &self,
+        inputs: &[&Shape],
+        launches_of: impl Fn(&FusedStep, &[&Shape], &Shape) -> Vec<KernelLaunch>,
+    ) -> KernelCost {
+        let shapes = match self.step_shapes(inputs) {
+            Ok(s) => s,
+            Err(_) => return KernelCost::elementwise(0, 1),
+        };
+        let mut flops: u64 = 0;
+        let mut parallelism: usize = 1;
+        for (j, step) in self.steps.iter().enumerate() {
+            let in_shapes: Vec<&Shape> = step
+                .inputs
+                .iter()
+                .map(|i| match *i {
+                    FusedInput::External(k) => inputs[k],
+                    FusedInput::Interior(jj) => &shapes[jj],
+                })
+                .collect();
+            let out = shapes[j].clone();
+            for launch in launches_of(step, &in_shapes, &out) {
+                flops += crate::plan::launch_flops(std::slice::from_ref(&launch));
+                if let crate::op::LaunchSpec::Kernel(c) = &launch.spec {
+                    parallelism = parallelism.max(c.parallelism);
+                }
+            }
+        }
+        // External traffic: the fused kernel reads the group inputs and
+        // writes the host output plus the interior (reserve-space) values.
+        let in_bytes: u64 = inputs.iter().map(|s| s.num_bytes() as u64).sum();
+        let out_bytes: u64 = shapes.iter().map(|s| s.num_bytes() as u64).sum();
+        KernelCost {
+            flops,
+            dram_bytes: in_bytes + out_bytes,
+            l2_bytes: 0,
+            parallelism,
+            bandwidth_efficiency: 0.85,
+        }
+    }
+}
+
+impl Operator for FusedGroup {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Elementwise
+    }
+
+    fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+        Ok(self
+            .step_shapes(inputs)?
+            .pop()
+            .expect("fused group is non-empty"))
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Saved)> {
+        let mut values: Vec<Tensor> = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
+            let refs: Vec<&Tensor> = step
+                .inputs
+                .iter()
+                .map(|i| match *i {
+                    FusedInput::External(k) => inputs[k],
+                    FusedInput::Interior(j) => &values[j],
+                })
+                .collect();
+            let (y, saved) = step.op.forward(&refs)?;
+            if !saved.is_empty() {
+                return Err(GraphError::Operator {
+                    op: self.name.clone(),
+                    message: format!(
+                        "constituent {} has private saved state; not fusible",
+                        step.name
+                    ),
+                });
+            }
+            values.push(y);
+        }
+        let output = values.pop().expect("fused group is non-empty");
+        // Saved = interior outputs, in step order — the reserve space the
+        // grouped backward replays from.
+        Ok((output, values))
+    }
+
+    fn backward(
+        &self,
+        inputs: &[Option<&Tensor>],
+        output: Option<&Tensor>,
+        saved: &[Tensor],
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let n = self.steps.len();
+        if saved.len() != n - 1 {
+            return Err(GraphError::Operator {
+                op: self.name.clone(),
+                message: format!("expected {} interior values, got {}", n - 1, saved.len()),
+            });
+        }
+        let value_of = |j: usize| -> Option<&Tensor> {
+            if j + 1 == n {
+                output
+            } else {
+                Some(&saved[j])
+            }
+        };
+        // Per-step and per-external gradient accumulators. Discipline is
+        // the interpreter's: first contribution stored, later ones added
+        // in arrival order; steps processed in descending original order.
+        let mut step_grads: Vec<Option<Tensor>> = vec![None; n];
+        let mut ext_grads: Vec<Option<Tensor>> = vec![None; self.n_inputs];
+        step_grads[n - 1] = Some(dy.clone());
+        for (j, step) in self.steps.iter().enumerate().rev() {
+            let Some(g) = step_grads[j].take() else {
+                continue;
+            };
+            let needs = step.op.stash();
+            let owned: Vec<Option<&Tensor>> = step
+                .inputs
+                .iter()
+                .map(|i| {
+                    if !needs.inputs {
+                        return None;
+                    }
+                    match *i {
+                        FusedInput::External(k) => inputs[k],
+                        FusedInput::Interior(jj) => Some(&saved[jj]),
+                    }
+                })
+                .collect();
+            let out_val = if needs.output { value_of(j) } else { None };
+            let grads = step.op.backward(&owned, out_val, &[], &g)?;
+            if grads.len() != step.inputs.len() {
+                return Err(GraphError::Operator {
+                    op: self.name.clone(),
+                    message: format!(
+                        "constituent {} returned {} gradients for {} inputs",
+                        step.name,
+                        grads.len(),
+                        step.inputs.len()
+                    ),
+                });
+            }
+            for (slot, gi) in grads.into_iter().enumerate() {
+                if !step.op.input_differentiable(slot) {
+                    continue;
+                }
+                let Some(gi) = gi else { continue };
+                let acc = match step.inputs[slot] {
+                    FusedInput::External(k) => &mut ext_grads[k],
+                    FusedInput::Interior(jj) => &mut step_grads[jj],
+                };
+                match acc {
+                    Some(t) => t.axpy(1.0, &gi).map_err(GraphError::from)?,
+                    slot_ref @ None => *slot_ref = Some(gi),
+                }
+            }
+        }
+        Ok(ext_grads)
+    }
+
+    fn stash(&self) -> StashNeeds {
+        self.needs
+    }
+
+    fn forward_launches(&self, inputs: &[&Shape], _output: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            format!("{}_fwd", self.name),
+            KernelCategory::Elementwise,
+            self.fused_cost(inputs, |s, i, o| s.op.forward_launches(i, o)),
+        )]
+    }
+
+    fn backward_launches(&self, inputs: &[&Shape], _output: &Shape) -> Vec<KernelLaunch> {
+        vec![KernelLaunch::kernel(
+            format!("{}_bwd", self.name),
+            KernelCategory::Elementwise,
+            self.fused_cost(inputs, |s, i, o| s.op.backward_launches(i, o)),
+        )]
+    }
+
+    fn saved_bytes(&self, inputs: &[&Shape], _output: &Shape) -> u64 {
+        // Interior outputs (everything but the host) are saved verbatim.
+        match self.step_shapes(inputs) {
+            Ok(mut shapes) => {
+                shapes.pop();
+                shapes.iter().map(|s| s.num_bytes() as u64).sum()
+            }
+            Err(_) => 0,
+        }
+    }
+
+    fn input_differentiable(&self, index: usize) -> bool {
+        self.differentiable.get(index).copied().unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tiny constituent: y = a * b (stashes inputs, like `Mul`).
+    #[derive(Debug)]
+    struct TestMul;
+    impl Operator for TestMul {
+        fn name(&self) -> &str {
+            "mul"
+        }
+        fn category(&self) -> KernelCategory {
+            KernelCategory::Elementwise
+        }
+        fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape> {
+            Ok(inputs[0].clone())
+        }
+        fn forward(&self, inputs: &[&Tensor]) -> Result<(Tensor, Saved)> {
+            let mut y = inputs[0].clone();
+            for (v, b) in y.data_mut().iter_mut().zip(inputs[1].data()) {
+                *v *= *b;
+            }
+            Ok((y, Vec::new()))
+        }
+        fn backward(
+            &self,
+            inputs: &[Option<&Tensor>],
+            _output: Option<&Tensor>,
+            _saved: &[Tensor],
+            dy: &Tensor,
+        ) -> Result<Vec<Option<Tensor>>> {
+            let a = inputs[0].expect("stashes inputs");
+            let b = inputs[1].expect("stashes inputs");
+            let mut da = dy.clone();
+            for (v, x) in da.data_mut().iter_mut().zip(b.data()) {
+                *v *= *x;
+            }
+            let mut db = dy.clone();
+            for (v, x) in db.data_mut().iter_mut().zip(a.data()) {
+                *v *= *x;
+            }
+            Ok(vec![Some(da), Some(db)])
+        }
+        fn stash(&self) -> StashNeeds {
+            StashNeeds::INPUTS
+        }
+        fn forward_launches(&self, _i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+            vec![KernelLaunch::kernel(
+                "mul",
+                KernelCategory::Elementwise,
+                KernelCost::elementwise(o.num_elements(), 3),
+            )]
+        }
+        fn backward_launches(&self, i: &[&Shape], o: &Shape) -> Vec<KernelLaunch> {
+            self.forward_launches(i, o)
+        }
+    }
+
+    #[test]
+    fn fused_chain_matches_serial_bits() {
+        // y = (a*b) * a — interior (a*b), host mul; `a` feeds both steps.
+        let group = FusedGroup::new(
+            "fused_test",
+            vec![
+                FusedStep {
+                    op: Arc::new(TestMul),
+                    inputs: vec![FusedInput::External(0), FusedInput::External(1)],
+                    name: "ab".to_string(),
+                },
+                FusedStep {
+                    op: Arc::new(TestMul),
+                    inputs: vec![FusedInput::Interior(0), FusedInput::External(0)],
+                    name: "y".to_string(),
+                },
+            ],
+            2,
+        );
+        let a = Tensor::from_fn(Shape::d1(4), |i| 0.3 + i as f32 * 0.7);
+        let b = Tensor::from_fn(Shape::d1(4), |i| 1.1 - i as f32 * 0.2);
+        let (y, saved) = group.forward(&[&a, &b]).unwrap();
+        assert_eq!(saved.len(), 1);
+        // Serial reference.
+        let (ab, _) = TestMul.forward(&[&a, &b]).unwrap();
+        let (y_ref, _) = TestMul.forward(&[&ab, &a]).unwrap();
+        assert_eq!(y.data(), y_ref.data());
+
+        let dy = Tensor::from_fn(Shape::d1(4), |i| 0.9 - i as f32 * 0.1);
+        let grads = group
+            .backward(&[Some(&a), Some(&b)], Some(&y), &saved, &dy)
+            .unwrap();
+        // Serial reference backward, interpreter discipline: host first
+        // (descending), contributions stored-then-axpy'd.
+        let host = TestMul
+            .backward(&[Some(&ab), Some(&a)], None, &[], &dy)
+            .unwrap();
+        let d_ab = host[0].clone().unwrap();
+        let mut da = host[1].clone().unwrap(); // first contribution: stored
+        let inner = TestMul
+            .backward(&[Some(&a), Some(&b)], None, &[], &d_ab)
+            .unwrap();
+        da.axpy(1.0, inner[0].as_ref().unwrap()).unwrap(); // second: axpy
+        let db = inner[1].clone().unwrap();
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(grads[0].as_ref().unwrap()), bits(&da));
+        assert_eq!(bits(grads[1].as_ref().unwrap()), bits(&db));
+    }
+
+    #[test]
+    fn fused_group_declares_one_launch_and_reserve_bytes() {
+        let group = FusedGroup::new(
+            "fused_test",
+            vec![
+                FusedStep {
+                    op: Arc::new(TestMul),
+                    inputs: vec![FusedInput::External(0), FusedInput::External(1)],
+                    name: "ab".to_string(),
+                },
+                FusedStep {
+                    op: Arc::new(TestMul),
+                    inputs: vec![FusedInput::Interior(0), FusedInput::External(0)],
+                    name: "y".to_string(),
+                },
+            ],
+            2,
+        );
+        let s = Shape::d1(4);
+        assert_eq!(group.forward_launches(&[&s, &s], &s).len(), 1);
+        assert_eq!(group.backward_launches(&[&s, &s], &s).len(), 1);
+        assert_eq!(group.saved_bytes(&[&s, &s], &s), 16);
+        assert_eq!(group.launches_saved(), 1);
+        assert!(group.stash().inputs);
+        assert!(!group.stash().output);
+    }
+}

@@ -1,0 +1,82 @@
+//! Layout selection over the GIR.
+//!
+//! Generalises the old single recurrent-FC binary layout choice: any
+//! operator may advertise alternative implementations via
+//! [`layout_variants`](crate::Operator::layout_variants) — bit-identical
+//! numerics, different kernel launches (weight layouts, tiling schemes,
+//! fused vs split gate GEMMs). The pass replays each candidate's forward
+//! plus backward launches through a throwaway device simulator and keeps
+//! the cheapest, so the choice is driven by the same cost model the
+//! launch-level IR is scheduled against.
+
+use super::{Gir, Rewrite};
+use crate::graph::NodeKind;
+use crate::op::{KernelLaunch, LaunchSpec, Operator};
+use crate::Result;
+use echo_device::{DeviceSim, DeviceSpec};
+use echo_tensor::Shape;
+use std::sync::Arc;
+
+/// Replaces live operators with their cheapest advertised layout variant,
+/// scored on the device simulator. Returns the number of swaps.
+///
+/// # Errors
+///
+/// Returns an error when a swapped variant fails to re-infer shapes —
+/// a violation of the bit-identical-variants contract.
+pub fn select_layouts(gir: &mut Gir) -> Result<usize> {
+    let graph = Arc::clone(gir.graph());
+    let mask = gir.live_mask();
+    let mut rewrites: Vec<Rewrite> = Vec::new();
+    for node in graph.nodes() {
+        if !mask[node.id.index()] {
+            continue;
+        }
+        let NodeKind::Op { op, inputs } = &node.kind else {
+            continue;
+        };
+        let variants = op.layout_variants();
+        if variants.is_empty() {
+            continue;
+        }
+        let in_shapes: Vec<&Shape> = inputs.iter().map(|&i| gir.shape(i)).collect();
+        let out = gir.shape(node.id);
+        let incumbent = score(op.as_ref(), &in_shapes, out);
+        let best = variants
+            .into_iter()
+            .map(|v| (score(v.as_ref(), &in_shapes, out), v))
+            .min_by_key(|(ns, _)| *ns);
+        if let Some((ns, v)) = best {
+            if ns < incumbent {
+                rewrites.push(Rewrite {
+                    id: node.id,
+                    op: v,
+                    inputs: inputs.clone(),
+                });
+            }
+        }
+    }
+    let swapped = rewrites.len();
+    gir.apply_rewrites(rewrites)?;
+    Ok(swapped)
+}
+
+/// Simulated nanoseconds for one forward + backward execution of `op`.
+fn score(op: &dyn Operator, inputs: &[&Shape], output: &Shape) -> u64 {
+    let mut sim = DeviceSim::new(DeviceSpec::titan_xp());
+    let mut replay = |launches: Vec<KernelLaunch>| {
+        for l in launches {
+            match l.spec {
+                LaunchSpec::Kernel(cost) => {
+                    sim.launch(&l.name, l.category, cost);
+                }
+                LaunchSpec::Gemm(spec) => {
+                    sim.launch_gemm(&l.name, &spec);
+                }
+            }
+        }
+    };
+    replay(op.forward_launches(inputs, output));
+    replay(op.backward_launches(inputs, output));
+    sim.elapsed_ns()
+}

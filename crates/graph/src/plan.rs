@@ -661,6 +661,17 @@ impl ExecPlan {
             .sum()
     }
 
+    /// Kernel launches in the forward launch table alone — the quantity
+    /// fusion shrinks (the backward table shrinks with it, but the
+    /// forward table is the figure the launch-overhead gate tracks).
+    pub fn forward_launch_count(&self) -> usize {
+        self.ops
+            .iter()
+            .flatten()
+            .map(|t| t.fwd_launches.len())
+            .sum()
+    }
+
     /// Whether the plan schedules a backward pass.
     pub fn training(&self) -> bool {
         self.training

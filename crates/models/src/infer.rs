@@ -19,6 +19,7 @@
 //! crate's integration tests assert this for every matmul policy.
 
 use crate::word_lm::WordLmHyper;
+use echo_graph::gir::{common_subexpr_elim, fuse_elementwise_chains, fuse_lstm_cells, Gir};
 use echo_graph::{ExecOptions, ExecPlan, Executor, Graph, NodeId, Result};
 use echo_memory::LayerKind;
 use echo_ops::{Embedding, FullyConnected};
@@ -179,6 +180,52 @@ impl WordLmDecoder {
             bindings.insert(io.c0, Tensor::zeros(Shape::d2(batch, self.hyper.hidden)));
         }
         bindings
+    }
+
+    /// Shapes of every parameter node — what the GIR front end needs to
+    /// lift the decode graph without binding parameter values.
+    pub fn param_shapes(&self) -> HashMap<NodeId, Shape> {
+        let h = self.hyper;
+        let mut out = HashMap::new();
+        out.insert(self.embed_table, Shape::d2(h.vocab, h.embed));
+        out.insert(self.out_w, Shape::d2(h.vocab, h.hidden));
+        out.insert(self.out_b, Shape::d1(h.vocab));
+        for (id, shape) in self.stack.param_shapes() {
+            out.insert(id, shape);
+        }
+        out
+    }
+
+    /// The decode graph after the forward-only GIR pipeline: merging CSE
+    /// (safe in inference, where no gradient accumulation can be
+    /// re-associated), LSTM-cell fusion, and elementwise-chain fusion.
+    ///
+    /// Node ids survive the rewrite, so [`symbolic_bindings`]
+    /// (Self::symbolic_bindings), [`bind_params`](Self::bind_params),
+    /// [`outputs`](Self::outputs) and the session-state node ids all
+    /// transfer unchanged, and fused execution is bit-identical to the
+    /// original graph. Decode batch size does not affect which groups
+    /// form, so one fused graph serves every batch size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference or rewrite failures from the passes.
+    pub fn fused_graph(&self) -> Result<Arc<Graph>> {
+        let binding_shapes: HashMap<NodeId, Shape> = self
+            .symbolic_bindings(1)
+            .iter()
+            .map(|(&id, t)| (id, t.shape().clone()))
+            .collect();
+        let mut gir = Gir::from_graph(
+            Arc::clone(&self.graph),
+            &binding_shapes,
+            &self.param_shapes(),
+            &self.outputs,
+        )?;
+        common_subexpr_elim(&mut gir, true)?;
+        fuse_lstm_cells(&mut gir)?;
+        fuse_elementwise_chains(&mut gir)?;
+        Ok(Arc::clone(gir.graph()))
     }
 
     /// Compiles and installs an inference-mode execution plan for decode

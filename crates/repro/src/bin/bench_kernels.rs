@@ -22,6 +22,14 @@
 //!   plus step timing on NMT with each plan installed; with `--gate`,
 //!   fail unless the searched NMT peak is strictly below the heuristic's
 //!   at ≤ 1.15× its step time.
+//! * `--fusion` — compile the word-LM (`Default` backend) with the GIR
+//!   pipeline's CSE + fusion passes on and off, record forward/total
+//!   launch-table lengths and the device-sim step-time delta (per-launch
+//!   framework overhead makes the launch cut visible as wall time), and
+//!   write the per-pass traces to `REPORT_passes.json`; with `--gate`,
+//!   fail unless the fused forward launch table is strictly shorter than
+//!   the unfused one. Fused and unfused loss bits must match
+//!   unconditionally.
 //! * `--threads` — re-invoke this binary as a subprocess under
 //!   `ECHO_NUM_THREADS` ∈ {1, 2, 4} (the worker pool is sized once per
 //!   process, so each thread count needs a fresh process) and record the
@@ -39,8 +47,9 @@
 //! {1, 2, 4, 8} and end-to-end losses across policies) — a benchmark
 //! that silently changed numerics would be worse than a slow one.
 
-use echo::{EchoCompiler, EchoConfig, SearchReport, StashSelection};
+use echo::{EchoCompiler, EchoConfig, PassTrace, SearchReport, StashSelection};
 use echo_data::{BpttBatches, LmCorpus, NmtBatch, ParallelCorpus, Vocab};
+use echo_device::{DeviceSim, DeviceSpec};
 use echo_graph::{ExecOptions, Executor, Graph, NodeId, StashPlan};
 use echo_memory::{DeviceMemory, LayerKind};
 use echo_models::{NmtHyper, NmtModel, Sgd, Speedometer, WordLm, WordLmHyper};
@@ -672,12 +681,90 @@ fn search_bench_nmt(steps: usize) -> SearchStepBench {
     }
 }
 
+/// Fused-vs-unfused word-LM on the `Default` backend — the many-op cell
+/// graph the GIR fusion passes rewrite. Captures launch-table lengths,
+/// simulated step times (with per-launch framework overhead, so the
+/// launch-count cut shows up as wall time), and the fused pipeline's
+/// per-pass traces.
+struct FusionBench {
+    unfused_fwd_launches: usize,
+    fused_fwd_launches: usize,
+    unfused_launches: usize,
+    fused_launches: usize,
+    unfused_sim_ns: u64,
+    fused_sim_ns: u64,
+    passes: Vec<PassTrace>,
+}
+
+fn fusion_bench() -> FusionBench {
+    let hyper = WordLmHyper {
+        vocab: 500,
+        embed: 128,
+        hidden: 256,
+        layers: 1,
+        seq_len: 16,
+        backend: LstmBackend::Default,
+    };
+    let lm = WordLm::build(hyper);
+    let corpus = LmCorpus::synthetic(Vocab::new(500), 6000, 0.9, 5);
+    let batch = BpttBatches::new(corpus.tokens(), 16, lm.hyper.seq_len)
+        .next()
+        .expect("batch");
+    let bindings = lm.bindings(&batch);
+
+    let run = |fusion: bool| {
+        let compiled = EchoCompiler::new(EchoConfig {
+            fusion,
+            cse: fusion,
+            ..EchoConfig::default()
+        })
+        .compile(&lm.graph, &bindings, &lm.param_shapes(), &[lm.loss])
+        .expect("compile");
+        let mut exec = Executor::new(Arc::clone(&lm.graph), StashPlan::stash_all(), mem());
+        lm.bind_params(&mut exec, 3).expect("bind");
+        if let Some(graph) = &compiled.graph {
+            exec.set_graph(Arc::clone(graph)).expect("set graph");
+        }
+        exec.set_plan(compiled.plan.clone());
+        let exec_plan = Arc::clone(compiled.exec_plan.as_ref().expect("lowered plan"));
+        exec.set_exec_plan(Arc::clone(&exec_plan)).expect("install");
+        let mut sim = DeviceSim::new(DeviceSpec::titan_xp());
+        sim.set_op_overhead_ns(echo_repro::FRAMEWORK_OP_OVERHEAD_NS);
+        let stats = exec
+            .train_step(&bindings, lm.loss, ExecOptions::default(), Some(&mut sim))
+            .expect("train step");
+        (
+            exec_plan.forward_launch_count(),
+            exec_plan.launch_count(),
+            sim.elapsed_ns(),
+            stats.loss.expect("loss").to_bits(),
+            compiled.report.passes,
+        )
+    };
+    let (unfused_fwd, unfused_all, unfused_ns, unfused_bits, _) = run(false);
+    let (fused_fwd, fused_all, fused_ns, fused_bits, passes) = run(true);
+    assert_eq!(
+        fused_bits, unfused_bits,
+        "fused word_lm loss diverged from unfused — fusion numerics bug"
+    );
+    FusionBench {
+        unfused_fwd_launches: unfused_fwd,
+        fused_fwd_launches: fused_fwd,
+        unfused_launches: unfused_all,
+        fused_launches: fused_all,
+        unfused_sim_ns: unfused_ns,
+        fused_sim_ns: fused_ns,
+        passes,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let gate = args.iter().any(|a| a == "--gate");
     let plan = args.iter().any(|a| a == "--plan");
     let search = args.iter().any(|a| a == "--search");
+    let fusion = args.iter().any(|a| a == "--fusion");
     let threads_mode = args.iter().any(|a| a == "--threads");
     if args.iter().any(|a| a == "--threads-worker") {
         threads_worker(quick);
@@ -1022,6 +1109,115 @@ fn main() {
         }
     }
 
+    // ---- GIR fusion pipeline (--fusion) -------------------------------
+    let mut fusion_json = serde_json::Value::Null;
+    if fusion {
+        let fb = fusion_bench();
+        echo_repro::print_table(
+            "GIR fusion on word_lm (Default backend)",
+            &["metric", "unfused", "fused", "delta"],
+            &[
+                vec![
+                    "forward launches".into(),
+                    fb.unfused_fwd_launches.to_string(),
+                    fb.fused_fwd_launches.to_string(),
+                    format!(
+                        "-{:.0}%",
+                        100.0
+                            * (1.0 - fb.fused_fwd_launches as f64 / fb.unfused_fwd_launches as f64)
+                    ),
+                ],
+                vec![
+                    "total launches".into(),
+                    fb.unfused_launches.to_string(),
+                    fb.fused_launches.to_string(),
+                    format!(
+                        "-{:.0}%",
+                        100.0 * (1.0 - fb.fused_launches as f64 / fb.unfused_launches as f64)
+                    ),
+                ],
+                vec![
+                    "sim step (launch overhead) us".into(),
+                    format!("{:.0}", fb.unfused_sim_ns as f64 / 1e3),
+                    format!("{:.0}", fb.fused_sim_ns as f64 / 1e3),
+                    format!(
+                        "-{:.0}%",
+                        100.0 * (1.0 - fb.fused_sim_ns as f64 / fb.unfused_sim_ns as f64)
+                    ),
+                ],
+            ],
+        );
+        let passes_json: Vec<_> = fb
+            .passes
+            .iter()
+            .map(|p| {
+                json!({
+                    "pass": p.pass,
+                    "rewrites": p.rewrites,
+                    "live_ops_before": p.live_ops_before,
+                    "live_ops_after": p.live_ops_after,
+                    "fwd_launches_before": p.fwd_launches_before,
+                    "fwd_launches_after": p.fwd_launches_after,
+                    "fwd_flops_before": p.fwd_flops_before,
+                    "fwd_flops_after": p.fwd_flops_after,
+                    "live_bytes_before": p.live_bytes_before,
+                    "live_bytes_after": p.live_bytes_after,
+                    "wall_us": p.wall_us,
+                    "bit_exact": p.bit_exact,
+                    "equivalence_ok": p.equivalence_ok,
+                })
+            })
+            .collect();
+        fusion_json = json!({
+            "model": "word_lm_default",
+            "forward_launches": {
+                "unfused": fb.unfused_fwd_launches,
+                "fused": fb.fused_fwd_launches,
+            },
+            "total_launches": {
+                "unfused": fb.unfused_launches,
+                "fused": fb.fused_launches,
+            },
+            "device_sim_step_ns": {
+                "unfused": fb.unfused_sim_ns,
+                "fused": fb.fused_sim_ns,
+                "launch_overhead_delta_ns":
+                    fb.unfused_sim_ns.saturating_sub(fb.fused_sim_ns),
+            },
+            "loss_bits_identical": true,
+            "passes": passes_json.clone(),
+        });
+        if gate {
+            assert!(
+                fb.fused_fwd_launches < fb.unfused_fwd_launches,
+                "fusion gate: fused word_lm forward launch table ({}) not strictly \
+                 below unfused ({})",
+                fb.fused_fwd_launches,
+                fb.unfused_fwd_launches
+            );
+            println!(
+                "fusion gate passed: {} < {} forward launches",
+                fb.fused_fwd_launches, fb.unfused_fwd_launches
+            );
+        }
+        // The per-pass report is its own artifact so CI can surface what
+        // each pipeline stage did without digging through the bench blob.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("repo root");
+        let path = root.join("REPORT_passes.json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(
+                &json!({ "harness": "bench_kernels --fusion", "passes": passes_json }),
+            )
+            .expect("json"),
+        )
+        .expect("write REPORT_passes.json");
+        println!("wrote {}", path.display());
+    }
+
     let autotune = echo_tensor::policy::autotune_outcome().map(|o| {
         json!({
             "chosen": o.chosen.name(),
@@ -1051,6 +1247,7 @@ fn main() {
         },
         "plan": plan_json,
         "search": search_json,
+        "fusion": fusion_json,
         "train_steps": {
             "word_lm": {
                 "naive_ms": lm_naive_ms,

@@ -50,6 +50,10 @@ pub struct ServeConfig {
     /// Install inference-mode execution plans (`false` = always use the
     /// legacy interpreter; results are bit-identical either way).
     pub plan: bool,
+    /// Serve the fused decode graph ([`WordLmDecoder::fused_graph`]):
+    /// the GIR pipeline's CSE + fusion passes shrink the per-step launch
+    /// table, bit-identically to the unfused graph.
+    pub fuse: bool,
     /// Simulated device capacity per replica.
     pub mem_bytes: u64,
 }
@@ -63,6 +67,7 @@ impl Default for ServeConfig {
             workers: 1,
             session_capacity: 256,
             plan: true,
+            fuse: false,
             mem_bytes: 4 << 30,
         }
     }
@@ -244,7 +249,14 @@ impl Engine {
         let exec_err = |e: echo_graph::GraphError| ServeError::Exec(e.to_string());
         let decoder = Arc::new(WordLmDecoder::build(hyper));
         let mem = || DeviceMemory::with_overhead_model(config.mem_bytes, 0, 0.0);
-        let mut proto = Executor::new(Arc::clone(&decoder.graph), StashPlan::stash_all(), mem());
+        // Node ids survive the fusion rewrite, so every decoder node id
+        // (bindings, outputs, session state) works against either graph.
+        let graph = if config.fuse {
+            decoder.fused_graph().map_err(exec_err)?
+        } else {
+            Arc::clone(&decoder.graph)
+        };
+        let mut proto = Executor::new(graph, StashPlan::stash_all(), mem());
         decoder.bind_params(&mut proto, seed).map_err(exec_err)?;
 
         let mut plans = Vec::new();

@@ -9,7 +9,9 @@
 //! hand-built GRU chain, the planned path is **bit-identical** to legacy in
 //! loss, every exported gradient, and replay counts — and the plan's static
 //! `planned_peak_bytes` never exceeds the peak the legacy interpreter
-//! actually touched.
+//! actually touched. A second sweep adds the fusion axis: the pass-pipeline
+//! rewritten word LM must stay bit-identical to its unfused twin across
+//! {stash-all, Echo, searched} plans and every matmul policy.
 //!
 //! One `#[test]`, not several: the matmul policy is process-global state
 //! and the harness runs `#[test]`s concurrently, so the sweep must iterate
@@ -95,7 +97,11 @@ impl Scenario {
 }
 
 fn word_lm_scenario() -> Scenario {
-    let lm = WordLm::build(WordLmHyper::tiny(30, LstmBackend::CuDnn));
+    word_lm_scenario_on("word-lm", LstmBackend::CuDnn)
+}
+
+fn word_lm_scenario_on(name: &'static str, backend: LstmBackend) -> Scenario {
+    let lm = WordLm::build(WordLmHyper::tiny(30, backend));
     let corpus = LmCorpus::synthetic(Vocab::new(30), 1200, 0.85, 5);
     let batch = BpttBatches::new(corpus.tokens(), LANES, lm.hyper.seq_len)
         .next()
@@ -109,7 +115,7 @@ fn word_lm_scenario() -> Scenario {
     );
     lm.bind_params(&mut probe, PARAM_SEED).expect("bind");
     Scenario {
-        name: "word-lm",
+        name,
         graph: Arc::clone(&lm.graph),
         loss: lm.loss,
         params: probe.export_params(),
@@ -239,6 +245,86 @@ fn planned_execution_is_bit_identical_across_plans_and_matmul_policies() {
                     legacy.peak_bytes
                 );
             }
+        }
+    }
+
+    // Fusion sweep: {fusion on, fusion off} × {stash-all, Echo, searched}
+    // × every matmul policy, on the word LM's `Default` backend — the
+    // many-op cell graph the fusion passes actually rewrite. Within each
+    // cell the planned path must match legacy bit-for-bit in loss,
+    // gradients and replays; *across* the fusion axis loss and gradient
+    // bits must be identical too, because the fusion admission rules only
+    // absorb a producer where the gradient accumulation order is provably
+    // preserved. Node ids survive the rewrite, so params and bindings
+    // transfer unchanged. (Chen-√N stays in the main sweep above: its
+    // stride heuristic is not meaningful on a fusion-rewritten graph.)
+    let unfused = word_lm_scenario_on("word-lm-default", LstmBackend::Default);
+    let compiled = EchoCompiler::new(EchoConfig {
+        fusion: true,
+        cse: true,
+        ..EchoConfig::default()
+    })
+    .compile(
+        &unfused.graph,
+        &unfused.bindings,
+        &unfused.param_shapes(),
+        &[unfused.loss],
+    )
+    .expect("fused compile");
+    let fused = Scenario {
+        name: "word-lm-fused",
+        graph: compiled
+            .graph
+            .clone()
+            .expect("fusion rewrites the Default-backend word LM"),
+        loss: unfused.loss,
+        params: unfused.params.clone(),
+        bindings: unfused.bindings.clone(),
+    };
+    let sweep_plans = |s: &Scenario| -> Vec<(&'static str, StashPlan)> {
+        s.stash_plans()
+            .into_iter()
+            .filter(|(name, _)| *name != "chen-sqrt-n")
+            .collect()
+    };
+    let unfused_plans = sweep_plans(&unfused);
+    let fused_plans = sweep_plans(&fused);
+    for ((plan_name, u_stash), (f_name, f_stash)) in unfused_plans.iter().zip(&fused_plans) {
+        assert_eq!(
+            plan_name, f_name,
+            "plan sets aligned across the fusion axis"
+        );
+        for &policy in &policies {
+            set_matmul_policy(policy);
+            let ctx = format!("fusion-sweep/{plan_name}/{policy:?}");
+            for (variant, scenario, stash) in
+                [("unfused", &unfused, u_stash), ("fused", &fused, f_stash)]
+            {
+                let (legacy, _) = run_step(scenario, stash, false);
+                let (planned, _) = run_step(scenario, stash, true);
+                assert_eq!(
+                    planned.loss_bits, legacy.loss_bits,
+                    "loss bits ({ctx}/{variant})"
+                );
+                assert_eq!(
+                    planned.grad_bits, legacy.grad_bits,
+                    "gradient bits ({ctx}/{variant})"
+                );
+                assert_eq!(
+                    planned.replays, legacy.replays,
+                    "replay counts ({ctx}/{variant})"
+                );
+            }
+            let (u_run, _) = run_step(&unfused, u_stash, true);
+            let (f_run, _) = run_step(&fused, f_stash, true);
+            assert_eq!(
+                f_run.loss_bits, u_run.loss_bits,
+                "fused loss bits diverge from unfused ({ctx})"
+            );
+            assert_eq!(
+                f_run.grad_bits, u_run.grad_bits,
+                "fused gradient bits diverge from unfused ({ctx})"
+            );
         }
     }
     set_matmul_policy(MatmulPolicy::Auto);
