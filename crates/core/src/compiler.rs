@@ -4,7 +4,10 @@ use crate::analysis::{infer_shapes_from, ShapeTable};
 use crate::oshape::{build_plan, find_segments, OshapeConfig, SegmentInfo};
 use crate::pipeline::{run_structural_passes, stage_trace, PipelineMode};
 use crate::search::{SearchConfig, SearchReport, StashSearch};
-use echo_graph::{ExecOptions, ExecPlan, Graph, GraphError, NodeId, PassTrace, StashPlan};
+use echo_graph::{
+    partition_stages, ExecOptions, ExecPlan, Graph, GraphError, NodeId, PassTrace, StagePartition,
+    StashPlan,
+};
 use echo_tensor::{Shape, Tensor};
 use std::collections::HashMap;
 use std::fmt;
@@ -97,6 +100,12 @@ pub struct EchoConfig {
     /// Pretty-print the GIR before the pipeline and after each pass that
     /// changed it (also enabled by the `ECHO_DUMP_IR` env var).
     pub dump_ir: bool,
+    /// Partition the graph into this many pipeline stages after the
+    /// structural passes (GPipe-style model parallelism; `1` disables).
+    /// The partition is returned in [`CompiledPlan::partition`] and
+    /// summarized in [`PassReport::stages`]; cuts never split a
+    /// parameter's consumer span or a protected interface.
+    pub pipeline_stages: usize,
 }
 
 impl Default for EchoConfig {
@@ -110,6 +119,7 @@ impl Default for EchoConfig {
             cse: false,
             layout_select: false,
             dump_ir: false,
+            pipeline_stages: 1,
         }
     }
 }
@@ -138,6 +148,21 @@ pub struct SegmentReport {
     pub pool: usize,
 }
 
+/// Per-pipeline-stage metrics recorded when
+/// [`EchoConfig::pipeline_stages`] > 1.
+#[derive(Debug, Clone)]
+pub struct StageSummary {
+    /// Stage index in `0..P`.
+    pub index: usize,
+    /// Operator nodes owned by the stage.
+    pub ops: usize,
+    /// Parameters owned by the stage.
+    pub params: usize,
+    /// Activation bytes sent across the cut to the next stage (0 for the
+    /// last stage).
+    pub send_bytes: u64,
+}
+
 /// What the pass did, with enough detail for EXPERIMENTS.md tables.
 #[derive(Debug, Clone, Default)]
 pub struct PassReport {
@@ -158,6 +183,9 @@ pub struct PassReport {
     /// count, live-cone metric deltas, wall time and the result of the
     /// structural equivalence check.
     pub passes: Vec<PassTrace>,
+    /// Per-stage metrics of the pipeline partition, when one was
+    /// requested ([`EchoConfig::pipeline_stages`] > 1).
+    pub stages: Vec<StageSummary>,
 }
 
 impl PassReport {
@@ -222,6 +250,16 @@ impl fmt::Display for PassReport {
                 s.boundary_bytes >> 10
             )?;
         }
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  stage {}: {} ops, {} params, {} KiB cut",
+                s.index,
+                s.ops,
+                s.params,
+                s.send_bytes >> 10,
+            )?;
+        }
         for p in &self.passes {
             writeln!(
                 f,
@@ -262,6 +300,11 @@ pub struct CompiledPlan {
     /// [`EchoCompiler::attach`] does so automatically. `None` means the
     /// caller's graph is untouched.
     pub graph: Option<Arc<Graph>>,
+    /// The pipeline-stage partition, when [`EchoConfig::pipeline_stages`]
+    /// exceeds 1 and compilation ran a training pipeline. Built over the
+    /// final (possibly rewritten) graph, so its stage graphs are
+    /// consistent with [`CompiledPlan::graph`].
+    pub partition: Option<StagePartition>,
 }
 
 /// The Echo compiler.
@@ -353,6 +396,36 @@ impl EchoCompiler {
         let graph_r = Arc::clone(fe.gir.graph());
         let mut passes = fe.passes;
 
+        // Pipeline-stage partitioning runs on the final IR, before stash
+        // selection: the partition depends only on the graph structure,
+        // and the per-stage stash plans are later derived from whatever
+        // plan this compilation produces
+        // ([`StagePartition::stage_plans`]).
+        let mut partition = None;
+        let mut stage_summaries = Vec::new();
+        if self.config.pipeline_stages > 1 {
+            let start = Instant::now();
+            let part = partition_stages(&fe.gir, self.config.pipeline_stages)?;
+            let cut_bytes = part.cut_bytes();
+            stage_summaries = part
+                .stages()
+                .iter()
+                .map(|sp| StageSummary {
+                    index: sp.index,
+                    ops: sp.owned_ops(),
+                    params: sp.params.len(),
+                    send_bytes: cut_bytes.get(sp.index).copied().unwrap_or(0),
+                })
+                .collect();
+            passes.push(stage_trace(
+                &fe.gir,
+                "stage-partition",
+                self.config.pipeline_stages,
+                start.elapsed().as_secs_f64() * 1e6,
+            ));
+            partition = Some(part);
+        }
+
         // Stash-selection stage. The exact-cost search needs a target (it
         // scores candidates by their lowered plans, so selection and
         // lowering run together inside it); without one it falls back to
@@ -388,11 +461,13 @@ impl EchoCompiler {
                 start.elapsed().as_secs_f64() * 1e6,
             ));
             report.passes = passes;
+            report.stages = stage_summaries;
             return Ok(CompiledPlan {
                 plan: outcome.plan,
                 report,
                 exec_plan: Some(outcome.exec_plan),
                 graph: fe.rewritten.then_some(graph_r),
+                partition,
             });
         }
         let (plan, mut report) = if self.config.recompute {
@@ -433,11 +508,13 @@ impl EchoCompiler {
             exec_plan = Some(Arc::new(lowered));
         }
         report.passes = passes;
+        report.stages = stage_summaries;
         Ok(CompiledPlan {
             plan,
             report,
             exec_plan,
             graph: fe.rewritten.then_some(graph_r),
+            partition,
         })
     }
 
@@ -544,6 +621,7 @@ impl EchoCompiler {
             report,
             exec_plan: Some(Arc::new(exec_plan)),
             graph: fe.rewritten.then_some(graph_r),
+            partition: None,
         })
     }
 
@@ -631,6 +709,7 @@ impl EchoCompiler {
             report,
             exec_plan: None,
             graph: fe.rewritten.then_some(graph_r),
+            partition: None,
         }
     }
 
@@ -653,6 +732,7 @@ impl EchoCompiler {
             slot_count: None,
             search: None,
             passes: Vec::new(),
+            stages: Vec::new(),
         }
     }
 }

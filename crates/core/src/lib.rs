@@ -51,7 +51,8 @@ pub mod search;
 pub use analysis::ShapeTable;
 pub use baselines::{chen_sqrt_plan, sqrt_stride, ChenReport};
 pub use compiler::{
-    CompiledPlan, EchoCompiler, EchoConfig, EchoError, PassReport, SegmentReport, StashSelection,
+    CompiledPlan, EchoCompiler, EchoConfig, EchoError, PassReport, SegmentReport, StageSummary,
+    StashSelection,
 };
 pub use oshape::{OshapeConfig, SegmentInfo};
 pub use pipeline::PipelineMode;

@@ -26,6 +26,7 @@ pub mod vocab;
 pub use batch::{BpttBatches, LmBatch, NmtBatch};
 pub use lm::LmCorpus;
 pub use parallel::{
-    shard_lm_batch, slice_lm_lanes, MicrobatchPlan, ParallelCorpus, SentencePair, Sharding,
+    shard_lm_batch, slice_lm_lanes, slice_nmt_lanes, MicrobatchPlan, ParallelCorpus,
+    PipelineSchedule, ScheduleEntry, SentencePair, Sharding,
 };
 pub use vocab::{Vocab, BOS, EOS, PAD, UNK};

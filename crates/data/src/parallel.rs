@@ -2,7 +2,7 @@
 //! standing in for IWSLT15 English–Vietnamese, and the batch-sharding
 //! layer that carves global batches across data-parallel replicas.
 
-use crate::batch::LmBatch;
+use crate::batch::{LmBatch, NmtBatch};
 use crate::vocab::{Vocab, NUM_SPECIAL};
 use echo_tensor::{Shape, Tensor};
 use rand::rngs::StdRng;
@@ -93,6 +93,47 @@ pub fn slice_lm_lanes(batch: &LmBatch, lanes: std::ops::Range<usize>) -> LmBatch
     }
 }
 
+/// Extracts lanes `[lo, hi)` of an NMT batch as a standalone batch,
+/// mirroring [`slice_lm_lanes`] across all three time-major tensors
+/// (`[T_src, B]` source, `[T_tgt, B]` decoder input, flat `T_tgt·B`
+/// targets).
+///
+/// # Panics
+///
+/// Panics if the lane range is out of bounds.
+pub fn slice_nmt_lanes(batch: &NmtBatch, lanes: std::ops::Range<usize>) -> NmtBatch {
+    assert!(
+        lanes.start <= lanes.end && lanes.end <= batch.batch,
+        "lane range {lanes:?} out of bounds for batch {}",
+        batch.batch
+    );
+    let nb = lanes.len();
+    let slice_2d = |t_len: usize, src: &Tensor| {
+        let mut out = Tensor::zeros(Shape::d2(t_len, nb));
+        for t in 0..t_len {
+            for (out_lane, src_lane) in lanes.clone().enumerate() {
+                out.data_mut()[t * nb + out_lane] = src.data()[t * batch.batch + src_lane];
+            }
+        }
+        out
+    };
+    let mut target_output = Tensor::zeros(Shape::d1(batch.tgt_len * nb));
+    for t in 0..batch.tgt_len {
+        for (out_lane, src_lane) in lanes.clone().enumerate() {
+            target_output.data_mut()[t * nb + out_lane] =
+                batch.target_output.data()[t * batch.batch + src_lane];
+        }
+    }
+    NmtBatch {
+        source: slice_2d(batch.src_len, &batch.source),
+        target_input: slice_2d(batch.tgt_len, &batch.target_input),
+        target_output,
+        batch: nb,
+        src_len: batch.src_len,
+        tgt_len: batch.tgt_len,
+    }
+}
+
 /// Shards an LM batch lane-wise across `parts` replicas (near-equal
 /// contiguous shards; empty shards when `parts` exceeds the lane count).
 pub fn shard_lm_batch(batch: &LmBatch, parts: usize) -> Vec<LmBatch> {
@@ -180,6 +221,28 @@ impl MicrobatchPlan {
             .collect()
     }
 
+    /// Cuts an NMT global batch into the plan's micro-batches, the
+    /// [`cut`](Self::cut) analogue over [`NmtBatch`] lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` does not have the planned lane count.
+    pub fn cut_nmt(&self, batch: &NmtBatch) -> Vec<NmtBatch> {
+        assert_eq!(
+            batch.batch,
+            self.micro * self.lanes_per_micro,
+            "batch does not match plan"
+        );
+        (0..self.micro)
+            .map(|m| {
+                slice_nmt_lanes(
+                    batch,
+                    m * self.lanes_per_micro..(m + 1) * self.lanes_per_micro,
+                )
+            })
+            .collect()
+    }
+
     /// The contiguous leaf span owned by `replica` of `replicas`.
     ///
     /// # Panics
@@ -195,6 +258,108 @@ impl MicrobatchPlan {
         assert!(replica < replicas, "replica {replica} of {replicas}");
         let per = self.micro / replicas;
         replica * per..(replica + 1) * per
+    }
+}
+
+/// One cell of a [`PipelineSchedule`]: at time `slot`, stage `stage`
+/// processes micro-batch `micro` in the given direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleEntry {
+    /// Discrete time slot (all stages advance in lock-step slots).
+    pub slot: usize,
+    /// Pipeline stage index.
+    pub stage: usize,
+    /// Micro-batch index.
+    pub micro: usize,
+    /// `false` for the forward pass, `true` for the backward pass.
+    pub backward: bool,
+}
+
+/// The GPipe fill–drain schedule over a [`MicrobatchPlan`]: all `M`
+/// micro-batches flow forward through the `P` stages, then flow backward
+/// in reverse stage order. Stage `s` runs micro `m` forward at slot
+/// `s + m` and backward at slot `(M + P - 1) + (P - 1 - s) + m`, giving a
+/// span of `2(M + P - 1)` slots, `2M` busy slots per stage, and exactly
+/// `2(P - 1)` idle ("bubble") slots per stage — the GPipe `P - 1` bound
+/// per pass.
+#[derive(Debug, Clone)]
+pub struct PipelineSchedule {
+    stages: usize,
+    micro: usize,
+    entries: Vec<ScheduleEntry>,
+}
+
+impl PipelineSchedule {
+    /// Builds the fill–drain schedule for `plan`'s micro-batches over
+    /// `stages` pipeline stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    pub fn gpipe(plan: &MicrobatchPlan, stages: usize) -> PipelineSchedule {
+        assert!(stages > 0, "at least one pipeline stage");
+        let micro = plan.micro();
+        let fwd_span = micro + stages - 1;
+        let mut entries = Vec::with_capacity(2 * micro * stages);
+        for m in 0..micro {
+            for s in 0..stages {
+                entries.push(ScheduleEntry {
+                    slot: s + m,
+                    stage: s,
+                    micro: m,
+                    backward: false,
+                });
+            }
+        }
+        for m in 0..micro {
+            for s in (0..stages).rev() {
+                entries.push(ScheduleEntry {
+                    slot: fwd_span + (stages - 1 - s) + m,
+                    stage: s,
+                    micro: m,
+                    backward: true,
+                });
+            }
+        }
+        entries.sort_by_key(|e| (e.slot, e.stage, e.backward));
+        PipelineSchedule {
+            stages,
+            micro,
+            entries,
+        }
+    }
+
+    /// Number of pipeline stages.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Number of micro-batches.
+    pub fn micro(&self) -> usize {
+        self.micro
+    }
+
+    /// All schedule entries, ordered by `(slot, stage)`.
+    pub fn entries(&self) -> &[ScheduleEntry] {
+        &self.entries
+    }
+
+    /// Total slots from first forward to last backward:
+    /// `2(M + P - 1)`.
+    pub fn span(&self) -> usize {
+        2 * (self.micro + self.stages - 1)
+    }
+
+    /// Busy slots per stage: `2M` (every stage touches every micro-batch
+    /// once per direction).
+    pub fn stage_busy(&self) -> usize {
+        2 * self.micro
+    }
+
+    /// Idle slots per stage — the fill/drain bubbles: `span - busy =
+    /// 2(P - 1)`, i.e. the GPipe `P - 1` bound in each direction.
+    pub fn bubbles_per_stage(&self) -> usize {
+        self.span() - self.stage_busy()
     }
 }
 

@@ -153,3 +153,91 @@ proptest! {
         prop_assert!(head > tail, "head {head} tail {tail}");
     }
 }
+
+proptest! {
+    /// GPipe schedule contract: every micro-batch visits stages in order
+    /// (ascending forward, descending backward, all forwards before its
+    /// backward), per-stage occupancy never exceeds one entry per slot,
+    /// and the per-stage bubble count matches the GPipe `P - 1` bound in
+    /// each direction.
+    #[test]
+    fn gpipe_schedule_is_well_formed(
+        micro_pow in 0u32..4, lanes_per in 1usize..4, stages in 1usize..6,
+    ) {
+        let micro = 1usize << micro_pow;
+        let plan = echo_data::MicrobatchPlan::new(micro * lanes_per, micro).unwrap();
+        let sched = echo_data::PipelineSchedule::gpipe(&plan, stages);
+        prop_assert_eq!(sched.entries().len(), 2 * micro * stages);
+
+        // Per-micro stage visit order.
+        for m in 0..micro {
+            let fwd: Vec<(usize, usize)> = sched.entries().iter()
+                .filter(|e| e.micro == m && !e.backward)
+                .map(|e| (e.slot, e.stage))
+                .collect();
+            let bwd: Vec<(usize, usize)> = sched.entries().iter()
+                .filter(|e| e.micro == m && e.backward)
+                .map(|e| (e.slot, e.stage))
+                .collect();
+            prop_assert_eq!(fwd.len(), stages);
+            prop_assert_eq!(bwd.len(), stages);
+            for w in fwd.windows(2) {
+                prop_assert!(w[0].0 < w[1].0 && w[0].1 + 1 == w[1].1, "forward order {fwd:?}");
+            }
+            for w in bwd.windows(2) {
+                prop_assert!(w[0].0 < w[1].0 && w[0].1 == w[1].1 + 1, "backward order {bwd:?}");
+            }
+            // All forwards strictly precede the first backward.
+            prop_assert!(fwd.last().unwrap().0 < bwd.first().unwrap().0);
+        }
+
+        // Per-(slot, stage) occupancy <= 1.
+        let mut seen = std::collections::HashSet::new();
+        for e in sched.entries() {
+            prop_assert!(seen.insert((e.slot, e.stage)), "stage {} double-booked at slot {}", e.stage, e.slot);
+        }
+
+        // Bubble accounting: span - busy = 2 (P - 1) per stage.
+        prop_assert_eq!(sched.span(), 2 * (micro + stages - 1));
+        prop_assert_eq!(sched.stage_busy(), 2 * micro);
+        prop_assert_eq!(sched.bubbles_per_stage(), 2 * (stages - 1));
+        for s in 0..stages {
+            let busy = sched.entries().iter().filter(|e| e.stage == s).count();
+            prop_assert_eq!(busy, sched.stage_busy());
+        }
+    }
+
+    /// NMT lane slicing loses no cell across any of the three tensors.
+    #[test]
+    fn nmt_lane_slices_are_faithful(pairs in 4usize..16, batch in 2usize..5, seed in 0u64..100) {
+        let corpus = ParallelCorpus::synthetic(Vocab::new(40), Vocab::new(30), pairs, 3..=7, seed);
+        for b in NmtBatch::bucketed(corpus.pairs(), batch) {
+            let lanes = b.batch;
+            for lo in 0..lanes {
+                for hi in lo..=lanes {
+                    let s = echo_data::slice_nmt_lanes(&b, lo..hi);
+                    prop_assert_eq!(s.batch, hi - lo);
+                    prop_assert_eq!((s.src_len, s.tgt_len), (b.src_len, b.tgt_len));
+                    for (i, lane) in (lo..hi).enumerate() {
+                        for t in 0..b.src_len {
+                            prop_assert_eq!(
+                                s.source.data()[t * s.batch + i],
+                                b.source.data()[t * b.batch + lane]
+                            );
+                        }
+                        for t in 0..b.tgt_len {
+                            prop_assert_eq!(
+                                s.target_input.data()[t * s.batch + i],
+                                b.target_input.data()[t * b.batch + lane]
+                            );
+                            prop_assert_eq!(
+                                s.target_output.data()[t * s.batch + i],
+                                b.target_output.data()[t * b.batch + lane]
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

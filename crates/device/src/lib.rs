@@ -40,6 +40,6 @@ pub mod sim;
 pub mod spec;
 
 pub use kernel::{KernelCategory, KernelCost};
-pub use scaling::{CommModel, ScalingPoint, ScalingReport};
+pub use scaling::{CommModel, PipelineModel, PipelineProjection, ScalingPoint, ScalingReport};
 pub use sim::{ApiStats, DeviceSim, KernelRecord, TraceSummary};
 pub use spec::DeviceSpec;

@@ -178,9 +178,189 @@ impl fmt::Display for ScalingReport {
     }
 }
 
+/// An analytical fill–drain pipeline model over measured (or simulated)
+/// per-stage costs — the communication-model counterpart of
+/// [`ScalingReport`] for GPipe-style stage parallelism.
+///
+/// The model mirrors the trainer's execution faithfully: during fill,
+/// every stage but the last forwards each micro-batch once and streams
+/// the cut activations downstream; during drain, *every* stage re-runs
+/// its forward inside the seeded stage backward (re-materialization), so
+/// the per-micro drain cost of stage `s` is `fwd[s] + bwd[s]`, and a
+/// stage only starts draining after its fill completes.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineModel {
+    /// Per-stage, per-micro-batch forward time.
+    pub stage_fwd_ns: Vec<u64>,
+    /// Per-stage, per-micro-batch backward time (backward walk only; the
+    /// model adds the forward re-run itself).
+    pub stage_bwd_ns: Vec<u64>,
+    /// Activation bytes crossing each cut per micro-batch
+    /// (`stages - 1` entries).
+    pub cut_bytes: Vec<u64>,
+    /// Interconnect model for the cut transfers.
+    pub comm: CommModel,
+}
+
+/// The projected behaviour of one `(stages, micro)` pipeline
+/// configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineProjection {
+    /// Pipeline depth.
+    pub stages: usize,
+    /// Micro-batches per step (fill depth).
+    pub micro: usize,
+    /// Projected pipelined step time (fill + drain, including cut
+    /// transfers and the re-materialized forwards).
+    pub pipelined_ns: u64,
+    /// Serial baseline: every micro-batch through every stage on one
+    /// device, forward once, backward once, no transfers.
+    pub serial_ns: u64,
+    /// `serial / pipelined`.
+    pub speedup: f64,
+    /// `speedup / stages` — the scaling efficiency comparable to
+    /// [`ScalingPoint::efficiency`].
+    pub efficiency: f64,
+    /// Idle time of the busiest stage: `pipelined` minus that stage's
+    /// total busy time. The GPipe bubble.
+    pub bubble_ns: u64,
+}
+
+impl PipelineModel {
+    /// Projects the fill–drain makespan for `micro` micro-batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cost vectors disagree on the stage count, the cut
+    /// count is not `stages - 1`, or `micro` is zero.
+    pub fn project(&self, micro: usize) -> PipelineProjection {
+        let stages = self.stage_fwd_ns.len();
+        assert_eq!(stages, self.stage_bwd_ns.len(), "one bwd cost per stage");
+        assert_eq!(self.cut_bytes.len() + 1, stages, "one cut per boundary");
+        assert!(micro > 0, "at least one micro-batch");
+        let xfer: Vec<u64> = self
+            .cut_bytes
+            .iter()
+            .map(|&b| self.comm.transfer_ns(b))
+            .collect();
+
+        // Fill: stage s forwards micro m after its previous micro and
+        // after the upstream activation arrives. The last stage only
+        // receives (its forward runs inside the drain).
+        let mut fill = vec![vec![0u64; micro]; stages];
+        for s in 0..stages {
+            let fwd = if s + 1 == stages {
+                0
+            } else {
+                self.stage_fwd_ns[s]
+            };
+            for m in 0..micro {
+                let prev = if m > 0 { fill[s][m - 1] } else { 0 };
+                let arrival = if s > 0 {
+                    fill[s - 1][m] + xfer[s - 1]
+                } else {
+                    0
+                };
+                fill[s][m] = prev.max(arrival) + fwd;
+            }
+        }
+        // Drain: stage s re-runs forward + backward per micro, after its
+        // whole fill, its previous micro, and (below the last stage) the
+        // downstream gradient.
+        let mut drain = vec![vec![0u64; micro]; stages];
+        for s in (0..stages).rev() {
+            let cost = self.stage_fwd_ns[s] + self.stage_bwd_ns[s];
+            for m in 0..micro {
+                let prev = if m > 0 { drain[s][m - 1] } else { 0 };
+                let grad = if s + 1 < stages {
+                    drain[s + 1][m] + xfer[s]
+                } else {
+                    0
+                };
+                drain[s][m] = prev.max(grad).max(fill[s][micro - 1]) + cost;
+            }
+        }
+        let pipelined_ns = (0..stages).map(|s| drain[s][micro - 1]).max().unwrap_or(0);
+        let serial_ns: u64 = (0..stages)
+            .map(|s| micro as u64 * (self.stage_fwd_ns[s] + self.stage_bwd_ns[s]))
+            .sum();
+        let busiest = (0..stages)
+            .map(|s| {
+                let fill_busy = if s + 1 == stages {
+                    0
+                } else {
+                    micro as u64 * self.stage_fwd_ns[s]
+                };
+                fill_busy + micro as u64 * (self.stage_fwd_ns[s] + self.stage_bwd_ns[s])
+            })
+            .max()
+            .unwrap_or(0);
+        let speedup = serial_ns as f64 / pipelined_ns.max(1) as f64;
+        PipelineProjection {
+            stages,
+            micro,
+            pipelined_ns,
+            serial_ns,
+            speedup,
+            efficiency: speedup / stages.max(1) as f64,
+            bubble_ns: pipelined_ns.saturating_sub(busiest),
+        }
+    }
+}
+
+impl fmt::Display for PipelineProjection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P={} M={}: pipelined {:.3} ms vs serial {:.3} ms | speedup {:.2}x | \
+             efficiency {:.0}% | bubble {:.3} ms",
+            self.stages,
+            self.micro,
+            self.pipelined_ns as f64 * 1e-6,
+            self.serial_ns as f64 * 1e-6,
+            self.speedup,
+            self.efficiency * 100.0,
+            self.bubble_ns as f64 * 1e-6,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pipeline_model_single_stage_matches_serial() {
+        let m = PipelineModel {
+            stage_fwd_ns: vec![10],
+            stage_bwd_ns: vec![20],
+            cut_bytes: vec![],
+            comm: CommModel::pcie_gen3(),
+        };
+        let p = m.project(8);
+        assert_eq!(p.pipelined_ns, p.serial_ns);
+        assert!((p.speedup - 1.0).abs() < 1e-9);
+        assert_eq!(p.bubble_ns, 0);
+    }
+
+    #[test]
+    fn pipeline_model_two_balanced_stages_beat_serial() {
+        let m = PipelineModel {
+            stage_fwd_ns: vec![10, 10],
+            stage_bwd_ns: vec![20, 20],
+            cut_bytes: vec![0],
+            comm: CommModel {
+                link_bandwidth: 1e12,
+                latency_ns: 0,
+            },
+        };
+        let p = m.project(8);
+        assert!(p.speedup > 1.0, "balanced pipeline must beat serial: {p}");
+        assert!(p.pipelined_ns < p.serial_ns);
+        // Drain dominates: with fill 8·10 and drain 8·30 per stage, the
+        // makespan is bounded below by the busiest stage.
+        assert!(p.pipelined_ns >= 8 * 30);
+    }
 
     #[test]
     fn transfer_combines_latency_and_bandwidth() {

@@ -105,6 +105,20 @@ pub struct IterationStats {
     pub sim_ns: Option<u64>,
 }
 
+/// What one pipelined stage step produced (see [`Executor::stage_step`]).
+#[derive(Debug)]
+pub struct StageStepOutput {
+    /// Values of the requested output nodes, in request order, cloned
+    /// between the stage's forward and backward phases.
+    pub outputs: Vec<Tensor>,
+    /// Gradients that reached the captured `Input` nodes, in capture
+    /// order. `None` when no gradient flowed to that input this step.
+    pub input_grads: Vec<Option<Tensor>>,
+    /// Memory/replay/timing accounting for the stage step; `loss` is
+    /// `None` (a stage has no scalar loss — read it from `outputs`).
+    pub stats: IterationStats,
+}
+
 /// Runs a [`Graph`] under a [`StashPlan`] against a simulated device.
 ///
 /// The executor owns the parameter values, their gradient buffers, and the
@@ -776,6 +790,89 @@ impl Executor {
         })
     }
 
+    /// One pipelined stage step: forward over the union cone of
+    /// `outputs`, then a backward walk seeded with the downstream
+    /// activation-gradients in `seeds`, capturing the gradients that
+    /// reach the `Input` nodes listed in `capture` (the stage's received
+    /// interface) instead of discarding them.
+    ///
+    /// This is [`train_step`](Executor::train_step) generalized to a
+    /// subgraph: the last pipeline stage seeds its scalar loss with a
+    /// ones tensor (making `stage_step` on a single-stage partition
+    /// bit-identical to `train_step`), every other stage seeds its send
+    /// interface with the gradients received from the next stage.
+    /// Parameter gradients accumulate into the executor exactly as in a
+    /// training step. Always runs the legacy interpreter — the seeded
+    /// walk has no ahead-of-time plan.
+    ///
+    /// # Errors
+    ///
+    /// Rejects symbolic or inference options ([`GraphError::SymbolicPlane`])
+    /// and propagates operator, binding and OOM errors.
+    pub fn stage_step(
+        &mut self,
+        bindings: &HashMap<NodeId, Tensor>,
+        outputs: &[NodeId],
+        seeds: &[(NodeId, Tensor)],
+        capture: &[NodeId],
+        opts: ExecOptions,
+        device: Option<&mut DeviceSim>,
+    ) -> Result<StageStepOutput> {
+        if !opts.numeric || !opts.training {
+            return Err(GraphError::SymbolicPlane {
+                what: "stage step (numeric training only)",
+            });
+        }
+        self.zero_grads();
+        let peak_before = {
+            self.mem.reset_peak();
+            self.mem.peak_bytes()
+        };
+        let sim_start = device.as_ref().map(|d| d.elapsed_ns());
+        let mut run = Run::new(self, bindings, opts, device);
+        let result = run.forward_multi(outputs);
+        let out_values = result.and_then(|()| {
+            outputs
+                .iter()
+                .map(|&id| {
+                    run.values[id.index()]
+                        .clone()
+                        .or_else(|| bindings.get(&id).cloned())
+                        .ok_or(GraphError::SymbolicPlane {
+                            what: "stage output value",
+                        })
+                })
+                .collect::<Result<Vec<Tensor>>>()
+        });
+        let seeded: Vec<(NodeId, Option<Tensor>)> =
+            seeds.iter().map(|(id, t)| (*id, Some(t.clone()))).collect();
+        let grads = if out_values.is_ok() {
+            run.backward_seeded(&seeded, capture)
+        } else {
+            Ok(Vec::new())
+        };
+        let replays = run.replays;
+        let sim_ns = match (&run.device, sim_start) {
+            (Some(d), Some(start)) => Some(d.elapsed_ns().saturating_sub(start)),
+            _ => None,
+        };
+        run.finish();
+        self.replays_total += replays;
+        let peak = self.mem.peak_bytes().max(peak_before);
+        let outputs = out_values?;
+        let input_grads = grads?;
+        Ok(StageStepOutput {
+            outputs,
+            input_grads,
+            stats: IterationStats {
+                loss: None,
+                peak_bytes: peak,
+                replays,
+                sim_ns,
+            },
+        })
+    }
+
     /// The plan-driven training step: no per-node device bookkeeping, no
     /// backward deep clones, one accounting call for the whole iteration.
     fn planned_train_step(
@@ -869,6 +966,10 @@ struct SegmentScratch {
     values: HashMap<NodeId, Tensor>,
     saved: HashMap<NodeId, Saved>,
     shapes: HashMap<NodeId, Shape>,
+    /// Workspace pool the lease below came from. Exclusive access is the
+    /// sharing contract; a new same-pool replay force-retires this
+    /// scratch first.
+    pool: usize,
     _lease: WorkspaceLease,
     /// Smallest topo index in the segment: once backward passes it the
     /// scratch is dead.
@@ -1283,9 +1384,13 @@ impl<'e> Run<'e> {
             return Ok(());
         }
         let graph = self.graph();
-        let nodes = self.exec.plan.segment_nodes(seg);
-        let nodes: Vec<NodeId> = nodes
-            .into_iter()
+        let members = self.exec.plan.segment_nodes(seg);
+        if members.is_empty() {
+            return Ok(());
+        }
+        let nodes: Vec<NodeId> = members
+            .iter()
+            .copied()
             .filter(|n| self.needed[n.index()])
             .collect();
         if nodes.is_empty() {
@@ -1318,42 +1423,64 @@ impl<'e> Run<'e> {
             // under generic checkpointing plans (Chen et al.) a boundary
             // input may itself belong to another recompute segment, which
             // is replayed recursively first (topological order bounds the
-            // recursion).
-            for &i in &input_ids {
-                if shapes.contains_key(&i) || self.value_at_hand(i) {
-                    continue;
+            // recursion). The numeric plane clones each fetched value out
+            // immediately after its replay: two boundary segments may
+            // share one exclusive workspace pool, in which case the later
+            // nested replay force-retires the earlier scratch — reading
+            // lazily would lose the first value.
+            let mut owned: Vec<Tensor> = Vec::with_capacity(input_ids.len());
+            if self.opts.numeric {
+                for &i in &input_ids {
+                    let v = if let Some(v) = values.get(&i) {
+                        v.clone()
+                    } else if let Some(v) = self.scratch_value(i) {
+                        v
+                    } else if self.value_at_hand(i) {
+                        self.value_of(i)?.clone()
+                    } else {
+                        if let StashPolicy::Recompute(other) = self.exec.plan.policy(i) {
+                            if other.id != seg {
+                                self.ensure_replayed(other.id)?;
+                            }
+                        }
+                        match self.scratch_value(i) {
+                            Some(v) => v,
+                            None => self.value_of(i)?.clone(),
+                        }
+                    };
+                    owned.push(v);
                 }
-                if let StashPolicy::Recompute(other) = self.exec.plan.policy(i) {
-                    if other.id != seg && !self.scratch_has(i) {
-                        self.ensure_replayed(other.id)?;
+            } else {
+                for &i in &input_ids {
+                    if shapes.contains_key(&i) || self.value_at_hand(i) {
+                        continue;
+                    }
+                    if let StashPolicy::Recompute(other) = self.exec.plan.policy(i) {
+                        if other.id != seg && !self.scratch_has(i) {
+                            self.ensure_replayed(other.id)?;
+                        }
                     }
                 }
             }
-            let in_shapes: Vec<Shape> = input_ids
-                .iter()
-                .map(|&i| {
-                    shapes
-                        .get(&i)
-                        .cloned()
-                        .map(Ok)
-                        .unwrap_or_else(|| self.replay_shape_of(i))
-                })
-                .collect::<Result<_>>()?;
+            let in_shapes: Vec<Shape> = if self.opts.numeric {
+                owned.iter().map(|t| t.shape().clone()).collect()
+            } else {
+                input_ids
+                    .iter()
+                    .map(|&i| {
+                        shapes
+                            .get(&i)
+                            .cloned()
+                            .map(Ok)
+                            .unwrap_or_else(|| self.replay_shape_of(i))
+                    })
+                    .collect::<Result<_>>()?
+            };
             let shape_refs: Vec<&Shape> = in_shapes.iter().collect();
             let out_shape = op.infer_shape(&shape_refs)?;
             let mut saved_size = op.saved_bytes(&shape_refs, &out_shape);
 
             if self.opts.numeric {
-                let mut owned: Vec<Tensor> = Vec::with_capacity(input_ids.len());
-                for &i in &input_ids {
-                    if let Some(v) = values.get(&i) {
-                        owned.push(v.clone());
-                    } else if let Some(v) = self.scratch_value(i) {
-                        owned.push(v);
-                    } else {
-                        owned.push(self.value_of(i)?.clone());
-                    }
-                }
                 let refs: Vec<&Tensor> = owned.iter().collect();
                 let (out, s) = op.forward(&refs)?;
                 saved_size = saved_size.max(s.iter().map(|t| t.num_bytes() as u64).sum());
@@ -1380,12 +1507,26 @@ impl<'e> Run<'e> {
                 )
             })
             .clone();
+        // Workspaces are exclusive (paper §3.2): the Echo heuristic only
+        // pools segments whose replay lifetimes are disjoint, but search-
+        // produced or externally authored plans may pool segments whose
+        // reader intervals overlap in the interpreter's walk. Honour the
+        // contract by retiring any still-live scratch on this pool — its
+        // values are re-replayable on demand, so dropping early trades
+        // (deterministic) extra replays for the modeled single-workspace
+        // footprint instead of aborting. The wavefront walk pins scratches
+        // for its whole pass (see `retire_scratches`), so only the serial
+        // cursor walk force-retires.
+        if !self.wavefront {
+            self.scratch.retain(|_, s| s.pool != pool_id);
+        }
         let lease = pool.lease(bytes)?;
         self.replays += 1;
         let scratch = SegmentScratch {
             values,
             saved,
             shapes,
+            pool: pool_id,
             _lease: lease,
             min_index,
             n_required: 0,
@@ -1442,14 +1583,97 @@ impl<'e> Run<'e> {
     }
 
     fn backward(&mut self, loss: NodeId) -> Result<()> {
-        let graph = self.graph();
-        // Seed.
-        if self.opts.numeric {
+        let seed = if self.opts.numeric {
             let shape = self.shape_of(loss)?;
-            self.grads[loss.index()] = Some(Tensor::full(shape, 1.0));
+            Some(Tensor::full(shape, 1.0))
+        } else {
+            None
+        };
+        self.backward_seeded(&[(loss, seed)], &[]).map(|_| ())
+    }
+
+    /// The seeded backward walk underlying both the whole-graph training
+    /// step and the pipelined stage step. Each `(node, grad)` seed is
+    /// installed *before* the walk — moved in when no gradient exists yet,
+    /// accumulated otherwise — so in-walk contributions from this
+    /// (sub)graph's consumers `axpy` onto the seed in descending node
+    /// order, exactly the association the serial whole-graph walk uses
+    /// when downstream consumers have larger indices. Gradients reaching
+    /// `Input` nodes listed in `capture` are returned (in `capture`
+    /// order) instead of discarded.
+    fn backward_seeded(
+        &mut self,
+        seeds: &[(NodeId, Option<Tensor>)],
+        capture: &[NodeId],
+    ) -> Result<Vec<Option<Tensor>>> {
+        let graph = self.graph();
+        for (id, seed) in seeds {
+            let idx = id.index();
+            if self.opts.numeric {
+                let t = seed.as_ref().ok_or(GraphError::SymbolicPlane {
+                    what: "gradient seed",
+                })?;
+                match &mut self.grads[idx] {
+                    Some(acc) => acc.axpy(1.0, t).map_err(GraphError::from)?,
+                    slot @ None => *slot = Some(t.clone()),
+                }
+            }
+            self.grad_present[idx] = true;
+            self.alloc_grad(*id)?;
         }
-        self.grad_present[loss.index()] = true;
-        self.alloc_grad(loss)?;
+        let mut captured: Vec<Option<Tensor>> = vec![None; capture.len()];
+
+        // A stashed value is normally dead once the cursor passes its
+        // index: every direct reader (its own backward, its consumers'
+        // backwards) sits at or above it. Scattered segments (exact-cost
+        // search output) break that: a segment reader can sit *below* one
+        // of the segment's stashed boundary inputs, and the replay
+        // triggered there re-reads the value. Precompute each node's
+        // replay floor — the lowest backward index that may still read it
+        // through a replay — and retain such values past the cursor.
+        let mut replay_floor: Vec<usize> = vec![usize::MAX; graph.len()];
+        {
+            let mut members: HashMap<usize, Vec<NodeId>> = HashMap::new();
+            for node in graph.nodes() {
+                if let StashPolicy::Recompute(s) = self.exec.plan.policy(node.id) {
+                    members.entry(s.id).or_default().push(node.id);
+                }
+            }
+            for mem in members.values() {
+                let mut in_seg = vec![false; graph.len()];
+                for n in mem {
+                    in_seg[n.index()] = true;
+                }
+                let mut lowest = usize::MAX;
+                for d in 0..graph.len() {
+                    if !self.needed[d] {
+                        continue;
+                    }
+                    let reads = in_seg[d]
+                        || match &graph.nodes()[d].kind {
+                            NodeKind::Op { op, inputs } => {
+                                op.stash().inputs && inputs.iter().any(|i| in_seg[i.index()])
+                            }
+                            _ => false,
+                        };
+                    if reads {
+                        lowest = d;
+                        break;
+                    }
+                }
+                if lowest == usize::MAX {
+                    continue;
+                }
+                for m in mem {
+                    if let NodeKind::Op { inputs, .. } = &graph.nodes()[m.index()].kind {
+                        for i in inputs {
+                            let floor = &mut replay_floor[i.index()];
+                            *floor = (*floor).min(lowest);
+                        }
+                    }
+                }
+            }
+        }
 
         for idx in (0..graph.len()).rev() {
             let id = NodeId(idx);
@@ -1481,8 +1705,14 @@ impl<'e> Run<'e> {
                     continue;
                 }
                 NodeKind::Input => {
-                    // Gradients w.r.t. data are discarded.
-                    self.grads[idx] = None;
+                    // Gradients w.r.t. data are discarded — unless the
+                    // caller asked to capture them (pipelined stages
+                    // capture their received-interface gradients here).
+                    if let Some(slot) = capture.iter().position(|c| c.index() == idx) {
+                        captured[slot] = self.grads[idx].take();
+                    } else {
+                        self.grads[idx] = None;
+                    }
                     self.free_grad(id);
                     continue;
                 }
@@ -1574,9 +1804,13 @@ impl<'e> Run<'e> {
             // This node's grad, output feature map and saved state are dead.
             self.grads[idx] = None;
             self.free_grad(id);
-            self.allocs[idx] = None;
-            self.values[idx] = None;
             self.saved[idx] = None;
+            // Keep the value (and its allocation) alive when a segment
+            // replay triggered below the cursor may still read it.
+            if replay_floor[idx] >= idx {
+                self.allocs[idx] = None;
+                self.values[idx] = None;
+            }
 
             // Retire scratches: refcounted by remaining readers, with the
             // min-index rule as backstop.
@@ -1584,7 +1818,7 @@ impl<'e> Run<'e> {
         }
         self.bwd_cursor = usize::MAX;
         self.scratch.clear();
-        Ok(())
+        Ok(captured)
     }
 
     /// Whether any active scratch already holds `id`'s value.

@@ -22,11 +22,13 @@ pub mod cse;
 pub mod fused;
 pub mod fusion;
 pub mod layout;
+pub mod stage;
 
 pub use cse::common_subexpr_elim;
 pub use fused::FusedGroup;
 pub use fusion::{fuse_elementwise_chains, fuse_lstm_cells};
 pub use layout::select_layouts;
+pub use stage::{partition_stages, StagePartition, StageSpec};
 
 use crate::graph::{Graph, NodeId, NodeKind};
 use crate::op::Operator;

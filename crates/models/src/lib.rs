@@ -17,6 +17,7 @@ pub mod infer;
 pub mod metrics;
 pub mod nmt;
 pub mod parallel;
+pub mod pipeline;
 pub mod resnet;
 pub mod trainer;
 pub mod word_lm;
@@ -25,8 +26,10 @@ pub use infer::{LmState, WordLmDecoder};
 pub use metrics::{bleu, perplexity};
 pub use nmt::{NmtHyper, NmtModel};
 pub use parallel::{
-    DataParallelOptions, MicrobatchTrainer, ParallelTrainer, ReplicaStepStats, StepReport,
+    DataParallelOptions, MicrobatchTrainer, ParallelTrainer, PipelineOptions, ReplicaStepStats,
+    StageStepStats, StepReport,
 };
+pub use pipeline::{PipelineStepReport, PipelineTrainer};
 pub use resnet::{resnet50_iteration_ns, resnet50_memory_bytes};
 pub use trainer::{Adam, Optimizer, Sgd, Speedometer, TrainLog};
 pub use word_lm::{WordLm, WordLmHyper};

@@ -95,6 +95,82 @@ impl DataParallelOptions {
     }
 }
 
+/// Configuration of the pipelined engine ([`crate::pipeline`]): `K`
+/// pipeline replicas — hybrid pipeline-×-data parallelism — each running
+/// every stage of the partition over its span of the `M` micro-batch
+/// leaves. The gradient fold is the same canonical tree as
+/// [`DataParallelOptions`]-driven training, so any `(P, K)` layout is
+/// bit-identical to serial execution.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Pipeline replica count `K`. Must be a power of two dividing
+    /// `micro_batches`.
+    pub replicas: usize,
+    /// Micro-batches per global step — both the pipeline's fill depth
+    /// and the leaves of the canonical reduction tree.
+    pub micro_batches: usize,
+    /// Per-stage-executor device-memory capacity in bytes.
+    pub memory_capacity: u64,
+    /// Simulated device per stage worker (`None` disables the device
+    /// model).
+    pub sim_spec: Option<DeviceSpec>,
+}
+
+impl PipelineOptions {
+    /// `replicas` pipeline replicas over `micro_batches` leaves with a
+    /// 1 GiB per-stage arena and no device simulation.
+    pub fn new(replicas: usize, micro_batches: usize) -> Self {
+        PipelineOptions {
+            replicas,
+            micro_batches,
+            memory_capacity: 1 << 30,
+            sim_spec: None,
+        }
+    }
+
+    /// Reuses a data-parallel configuration for the hybrid engine: same
+    /// replica count, leaf count, per-worker memory and device model.
+    pub fn from_data_parallel(options: &DataParallelOptions) -> Self {
+        PipelineOptions {
+            replicas: options.replicas,
+            micro_batches: options.micro_batches,
+            memory_capacity: options.memory_capacity,
+            sim_spec: options.sim_spec.clone(),
+        }
+    }
+
+    /// Attaches a simulated device per stage worker (builder style).
+    #[must_use]
+    pub fn with_sim(mut self, spec: DeviceSpec) -> Self {
+        self.sim_spec = Some(spec);
+        self
+    }
+
+    /// Sets the per-stage memory capacity (builder style).
+    #[must_use]
+    pub fn with_memory_capacity(mut self, bytes: u64) -> Self {
+        self.memory_capacity = bytes;
+        self
+    }
+}
+
+/// Per-stage-worker statistics for one pipelined global step.
+#[derive(Debug, Clone)]
+pub struct StageStepStats {
+    /// Pipeline stage index.
+    pub stage: usize,
+    /// Pipeline replica rank.
+    pub replica: usize,
+    /// Simulated device time spent by this worker.
+    pub sim_ns: u64,
+    /// Peak device bytes across this worker's micro-batches.
+    pub peak_bytes: u64,
+    /// Segment replays performed by this worker's stage backwards.
+    pub replays: u64,
+    /// Host wall-clock nanoseconds the worker spent in the step.
+    pub compute_host_ns: u64,
+}
+
 /// Per-replica statistics for one global step.
 #[derive(Debug, Clone)]
 pub struct ReplicaStepStats {
@@ -132,18 +208,19 @@ impl StepReport {
 }
 
 /// One leaf (or partial fold) of the canonical reduction tree: the
-/// gradients and mean loss of a micro-batch span.
-struct GradSample {
+/// gradients and mean loss of a micro-batch span. Shared with the
+/// pipeline engine, whose per-stage reduce trees fold the same leaves.
+pub(crate) struct GradSample {
     /// `(id, grad)` sorted by id — the order [`Executor::export_grads`]
     /// guarantees.
-    grads: Vec<(NodeId, Tensor)>,
-    loss: f32,
+    pub(crate) grads: Vec<(NodeId, Tensor)>,
+    pub(crate) loss: f32,
 }
 
 impl GradSample {
     /// Combines `other` into `self` with `self` as the left operand —
     /// one internal node of the canonical tree.
-    fn merge(&mut self, other: &GradSample) {
+    pub(crate) fn merge(&mut self, other: &GradSample) {
         debug_assert_eq!(self.grads.len(), other.grads.len());
         for ((id_a, grad), (id_b, incoming)) in self.grads.iter_mut().zip(&other.grads) {
             debug_assert_eq!(id_a, id_b, "replicas must agree on parameter order");
@@ -153,7 +230,7 @@ impl GradSample {
         self.loss += other.loss;
     }
 
-    fn scale(&mut self, factor: f32) {
+    pub(crate) fn scale(&mut self, factor: f32) {
         for (_, grad) in &mut self.grads {
             grad.scale_inplace(factor);
         }
@@ -164,7 +241,7 @@ impl GradSample {
 /// Folds a power-of-two number of leaves as a balanced binary tree,
 /// always keeping the left operand — the single float association every
 /// replica count must reproduce.
-fn tree_fold(mut level: Vec<GradSample>) -> GradSample {
+pub(crate) fn tree_fold(mut level: Vec<GradSample>) -> GradSample {
     assert!(
         !level.is_empty() && level.len().is_power_of_two(),
         "tree fold needs a power-of-two leaf count, got {}",

@@ -1,0 +1,930 @@
+//! GPipe-style pipelined training over a stage-partitioned graph, with
+//! the same bit-exactness contract as the data-parallel engine.
+//!
+//! [`echo_graph::partition_stages`] cuts the graph into `P` contiguous
+//! stages at parameter-safe boundaries. This module runs those stages on
+//! `K × P` worker threads (`K` pipeline replicas for hybrid
+//! pipeline-×-data parallelism): within a replica, activations flow
+//! downstream and activation-gradients flow upstream over channels in
+//! GPipe fill–drain order; across replicas, each stage's per-micro-batch
+//! gradient leaves join the *same canonical reduction tree* the
+//! data-parallel engine uses ([`crate::parallel`]). The coordinator owns
+//! a full-graph template executor: it folds the per-stage gradients,
+//! runs the optimizer once over the whole parameter set (so global
+//! clip-norm sees exactly what the serial trainer sees), and broadcasts
+//! the updated parameters with the next step command.
+//!
+//! # Bit-exactness
+//!
+//! Stages are contiguous original-index ranges, so every consumer of an
+//! activation in a *later* stage has a larger original id than any
+//! consumer in its own stage. The seeded stage backward
+//! ([`Executor::stage_step`]) applies the downstream partial first and
+//! then accumulates in-stage contributions in descending order — the
+//! exact association of the serial descending-index backward walk. By
+//! induction from the ones-seed at the loss in the last stage, every
+//! activation gradient, parameter gradient, and therefore the optimizer
+//! update is bit-identical to serial execution, for every `(P, K)`
+//! layout.
+//!
+//! # Recomputation
+//!
+//! Each stage executor runs under the stage-local slice of the
+//! *normalized* stash plan ([`StagePartition::stage_plans`]): interface
+//! and protected values are stashed (they must survive the cut), and no
+//! recompute segment straddles a cut. A serial executor running the
+//! normalized full-graph plan performs the same replays as the pipeline
+//! — the determinism suite's replay-count contract.
+//!
+//! # Fault containment
+//!
+//! A worker that fails — an executor error or a panic in stage code —
+//! reports the failure and exits, dropping its channel endpoints. Peers
+//! blocked on those channels observe the disconnect, fail in turn, and
+//! exit; [`PipelineTrainer::train_step`] collects the errors and returns
+//! `Err` instead of deadlocking, and the trainer stays poisoned
+//! afterwards.
+
+use crate::parallel::{tree_fold, GradSample, PipelineOptions, StageStepStats};
+use crate::trainer::Optimizer;
+use crate::word_lm::WordLm;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use echo_data::{LmBatch, MicrobatchPlan};
+use echo_device::DeviceSim;
+use echo_graph::{ExecOptions, Executor, NodeId, NodeKind, StagePartition, StageSpec, StashPlan};
+use echo_memory::DeviceMemory;
+use echo_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Builds full-graph executor bindings for one micro-batch; each stage
+/// picks out the inputs it consumes directly.
+pub type PipelineBindFn<B> = dyn Fn(&B) -> HashMap<NodeId, Tensor> + Send + Sync;
+
+/// Cuts a global batch into the planned number of micro-batches.
+pub type PipelineCutFn<B> = dyn Fn(&B) -> Vec<B> + Send + Sync;
+
+/// Post-step parameter snapshot (original ids, sorted), shared across
+/// all `K × P` workers with the next step command.
+type ParamSet = Arc<Vec<(NodeId, Tensor)>>;
+
+/// Activations for one micro-batch crossing one cut, in the owning
+/// stage's `send_interface` order.
+struct ActMsg {
+    micro: usize,
+    values: Vec<Tensor>,
+}
+
+/// Activation-gradients for one micro-batch crossing one cut backwards,
+/// aligned with the upstream stage's `send_interface`. `None` means no
+/// gradient reached that interface value downstream.
+struct GradMsg {
+    micro: usize,
+    grads: Vec<Option<Tensor>>,
+}
+
+/// A stage worker's report for one global step.
+struct StageDone {
+    stage: usize,
+    replica: usize,
+    stats: StageStepStats,
+    /// The stage's cross-replica-folded gradient sample — present only
+    /// from each stage's rank-0 worker.
+    folded: Option<GradSample>,
+}
+
+/// Commands from the coordinator to a stage worker.
+enum PipeCmd<B> {
+    /// Run this replica's micro-batches through the stage; import
+    /// `params` (if present) first.
+    Step {
+        micros: Vec<B>,
+        params: Option<ParamSet>,
+    },
+    /// Panic mid-step on the next `Step` — the fault-containment
+    /// regression fixture.
+    #[cfg(test)]
+    Sabotage,
+}
+
+/// The outcome of one pipelined global step.
+#[derive(Debug, Clone)]
+pub struct PipelineStepReport {
+    /// Mean loss over the global batch (tree-folded; bit-identical to
+    /// the serial trainer).
+    pub loss: f32,
+    /// Pre-clip global gradient norm seen by the coordinator's
+    /// optimizer.
+    pub grad_norm: f64,
+    /// Per-worker statistics, sorted by `(stage, replica)`.
+    pub stages: Vec<StageStepStats>,
+}
+
+impl PipelineStepReport {
+    /// Total recomputation replays across all stages and replicas.
+    pub fn total_replays(&self) -> u64 {
+        self.stages.iter().map(|s| s.replays).sum()
+    }
+
+    /// Peak device bytes over all stage executors.
+    pub fn max_stage_peak_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.peak_bytes).max().unwrap_or(0)
+    }
+}
+
+/// Stage-local handles a worker needs, precomputed once per stage and
+/// shared by its `K` replicas.
+struct StageWiring {
+    spec: Arc<StageSpec>,
+    plan: StashPlan,
+    /// `(original, local)` ids of the batch inputs this stage binds.
+    batch_pairs: Vec<(NodeId, NodeId)>,
+    /// Received interface, local ids (ascending original order).
+    recv_local: Vec<NodeId>,
+    /// Sent interface, local ids (ascending original order).
+    send_local: Vec<NodeId>,
+    /// `send_local[i]` is an op owned by this stage (vs. a pass-through
+    /// input whose value comes from the local bindings).
+    send_owned_mask: Vec<bool>,
+    /// The owned subset of `send_local` — the forward outputs.
+    send_owned: Vec<NodeId>,
+    /// Local loss id and shape — last stage only.
+    loss_local: Option<NodeId>,
+    loss_shape: Option<Shape>,
+}
+
+impl StageWiring {
+    fn build(
+        spec: Arc<StageSpec>,
+        plan: StashPlan,
+        loss: NodeId,
+        last: bool,
+    ) -> Result<StageWiring, String> {
+        let batch_pairs = spec
+            .batch_inputs
+            .iter()
+            .map(|&orig| {
+                spec.to_local(orig)
+                    .map(|local| (orig, local))
+                    .ok_or_else(|| format!("stage {}: unmapped batch input {orig}", spec.index))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let send_local = spec.local_send();
+        let send_owned_mask: Vec<bool> = send_local
+            .iter()
+            .map(|&local| {
+                matches!(
+                    spec.graph.node(local).map(|n| &n.kind),
+                    Ok(NodeKind::Op { .. })
+                )
+            })
+            .collect();
+        let send_owned: Vec<NodeId> = send_local
+            .iter()
+            .zip(&send_owned_mask)
+            .filter(|(_, &owned)| owned)
+            .map(|(&local, _)| local)
+            .collect();
+        let (loss_local, loss_shape) = if last {
+            let local = spec.to_local(loss).ok_or_else(|| {
+                format!(
+                    "loss {loss} is not carried by the last stage {}",
+                    spec.index
+                )
+            })?;
+            let shape = spec.shapes[local.index()].clone();
+            (Some(local), Some(shape))
+        } else {
+            (None, None)
+        };
+        Ok(StageWiring {
+            recv_local: spec.local_recv(),
+            spec,
+            plan,
+            batch_pairs,
+            send_local,
+            send_owned_mask,
+            send_owned,
+            loss_local,
+            loss_shape,
+        })
+    }
+}
+
+/// Everything one stage worker thread owns.
+struct StageWorker<B> {
+    stage: usize,
+    replica: usize,
+    exec: Executor,
+    sim: Option<DeviceSim>,
+    bind: Arc<PipelineBindFn<B>>,
+    wiring: Arc<StageWiring>,
+    cmd_rx: Receiver<PipeCmd<B>>,
+    done_tx: Sender<Result<StageDone, String>>,
+    /// Activations from the previous stage (`None` at stage 0).
+    act_rx: Option<Receiver<ActMsg>>,
+    /// Activations to the next stage (`None` at the last stage).
+    act_tx: Option<Sender<ActMsg>>,
+    /// Activation-gradients from the next stage (`None` at the last
+    /// stage).
+    grad_rx: Option<Receiver<GradMsg>>,
+    /// Activation-gradients to the previous stage (`None` at stage 0).
+    grad_tx: Option<Sender<GradMsg>>,
+    /// Cross-replica reduce-tree inboxes for this stage,
+    /// level-ascending (see [`crate::parallel`]).
+    down: Vec<Receiver<GradSample>>,
+    /// Parent in the stage's reduce tree; `None` at replica rank 0.
+    up: Option<Sender<GradSample>>,
+    #[cfg(test)]
+    sabotage: bool,
+}
+
+impl<B> StageWorker<B> {
+    fn run(mut self) {
+        while let Ok(cmd) = self.cmd_rx.recv() {
+            match cmd {
+                #[cfg(test)]
+                PipeCmd::Sabotage => self.sabotage = true,
+                PipeCmd::Step { micros, params } => {
+                    let unwound = catch_unwind(AssertUnwindSafe(|| self.step(&micros, params)));
+                    let result = unwound.unwrap_or_else(|payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        Err(format!(
+                            "stage {} replica {} worker panicked: {msg}",
+                            self.stage, self.replica
+                        ))
+                    });
+                    let failed = result.is_err();
+                    let _ = self.done_tx.send(result);
+                    if failed {
+                        // Exit, dropping every channel endpoint: peers
+                        // blocked on this worker observe the disconnect
+                        // and unwind the step instead of deadlocking.
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn fail(&self, what: &str) -> String {
+        format!("stage {} replica {}: {what}", self.stage, self.replica)
+    }
+
+    /// One global step from this worker's perspective: fill (forward all
+    /// micro-batches, streaming activations downstream), drain (seeded
+    /// stage backward per micro-batch, streaming gradients upstream),
+    /// then the stage's cross-replica gradient fold.
+    fn step(&mut self, micros: &[B], params: Option<ParamSet>) -> Result<StageDone, String> {
+        if let Some(params) = params {
+            for &orig in &self.wiring.spec.params {
+                if let Ok(i) = params.binary_search_by_key(&orig, |&(id, _)| id) {
+                    let local = self
+                        .wiring
+                        .spec
+                        .to_local(orig)
+                        .expect("owned params are carried by their stage");
+                    self.exec
+                        .bind_param(local, params[i].1.clone())
+                        .map_err(|e| self.fail(&format!("param import: {e}")))?;
+                }
+            }
+        }
+        #[cfg(test)]
+        if self.sabotage {
+            panic!("injected stage fault");
+        }
+        let host_start = Instant::now();
+        let sim_before = self.sim.as_ref().map_or(0, DeviceSim::elapsed_ns);
+
+        // Fill: forward every micro-batch in order, sending interface
+        // activations downstream as soon as they exist.
+        let fwd_opts = ExecOptions {
+            training: false,
+            numeric: true,
+        };
+        let mut stage_bindings: Vec<HashMap<NodeId, Tensor>> = Vec::with_capacity(micros.len());
+        for (m, micro) in micros.iter().enumerate() {
+            let full = (self.bind)(micro);
+            let mut local = HashMap::new();
+            for &(orig, local_id) in &self.wiring.batch_pairs {
+                let value = full
+                    .get(&orig)
+                    .ok_or_else(|| self.fail(&format!("binding for input {orig} missing")))?;
+                local.insert(local_id, value.clone());
+            }
+            if let Some(rx) = &self.act_rx {
+                let msg = rx
+                    .recv()
+                    .map_err(|_| self.fail("upstream stage disconnected during fill"))?;
+                if msg.micro != m {
+                    return Err(self.fail(&format!(
+                        "activation stream out of order: got micro {}, expected {m}",
+                        msg.micro
+                    )));
+                }
+                for (&local_id, value) in self.wiring.recv_local.iter().zip(msg.values) {
+                    local.insert(local_id, value);
+                }
+            }
+            if let Some(tx) = &self.act_tx {
+                let owned = self
+                    .exec
+                    .forward_many(&local, &self.wiring.send_owned, fwd_opts, self.sim.as_mut())
+                    .map_err(|e| {
+                        format!(
+                            "stage {} replica {} forward (micro {m}): {e}",
+                            self.stage, self.replica
+                        )
+                    })?;
+                let mut produced = owned.into_iter();
+                let values = self
+                    .wiring
+                    .send_local
+                    .iter()
+                    .zip(&self.wiring.send_owned_mask)
+                    .map(|(local_id, &is_owned)| {
+                        if is_owned {
+                            produced.next().expect("one value per owned send node")
+                        } else {
+                            local[local_id].clone()
+                        }
+                    })
+                    .collect();
+                tx.send(ActMsg { micro: m, values })
+                    .map_err(|_| self.fail("downstream stage disconnected during fill"))?;
+            }
+            stage_bindings.push(local);
+        }
+
+        // Drain: seeded stage backward per micro-batch, in micro order.
+        // The stage forward is re-run inside `stage_step` under the
+        // stage-local stash plan (re-materialization), so the fill phase
+        // holds no activations across micro-batches.
+        let mut samples = Vec::with_capacity(micros.len());
+        let mut peak_bytes = 0u64;
+        let mut replays = 0u64;
+        for (m, local) in stage_bindings.iter().enumerate() {
+            let seeds: Vec<(NodeId, Tensor)> = if let Some(rx) = &self.grad_rx {
+                let msg = rx
+                    .recv()
+                    .map_err(|_| self.fail("downstream stage disconnected during drain"))?;
+                if msg.micro != m {
+                    return Err(self.fail(&format!(
+                        "gradient stream out of order: got micro {}, expected {m}",
+                        msg.micro
+                    )));
+                }
+                self.wiring
+                    .send_local
+                    .iter()
+                    .zip(msg.grads)
+                    .filter_map(|(&local_id, grad)| grad.map(|g| (local_id, g)))
+                    .collect()
+            } else {
+                let loss_local = self.wiring.loss_local.expect("last stage carries the loss");
+                let shape = self.wiring.loss_shape.clone().expect("loss shape known");
+                vec![(loss_local, Tensor::full(shape, 1.0))]
+            };
+            let outputs: Vec<NodeId> = match self.wiring.loss_local {
+                Some(loss_local) => vec![loss_local],
+                None => self.wiring.send_owned.clone(),
+            };
+            let out = self
+                .exec
+                .stage_step(
+                    local,
+                    &outputs,
+                    &seeds,
+                    &self.wiring.recv_local,
+                    ExecOptions::default(),
+                    self.sim.as_mut(),
+                )
+                .map_err(|e| {
+                    format!(
+                        "stage {} replica {} backward (micro {m}): {e}",
+                        self.stage, self.replica
+                    )
+                })?;
+            if let Some(tx) = &self.grad_tx {
+                tx.send(GradMsg {
+                    micro: m,
+                    grads: out.input_grads,
+                })
+                .map_err(|_| self.fail("upstream stage disconnected during drain"))?;
+            }
+            let loss = match self.wiring.loss_local {
+                Some(_) => out.outputs[0].data()[0],
+                None => 0.0,
+            };
+            peak_bytes = peak_bytes.max(out.stats.peak_bytes);
+            replays += out.stats.replays;
+            let grads = self
+                .exec
+                .export_grads()
+                .into_iter()
+                .map(|(local_id, grad)| (self.wiring.spec.to_orig(local_id), grad))
+                .collect();
+            samples.push(GradSample { grads, loss });
+        }
+        let compute_host_ns = host_start.elapsed().as_nanos() as u64;
+        let sim_ns = self.sim.as_ref().map_or(0, DeviceSim::elapsed_ns) - sim_before;
+
+        // This stage's slice of the canonical reduction tree: local
+        // subtree fold, then the cross-replica levels. Receivers keep
+        // the left operand.
+        let mut acc = tree_fold(samples);
+        for rx in &self.down {
+            let partial = rx
+                .recv()
+                .map_err(|_| self.fail("reduce-tree peer disconnected"))?;
+            acc.merge(&partial);
+        }
+        let folded = match &self.up {
+            Some(up) => {
+                up.send(acc)
+                    .map_err(|_| self.fail("reduce-tree parent disconnected"))?;
+                None
+            }
+            None => Some(acc),
+        };
+        Ok(StageDone {
+            stage: self.stage,
+            replica: self.replica,
+            stats: StageStepStats {
+                stage: self.stage,
+                replica: self.replica,
+                sim_ns,
+                peak_bytes,
+                replays,
+                compute_host_ns,
+            },
+            folded,
+        })
+    }
+}
+
+/// Pipelined (and optionally replicated) trainer: `K × P` stage workers
+/// plus a coordinator-owned full-graph template executor that runs the
+/// optimizer. See the module docs for the execution model and the
+/// bit-exactness contract.
+pub struct PipelineTrainer<B> {
+    stages: usize,
+    replicas: usize,
+    plan: MicrobatchPlan,
+    cut: Arc<PipelineCutFn<B>>,
+    template: Executor,
+    opt: Box<dyn Optimizer>,
+    pending_params: Option<ParamSet>,
+    cmd_txs: Vec<Sender<PipeCmd<B>>>,
+    done_rx: Receiver<Result<StageDone, String>>,
+    handles: Vec<JoinHandle<()>>,
+    poisoned: Option<String>,
+}
+
+impl<B: Clone + Send + 'static> PipelineTrainer<B> {
+    /// Spawns the `K × P` worker fleet. Stage executors start from
+    /// `template`'s parameters; `template` itself never executes — the
+    /// coordinator keeps it as the canonical parameter/gradient store
+    /// the optimizer runs on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint: an invalid
+    /// partition, a micro-batch plan that cannot tile `lanes` or align
+    /// with `replicas`, a loss outside the last stage, or worker
+    /// construction failure.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        template: Executor,
+        partition: &StagePartition,
+        stash_plan: &StashPlan,
+        lanes: usize,
+        options: &PipelineOptions,
+        opt: Box<dyn Optimizer>,
+        bind: Arc<PipelineBindFn<B>>,
+        cut: Arc<PipelineCutFn<B>>,
+        loss: NodeId,
+    ) -> Result<Self, String> {
+        partition.validate().map_err(|e| e.to_string())?;
+        let stages = partition.stage_count();
+        let replicas = options.replicas;
+        let plan = MicrobatchPlan::new(lanes, options.micro_batches)?;
+        if !plan.supports_replicas(replicas) {
+            return Err(format!(
+                "{replicas} replicas cannot own aligned subtrees of {} micro-batches",
+                plan.micro()
+            ));
+        }
+        let local_plans = partition.stage_plans(stash_plan);
+        let params = Arc::new(template.export_params());
+        let wirings: Vec<Arc<StageWiring>> = partition
+            .stages()
+            .iter()
+            .zip(local_plans)
+            .map(|(spec, local_plan)| {
+                StageWiring::build(
+                    Arc::new(spec.clone()),
+                    local_plan,
+                    loss,
+                    spec.index == stages - 1,
+                )
+                .map(Arc::new)
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+
+        // Warm the shared kernel pool off the first step's critical path.
+        let _ = echo_tensor::pool::global();
+
+        let idx = |k: usize, s: usize| k * stages + s;
+        let (done_tx, done_rx) = unbounded();
+        let mut cmd_txs = Vec::with_capacity(replicas * stages);
+        let mut cmd_rxs = Vec::with_capacity(replicas * stages);
+        for _ in 0..replicas * stages {
+            let (tx, rx) = unbounded();
+            cmd_txs.push(tx);
+            cmd_rxs.push(rx);
+        }
+
+        // Intra-replica activation/gradient chains between consecutive
+        // stages.
+        let mut act_rx: Vec<Option<Receiver<ActMsg>>> =
+            (0..replicas * stages).map(|_| None).collect();
+        let mut act_tx: Vec<Option<Sender<ActMsg>>> =
+            (0..replicas * stages).map(|_| None).collect();
+        let mut grad_rx: Vec<Option<Receiver<GradMsg>>> =
+            (0..replicas * stages).map(|_| None).collect();
+        let mut grad_tx: Vec<Option<Sender<GradMsg>>> =
+            (0..replicas * stages).map(|_| None).collect();
+        for k in 0..replicas {
+            for s in 0..stages.saturating_sub(1) {
+                let (atx, arx) = unbounded();
+                act_tx[idx(k, s)] = Some(atx);
+                act_rx[idx(k, s + 1)] = Some(arx);
+                let (gtx, grx) = unbounded();
+                grad_tx[idx(k, s + 1)] = Some(gtx);
+                grad_rx[idx(k, s)] = Some(grx);
+            }
+        }
+
+        // Per-stage cross-replica reduce trees, wired exactly like the
+        // data-parallel engine's (level-ascending inboxes).
+        let mut down: Vec<Vec<Receiver<GradSample>>> =
+            (0..replicas * stages).map(|_| Vec::new()).collect();
+        let mut up: Vec<Option<Sender<GradSample>>> =
+            (0..replicas * stages).map(|_| None).collect();
+        for s in 0..stages {
+            let mut level_stride = 2;
+            while level_stride <= replicas {
+                let half = level_stride / 2;
+                for receiver in (0..replicas).step_by(level_stride) {
+                    let sender = receiver + half;
+                    let (tx, rx) = unbounded();
+                    down[idx(receiver, s)].push(rx);
+                    up[idx(sender, s)] = Some(tx);
+                }
+                level_stride *= 2;
+            }
+        }
+
+        let mut handles = Vec::with_capacity(replicas * stages);
+        let mut cmd_rxs = cmd_rxs.into_iter();
+        for k in 0..replicas {
+            for (s, stage_wiring) in wirings.iter().enumerate() {
+                let i = idx(k, s);
+                let wiring = Arc::clone(stage_wiring);
+                let mem = DeviceMemory::with_overhead_model(options.memory_capacity, 0, 0.0);
+                let mut exec =
+                    Executor::new(Arc::clone(&wiring.spec.graph), wiring.plan.clone(), mem);
+                for &orig in &wiring.spec.params {
+                    let pi = params
+                        .binary_search_by_key(&orig, |&(id, _)| id)
+                        .map_err(|_| format!("stage {s}: template lacks param {orig}"))?;
+                    let local = wiring
+                        .spec
+                        .to_local(orig)
+                        .expect("owned params are carried by their stage");
+                    exec.bind_param(local, params[pi].1.clone())
+                        .map_err(|e| format!("stage {s} replica {k} param bind: {e}"))?;
+                }
+                let worker = StageWorker {
+                    stage: s,
+                    replica: k,
+                    exec,
+                    sim: options.sim_spec.clone().map(DeviceSim::new),
+                    bind: bind.clone(),
+                    wiring,
+                    cmd_rx: cmd_rxs.next().expect("one command inbox per worker"),
+                    done_tx: done_tx.clone(),
+                    act_rx: act_rx[i].take(),
+                    act_tx: act_tx[i].take(),
+                    grad_rx: grad_rx[i].take(),
+                    grad_tx: grad_tx[i].take(),
+                    down: std::mem::take(&mut down[i]),
+                    up: up[i].take(),
+                    #[cfg(test)]
+                    sabotage: false,
+                };
+                let handle = std::thread::Builder::new()
+                    .name(format!("pipe-r{k}-s{s}"))
+                    .spawn(move || worker.run())
+                    .map_err(|e| format!("spawning stage {s} replica {k}: {e}"))?;
+                handles.push(handle);
+            }
+        }
+
+        Ok(PipelineTrainer {
+            stages,
+            replicas,
+            plan,
+            cut,
+            template,
+            opt,
+            pending_params: None,
+            cmd_txs,
+            done_rx,
+            handles,
+            poisoned: None,
+        })
+    }
+
+    /// Pipeline depth `P`.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Replica count `K`.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The canonical reduction-tree plan.
+    pub fn plan(&self) -> &MicrobatchPlan {
+        &self.plan
+    }
+
+    /// Runs one global step: fill–drain over all stages and replicas,
+    /// canonical gradient fold, one optimizer update on the template,
+    /// and a parameter broadcast with the next step.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first worker failure (executor error or stage panic).
+    /// After a failure the trainer is poisoned and every further call
+    /// fails immediately.
+    pub fn train_step(&mut self, batch: &B) -> Result<PipelineStepReport, String> {
+        if let Some(earlier) = &self.poisoned {
+            return Err(format!("pipeline poisoned by earlier failure: {earlier}"));
+        }
+        let micros = (self.cut)(batch);
+        if micros.len() != self.plan.micro() {
+            return Err(format!(
+                "batch cut into {} micro-batches, plan expects {}",
+                micros.len(),
+                self.plan.micro()
+            ));
+        }
+        let params = self.pending_params.take();
+        let mut expected = 0usize;
+        let mut first_error: Option<String> = None;
+        for k in 0..self.replicas {
+            let span = self.plan.replica_leaves(k, self.replicas);
+            let shard = micros[span].to_vec();
+            for s in 0..self.stages {
+                let sent = self.cmd_txs[k * self.stages + s].send(PipeCmd::Step {
+                    micros: shard.clone(),
+                    params: params.clone(),
+                });
+                match sent {
+                    Ok(()) => expected += 1,
+                    Err(_) => {
+                        first_error.get_or_insert(format!(
+                            "stage {s} replica {k} worker is gone before the step"
+                        ));
+                    }
+                }
+            }
+        }
+
+        let mut stats: Vec<Option<StageStepStats>> = vec![None; self.stages * self.replicas];
+        let mut folded: Vec<Option<GradSample>> = (0..self.stages).map(|_| None).collect();
+        for _ in 0..expected {
+            match self.done_rx.recv() {
+                Ok(Ok(done)) => {
+                    stats[done.replica * self.stages + done.stage] = Some(done.stats);
+                    if let Some(sample) = done.folded {
+                        folded[done.stage] = Some(sample);
+                    }
+                }
+                Ok(Err(e)) => {
+                    first_error.get_or_insert(e);
+                }
+                Err(_) => {
+                    first_error.get_or_insert("all stage workers disconnected".to_string());
+                    break;
+                }
+            }
+        }
+        if first_error.is_none() && folded.iter().any(Option::is_none) {
+            first_error = Some("a stage produced no folded gradients".to_string());
+        }
+        if let Some(e) = first_error {
+            self.poisoned = Some(e.clone());
+            return Err(e);
+        }
+
+        // Assemble the disjoint per-stage gradients into the template,
+        // exactly as the serial trainer would: scale by 1/M, import,
+        // one optimizer pass over the full parameter set.
+        let scale = 1.0 / self.plan.micro() as f32;
+        let mut loss = 0.0f32;
+        let mut all_grads: Vec<(NodeId, Tensor)> = Vec::new();
+        for (s, sample) in folded.into_iter().enumerate() {
+            let mut sample = sample.expect("checked above");
+            sample.scale(scale);
+            if s == self.stages - 1 {
+                loss = sample.loss;
+            }
+            all_grads.extend(sample.grads);
+        }
+        all_grads.sort_by_key(|&(id, _)| id);
+        self.template.import_grads(&all_grads);
+        let grad_norm = self.opt.apply(&mut self.template);
+        self.pending_params = Some(Arc::new(self.template.export_params()));
+
+        let mut stage_stats = Vec::with_capacity(self.stages * self.replicas);
+        for k in 0..self.replicas {
+            for s in 0..self.stages {
+                stage_stats.push(
+                    stats[k * self.stages + s]
+                        .clone()
+                        .expect("every commanded worker reported"),
+                );
+            }
+        }
+        stage_stats.sort_by_key(|st| (st.stage, st.replica));
+        Ok(PipelineStepReport {
+            loss,
+            grad_norm,
+            stages: stage_stats,
+        })
+    }
+
+    /// Snapshots the coordinator's (authoritative) parameters, sorted by
+    /// original id.
+    pub fn export_params(&self) -> Vec<(NodeId, Tensor)> {
+        self.template.export_params()
+    }
+
+    /// The coordinator's template executor.
+    pub fn executor(&self) -> &Executor {
+        &self.template
+    }
+
+    /// Arms the fault-containment fixture: the next step panics inside
+    /// the given worker's stage code.
+    #[cfg(test)]
+    fn inject_panic(&self, stage: usize, replica: usize) {
+        let _ = self.cmd_txs[replica * self.stages + stage].send(PipeCmd::Sabotage);
+    }
+}
+
+impl PipelineTrainer<LmBatch> {
+    /// Convenience constructor for the word-level LM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineTrainer::new`] errors.
+    pub fn for_word_lm(
+        lm: &WordLm,
+        template: Executor,
+        partition: &StagePartition,
+        stash_plan: &StashPlan,
+        lanes: usize,
+        options: &PipelineOptions,
+        opt: Box<dyn Optimizer>,
+    ) -> Result<Self, String> {
+        let model = lm.clone();
+        let plan = MicrobatchPlan::new(lanes, options.micro_batches)?;
+        PipelineTrainer::new(
+            template,
+            partition,
+            stash_plan,
+            lanes,
+            options,
+            opt,
+            Arc::new(move |batch: &LmBatch| model.bindings(batch)),
+            Arc::new(move |batch: &LmBatch| plan.cut(batch)),
+            lm.loss,
+        )
+    }
+}
+
+impl<B> Drop for PipelineTrainer<B> {
+    fn drop(&mut self) {
+        // Closing the command channels ends every worker's recv loop;
+        // then reap the threads.
+        self.cmd_txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::Sgd;
+    use crate::word_lm::{WordLm, WordLmHyper};
+    use echo_graph::{partition_stages, Gir};
+    use echo_rnn::LstmBackend;
+
+    fn tiny_lm() -> WordLm {
+        WordLm::build(WordLmHyper {
+            vocab: 23,
+            embed: 6,
+            hidden: 8,
+            layers: 2,
+            seq_len: 4,
+            backend: LstmBackend::Default,
+        })
+    }
+
+    fn lm_partition(lm: &WordLm, batch: usize, stages: usize) -> StagePartition {
+        let binding_shapes: HashMap<NodeId, Shape> = lm
+            .symbolic_bindings(batch)
+            .iter()
+            .map(|(&id, t)| (id, t.shape().clone()))
+            .collect();
+        let gir = Gir::from_graph(
+            Arc::clone(&lm.graph),
+            &binding_shapes,
+            &lm.param_shapes(),
+            &[lm.loss],
+        )
+        .unwrap();
+        partition_stages(&gir, stages).unwrap()
+    }
+
+    fn synth_batch(lm: &WordLm, lanes: usize) -> LmBatch {
+        let t = lm.hyper.seq_len;
+        let ids: Vec<f32> = (0..t * lanes)
+            .map(|i| ((i * 7 + 3) % lm.hyper.vocab) as f32)
+            .collect();
+        let targets: Vec<f32> = (0..t * lanes)
+            .map(|i| ((i * 5 + 1) % lm.hyper.vocab) as f32)
+            .collect();
+        LmBatch {
+            input: Tensor::from_vec(Shape::d2(t, lanes), ids).unwrap(),
+            targets: Tensor::from_vec(Shape::d1(t * lanes), targets).unwrap(),
+            batch: lanes,
+            seq_len: t,
+        }
+    }
+
+    /// Satellite: a panicking stage worker must poison the pipeline —
+    /// `train_step` returns an error (and keeps failing), never
+    /// deadlocks, and `Drop` still reaps every thread.
+    #[test]
+    fn injected_stage_panic_poisons_pipeline_instead_of_deadlocking() {
+        let lm = tiny_lm();
+        let lanes = 4;
+        let mut template = Executor::new(
+            Arc::clone(&lm.graph),
+            StashPlan::stash_all(),
+            DeviceMemory::with_overhead_model(1 << 30, 0, 0.0),
+        );
+        lm.bind_params(&mut template, 11).unwrap();
+        let partition = lm_partition(&lm, lanes, 2);
+        let options = PipelineOptions::new(1, 2);
+        let mut trainer = PipelineTrainer::for_word_lm(
+            &lm,
+            template,
+            &partition,
+            &StashPlan::stash_all(),
+            lanes,
+            &options,
+            Box::new(Sgd::new(0.1)),
+        )
+        .unwrap();
+        let batch = synth_batch(&lm, lanes);
+
+        let report = trainer.train_step(&batch).expect("healthy step succeeds");
+        assert!(report.loss.is_finite());
+        assert_eq!(report.stages.len(), 2);
+
+        trainer.inject_panic(1, 0);
+        let err = trainer.train_step(&batch).unwrap_err();
+        assert!(err.contains("panicked"), "unexpected error: {err}");
+        let err2 = trainer.train_step(&batch).unwrap_err();
+        assert!(err2.contains("poisoned"), "unexpected error: {err2}");
+        // Drop must reap the remaining workers without hanging.
+    }
+}

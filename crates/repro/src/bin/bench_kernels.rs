@@ -30,6 +30,12 @@
 //!   fail unless the fused forward launch table is strictly shorter than
 //!   the unfused one. Fused and unfused loss bits must match
 //!   unconditionally.
+//! * `--pipeline` — run the pipelined trainer on an 8-layer word-LM
+//!   stack with one simulated device per stage, record per-stage busy
+//!   times and the analytic fill–drain projection at P ∈ {2, 4}, and
+//!   check the losses stay bit-identical to serial; with `--gate`, fail
+//!   unless the projected P=2 step (bubble and cut transfers included)
+//!   beats the serial step.
 //! * `--threads` — re-invoke this binary as a subprocess under
 //!   `ECHO_NUM_THREADS` ∈ {1, 2, 4} (the worker pool is sized once per
 //!   process, so each thread count needs a fresh process) and record the
@@ -49,10 +55,12 @@
 
 use echo::{EchoCompiler, EchoConfig, PassTrace, SearchReport, StashSelection};
 use echo_data::{BpttBatches, LmCorpus, NmtBatch, ParallelCorpus, Vocab};
-use echo_device::{DeviceSim, DeviceSpec};
-use echo_graph::{ExecOptions, Executor, Graph, NodeId, StashPlan};
+use echo_device::{CommModel, DeviceSim, DeviceSpec, PipelineModel, PipelineProjection};
+use echo_graph::{partition_stages, ExecOptions, Executor, Gir, Graph, NodeId, StashPlan};
 use echo_memory::{DeviceMemory, LayerKind};
-use echo_models::{NmtHyper, NmtModel, Sgd, Speedometer, WordLm, WordLmHyper};
+use echo_models::{
+    NmtHyper, NmtModel, PipelineOptions, PipelineTrainer, Sgd, Speedometer, WordLm, WordLmHyper,
+};
 use echo_ops::MeanAll;
 use echo_rnn::{GruStep, LstmBackend};
 use echo_tensor::init::{seeded_rng, uniform};
@@ -758,6 +766,137 @@ fn fusion_bench() -> FusionBench {
     }
 }
 
+/// One stage count of the `--pipeline` sweep: per-stage simulated busy
+/// times, the busiest-stage critical path, and the fill–drain projection
+/// with cut transfers over PCIe.
+struct PipelinePoint {
+    stages: usize,
+    busy_ns: Vec<u64>,
+    critical_ns: u64,
+    projection: PipelineProjection,
+}
+
+struct PipelineBench {
+    serial_ns: u64,
+    loss_bits: u32,
+    points: Vec<PipelinePoint>,
+}
+
+fn pipeline_bench(quick: bool) -> PipelineBench {
+    const LANES: usize = 16;
+    const MICRO: usize = 4;
+    let steps = if quick { 2 } else { 4 };
+    // The gate config: a stack deep enough that a 2-way layer cut leaves
+    // both stages with real work relative to the cut traffic.
+    let lm = WordLm::build(WordLmHyper {
+        vocab: 40,
+        embed: 12,
+        hidden: 16,
+        layers: 8,
+        seq_len: 6,
+        backend: LstmBackend::Default,
+    });
+    let plan = EchoCompiler::new(EchoConfig::default())
+        .compile(
+            &lm.graph,
+            &lm.symbolic_bindings(LANES / MICRO),
+            &lm.param_shapes(),
+            &[lm.loss, lm.logits],
+        )
+        .expect("compile")
+        .plan;
+    let corpus = LmCorpus::synthetic(Vocab::new(40), 8_000, 0.9, 5);
+    let batches: Vec<_> = BpttBatches::new(corpus.tokens(), LANES, lm.hyper.seq_len)
+        .take(steps)
+        .collect();
+    let binding_shapes: HashMap<NodeId, Shape> = lm
+        .symbolic_bindings(LANES / MICRO)
+        .iter()
+        .map(|(&id, t)| (id, t.shape().clone()))
+        .collect();
+    let gir = Gir::from_graph(
+        Arc::clone(&lm.graph),
+        &binding_shapes,
+        &lm.param_shapes(),
+        &[lm.loss],
+    )
+    .expect("gir");
+
+    let measure = |stages: usize| -> (Vec<u64>, u32) {
+        let partition = partition_stages(&gir, stages).expect("partition");
+        let mut template = Executor::new(Arc::clone(&lm.graph), plan.clone(), mem());
+        lm.bind_params(&mut template, 23).expect("bind");
+        let mut trainer = PipelineTrainer::for_word_lm(
+            &lm,
+            template,
+            &partition,
+            &plan,
+            LANES,
+            &PipelineOptions::new(1, MICRO).with_sim(DeviceSpec::titan_xp()),
+            Box::new(Sgd::new(0.5).with_clip_norm(5.0)),
+        )
+        .expect("trainer");
+        let mut busy = vec![0u64; stages];
+        let mut loss_bits = 0u32;
+        for batch in &batches {
+            let report = trainer.train_step(batch).expect("step");
+            loss_bits = report.loss.to_bits();
+            for stat in &report.stages {
+                busy[stat.stage] += stat.sim_ns;
+            }
+        }
+        for b in &mut busy {
+            *b /= steps as u64;
+        }
+        (busy, loss_bits)
+    };
+
+    let (serial_busy, serial_bits) = measure(1);
+    let serial_ns = serial_busy[0];
+    let mut points = Vec::new();
+    for stages in [2usize, 4] {
+        let (busy, bits) = measure(stages);
+        assert_eq!(
+            bits, serial_bits,
+            "P={stages} word-LM loss diverged from serial — pipeline numerics bug"
+        );
+        // Split each stage's busy time into per-micro forward/backward
+        // under the bwd = 2·fwd convention: every stage re-forwards in
+        // the drain, every stage but the last also forwards in the fill.
+        let (stage_fwd_ns, stage_bwd_ns): (Vec<u64>, Vec<u64>) = busy
+            .iter()
+            .enumerate()
+            .map(|(s, &b)| {
+                let fwd = if s + 1 == stages {
+                    b / (3 * MICRO as u64)
+                } else {
+                    b / (4 * MICRO as u64)
+                };
+                (fwd, 2 * fwd)
+            })
+            .unzip();
+        let partition = partition_stages(&gir, stages).expect("partition");
+        let projection = PipelineModel {
+            stage_fwd_ns,
+            stage_bwd_ns,
+            cut_bytes: partition.cut_bytes(),
+            comm: CommModel::pcie_gen3(),
+        }
+        .project(MICRO);
+        points.push(PipelinePoint {
+            stages,
+            critical_ns: *busy.iter().max().expect("stages"),
+            busy_ns: busy,
+            projection,
+        });
+    }
+    PipelineBench {
+        serial_ns,
+        loss_bits: serial_bits,
+        points,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -765,6 +904,7 @@ fn main() {
     let plan = args.iter().any(|a| a == "--plan");
     let search = args.iter().any(|a| a == "--search");
     let fusion = args.iter().any(|a| a == "--fusion");
+    let pipeline = args.iter().any(|a| a == "--pipeline");
     let threads_mode = args.iter().any(|a| a == "--threads");
     if args.iter().any(|a| a == "--threads-worker") {
         threads_worker(quick);
@@ -1218,6 +1358,76 @@ fn main() {
         println!("wrote {}", path.display());
     }
 
+    // ---- Pipelined stage parallelism (--pipeline) ---------------------
+    let mut pipeline_json = serde_json::Value::Null;
+    if pipeline {
+        let pb = pipeline_bench(quick);
+        let rows: Vec<Vec<String>> = pb
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.stages.to_string(),
+                    format!("{:.3}", p.critical_ns as f64 * 1e-6),
+                    format!("{:.3}", p.projection.pipelined_ns as f64 * 1e-6),
+                    format!("{:.0}%", p.projection.efficiency * 100.0),
+                    format!("{:.3}", p.projection.bubble_ns as f64 * 1e-6),
+                ]
+            })
+            .collect();
+        echo_repro::print_table(
+            &format!(
+                "Pipelined word-LM (8 layers, serial step {:.3} ms)",
+                pb.serial_ns as f64 * 1e-6
+            ),
+            &[
+                "stages",
+                "busiest ms",
+                "proj step ms",
+                "proj eff",
+                "bubble ms",
+            ],
+            &rows,
+        );
+        let points_json: Vec<_> = pb
+            .points
+            .iter()
+            .map(|p| {
+                json!({
+                    "stages": p.stages,
+                    "busy_ns": p.busy_ns,
+                    "critical_ns": p.critical_ns,
+                    "projected_step_ns": p.projection.pipelined_ns,
+                    "efficiency": p.projection.efficiency,
+                    "bubble_ns": p.projection.bubble_ns,
+                })
+            })
+            .collect();
+        pipeline_json = json!({
+            "model": "word_lm_default_8_layers",
+            "serial_step_ns": pb.serial_ns,
+            "loss_bits_identical_across_stage_counts": true,
+            "loss_bits": pb.loss_bits,
+            "points": points_json,
+        });
+        if gate {
+            let p2 = &pb.points[0];
+            assert_eq!(p2.stages, 2, "first pipeline point is P=2");
+            assert!(
+                p2.projection.pipelined_ns < pb.serial_ns,
+                "pipeline gate: projected P=2 step {:.3} ms (bubble + cut transfers \
+                 included) not below serial {:.3} ms",
+                p2.projection.pipelined_ns as f64 * 1e-6,
+                pb.serial_ns as f64 * 1e-6
+            );
+            println!(
+                "pipeline gate passed: P=2 projected {:.3} ms < serial {:.3} ms",
+                p2.projection.pipelined_ns as f64 * 1e-6,
+                pb.serial_ns as f64 * 1e-6
+            );
+        }
+    }
+
     let autotune = echo_tensor::policy::autotune_outcome().map(|o| {
         json!({
             "chosen": o.chosen.name(),
@@ -1248,6 +1458,7 @@ fn main() {
         "plan": plan_json,
         "search": search_json,
         "fusion": fusion_json,
+        "pipeline": pipeline_json,
         "train_steps": {
             "word_lm": {
                 "naive_ms": lm_naive_ms,

@@ -1,0 +1,457 @@
+//! The pipeline-parallel headline invariant: for the same global batch,
+//! seed, and optimizer, GPipe-style training with `P ∈ {1, 2, 4}` stages
+//! and `K ∈ {1, 2}` replicas per stage is **bit-exact** equal to the
+//! serial micro-batch reference — per-step losses, gradient norms, and
+//! every final parameter — under every stash-plan family (stash-all, the
+//! Echo pass, a recomputation-heavy Chen √N plan, and the exact-cost
+//! search), and segment replay counts match the stage-normalized serial
+//! plan exactly.
+//!
+//! Wavefront note: pipeline stage workers execute through
+//! `stage_step`/`forward_many`, which always run the legacy interpreter
+//! (no ahead-of-time plan is installed on stage executors), so every
+//! assertion here is independent of `ECHO_WAVEFRONT` and of the
+//! executors' [`WavefrontMode`] by construction. CI re-runs this suite
+//! with `ECHO_WAVEFRONT=0` and `ECHO_NUM_THREADS=4` to pin that down
+//! empirically as well.
+
+use echo::analysis::infer_shapes;
+use echo::{chen_sqrt_plan, sqrt_stride, EchoCompiler, EchoConfig, StashSelection};
+use echo_data::{BpttBatches, LmBatch, LmCorpus, MicrobatchPlan, NmtBatch, ParallelCorpus, Vocab};
+use echo_graph::{partition_stages, ExecOptions, Executor, Gir, NodeId, StagePartition, StashPlan};
+use echo_memory::DeviceMemory;
+use echo_models::{
+    MicrobatchTrainer, NmtHyper, NmtModel, Optimizer, PipelineOptions, PipelineTrainer, Sgd,
+    WordLm, WordLmHyper,
+};
+use echo_rnn::LstmBackend;
+use echo_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const LANES: usize = 8;
+const MICRO: usize = 4;
+const STEPS: usize = 2;
+const PARAM_SEED: u64 = 11;
+
+fn mem() -> DeviceMemory {
+    DeviceMemory::with_overhead_model(1 << 30, 0, 0.0)
+}
+
+/// A 4-layer stack so `P = 4` has a genuine layer-per-stage partition.
+/// The `Default` (per-step kernel) backend keeps each layer's ops
+/// partitionable — the fused CuDNN op would be a single uncuttable node.
+fn model() -> WordLm {
+    WordLm::build(WordLmHyper {
+        vocab: 30,
+        embed: 8,
+        hidden: 10,
+        layers: 4,
+        seq_len: 5,
+        backend: LstmBackend::Default,
+    })
+}
+
+fn batches(lm: &WordLm) -> Vec<LmBatch> {
+    let corpus = LmCorpus::synthetic(Vocab::new(30), 1200, 0.9, 7);
+    BpttBatches::new(corpus.tokens(), LANES, lm.hyper.seq_len)
+        .take(STEPS)
+        .collect()
+}
+
+fn optimizer() -> Sgd {
+    Sgd::new(0.5).with_momentum(0.9).with_clip_norm(5.0)
+}
+
+fn template(lm: &WordLm, plan: &StashPlan) -> Executor {
+    let mut exec = Executor::new(Arc::clone(&lm.graph), plan.clone(), mem());
+    lm.bind_params(&mut exec, PARAM_SEED).expect("bind");
+    exec
+}
+
+fn lm_partition(lm: &WordLm, stages: usize) -> StagePartition {
+    let binding_shapes: HashMap<NodeId, Shape> = lm
+        .symbolic_bindings(LANES / MICRO)
+        .iter()
+        .map(|(&id, t)| (id, t.shape().clone()))
+        .collect();
+    let gir = Gir::from_graph(
+        Arc::clone(&lm.graph),
+        &binding_shapes,
+        &lm.param_shapes(),
+        &[lm.loss],
+    )
+    .expect("gir");
+    partition_stages(&gir, stages).expect("partition")
+}
+
+/// The stash plans the invariant must hold under: Echo off, the Echo
+/// heuristic, a Chen √N plan forcing genuine replays, and the
+/// exact-cost search.
+fn plans(lm: &WordLm) -> Vec<(&'static str, StashPlan)> {
+    let compile = |selection| {
+        EchoCompiler::new(EchoConfig {
+            selection,
+            ..EchoConfig::default()
+        })
+        .compile(
+            &lm.graph,
+            &lm.symbolic_bindings(LANES / MICRO),
+            &lm.param_shapes(),
+            &[lm.loss, lm.logits],
+        )
+        .expect("echo compile")
+        .plan
+    };
+    let shapes = infer_shapes(
+        &lm.graph,
+        &lm.symbolic_bindings(LANES / MICRO),
+        &lm.param_shapes(),
+    )
+    .expect("shapes");
+    let (chen, _) = chen_sqrt_plan(
+        &lm.graph,
+        &shapes,
+        &[lm.loss, lm.logits],
+        sqrt_stride(&lm.graph),
+    );
+    vec![
+        ("echo-off", StashPlan::stash_all()),
+        ("echo-on", compile(StashSelection::Heuristic)),
+        ("chen-sqrt", chen),
+        (
+            "searched",
+            compile(StashSelection::Search { flop_budget: 1.0 }),
+        ),
+    ]
+}
+
+/// Per-step fingerprints plus final parameters of one serial run.
+struct SerialRef {
+    /// `(loss bits, grad-norm bits)` per step.
+    fps: Vec<(u32, u64)>,
+    /// Segment replays per step.
+    replays: Vec<u64>,
+    /// Final parameter bit patterns, sorted by node id.
+    params: Vec<Vec<u32>>,
+}
+
+fn serial_lm_run(lm: &WordLm, plan: &StashPlan) -> SerialRef {
+    let mut trainer = MicrobatchTrainer::for_word_lm(
+        lm,
+        template(lm, plan),
+        LANES,
+        MICRO,
+        Box::new(optimizer()),
+        None,
+    )
+    .expect("serial trainer");
+    let mut fps = Vec::new();
+    let mut replays = Vec::new();
+    for batch in batches(lm) {
+        let report = trainer.step(&batch).expect("serial step");
+        fps.push((report.loss.to_bits(), report.grad_norm.to_bits()));
+        replays.push(report.replicas.iter().map(|r| r.replays).sum());
+    }
+    SerialRef {
+        fps,
+        replays,
+        params: param_bits(&trainer.export_params()),
+    }
+}
+
+fn param_bits(params: &[(NodeId, Tensor)]) -> Vec<Vec<u32>> {
+    params
+        .iter()
+        .map(|(_, t)| t.data().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn pipeline_training_is_bit_exact_for_every_stage_and_replica_count() {
+    let lm = model();
+    let partitions: Vec<(usize, StagePartition)> = [1usize, 2, 4]
+        .iter()
+        .map(|&p| (p, lm_partition(&lm, p)))
+        .collect();
+    for (plan_name, plan) in plans(&lm) {
+        let canonical = serial_lm_run(&lm, &plan);
+        let mut family_replays = 0u64;
+        for (stages, partition) in &partitions {
+            // The stage-normalized plan (cut-interface values stashed,
+            // segments split at stage boundaries) must itself be serially
+            // bit-exact: stash-vs-replay decisions never change values.
+            // Its replay counts are the reference the pipeline must hit.
+            let normalized = serial_lm_run(&lm, &partition.normalized_plan(&plan));
+            assert_eq!(
+                normalized.fps, canonical.fps,
+                "{plan_name}: P={stages} normalized plan diverged serially"
+            );
+            assert_eq!(
+                normalized.params, canonical.params,
+                "{plan_name}: P={stages} normalized plan parameters diverged"
+            );
+            for replicas in [1usize, 2] {
+                let mut trainer = PipelineTrainer::for_word_lm(
+                    &lm,
+                    template(&lm, &plan),
+                    partition,
+                    &plan,
+                    LANES,
+                    &PipelineOptions::new(replicas, MICRO),
+                    Box::new(optimizer()),
+                )
+                .expect("pipeline trainer");
+                for (step, batch) in batches(&lm).iter().enumerate() {
+                    let report = trainer.train_step(batch).expect("pipeline step");
+                    assert_eq!(
+                        (report.loss.to_bits(), report.grad_norm.to_bits()),
+                        canonical.fps[step],
+                        "{plan_name}: step {step} diverged at P={stages} K={replicas} \
+                         (loss {} vs serial)",
+                        report.loss,
+                    );
+                    // Every stage of every replica reports once, and the
+                    // fleet's total replay work equals the normalized
+                    // serial run exactly — recomputation is neither lost
+                    // nor duplicated by the pipeline split.
+                    assert_eq!(report.stages.len(), stages * replicas);
+                    assert_eq!(
+                        report.total_replays(),
+                        normalized.replays[step],
+                        "{plan_name}: P={stages} K={replicas} replay count drifted"
+                    );
+                    family_replays += report.total_replays();
+                }
+                assert_eq!(
+                    param_bits(&trainer.export_params()),
+                    canonical.params,
+                    "{plan_name}: P={stages} K={replicas} final parameters diverged"
+                );
+            }
+        }
+        // The Chen plan must actually exercise recomputation inside the
+        // pipeline, or the replay half of the invariant is vacuous.
+        if plan_name == "chen-sqrt" {
+            assert!(family_replays > 0, "chen plan produced no pipeline replays");
+        }
+    }
+}
+
+/// The compiler front door: `pipeline_stages` in [`EchoConfig`] must
+/// surface a validated partition and per-stage summary, and that
+/// partition must drive a bit-exact pipeline run.
+#[test]
+fn compiler_partition_drives_a_bit_exact_pipeline() {
+    let lm = model();
+    let compiled = EchoCompiler::new(EchoConfig {
+        pipeline_stages: 2,
+        ..EchoConfig::default()
+    })
+    .compile(
+        &lm.graph,
+        &lm.symbolic_bindings(LANES / MICRO),
+        &lm.param_shapes(),
+        &[lm.loss, lm.logits],
+    )
+    .expect("echo compile");
+    let partition = compiled.partition.expect("compiler must emit a partition");
+    partition.validate().expect("compiler partition validates");
+    assert_eq!(partition.stage_count(), 2);
+    assert_eq!(compiled.report.stages.len(), 2);
+    let rendered = compiled.report.to_string();
+    assert!(
+        rendered.contains("stage 0"),
+        "summary missing stages:\n{rendered}"
+    );
+
+    let canonical = serial_lm_run(&lm, &compiled.plan);
+    let mut trainer = PipelineTrainer::for_word_lm(
+        &lm,
+        template(&lm, &compiled.plan),
+        &partition,
+        &compiled.plan,
+        LANES,
+        &PipelineOptions::new(1, MICRO),
+        Box::new(optimizer()),
+    )
+    .expect("pipeline trainer");
+    for (step, batch) in batches(&lm).iter().enumerate() {
+        let report = trainer.train_step(batch).expect("pipeline step");
+        assert_eq!(
+            (report.loss.to_bits(), report.grad_norm.to_bits()),
+            canonical.fps[step],
+            "compiler partition diverged at step {step}"
+        );
+    }
+    assert_eq!(param_bits(&trainer.export_params()), canonical.params);
+}
+
+// ---------------------------------------------------------------------
+// NMT: the generic (non-LM) trainer entry point, with attention and an
+// uncuttable decoder region — cuts must land between encoder layers.
+// ---------------------------------------------------------------------
+
+const NMT_LANES: usize = 8;
+const NMT_MICRO: usize = 2;
+
+/// 4 encoder layers so a 2-stage cut exists strictly inside the encoder;
+/// the decoder's attention loop is one protected-interface region.
+fn nmt_model() -> NmtModel {
+    let mut hyper = NmtHyper::tiny(30, 28);
+    hyper.embed = 10;
+    hyper.hidden = 12;
+    hyper.enc_layers = 4;
+    hyper.src_len = 5;
+    hyper.tgt_len = 6;
+    hyper.backend = LstmBackend::Default;
+    NmtModel::build(hyper)
+}
+
+fn nmt_batches() -> Vec<NmtBatch> {
+    let corpus = ParallelCorpus::synthetic(Vocab::new(30), Vocab::new(28), 200, 3..=5, 5);
+    let mut all = NmtBatch::bucketed(corpus.pairs(), NMT_LANES);
+    all.truncate(STEPS);
+    assert_eq!(all.len(), STEPS, "synthetic corpus too small");
+    all
+}
+
+fn nmt_template(model: &NmtModel, plan: &StashPlan) -> Executor {
+    let mut exec = Executor::new(Arc::clone(&model.graph), plan.clone(), mem());
+    model.bind_params(&mut exec, PARAM_SEED).expect("bind");
+    exec
+}
+
+fn nmt_plans(model: &NmtModel) -> Vec<(&'static str, StashPlan)> {
+    let compiled = EchoCompiler::new(EchoConfig::default())
+        .compile(
+            &model.graph,
+            &model.symbolic_bindings(NMT_LANES / NMT_MICRO),
+            &model.param_shapes(),
+            &[model.loss, model.logits],
+        )
+        .expect("echo compile");
+    vec![
+        ("echo-off", StashPlan::stash_all()),
+        ("echo-on", compiled.plan),
+    ]
+}
+
+/// Serial NMT reference: an independent, test-local re-statement of the
+/// canonical reduction tree (balanced fold keeping the left operand,
+/// then `1/M` scaling) — so trainer and spec cannot share a bug.
+fn serial_nmt_run(model: &NmtModel, plan: &StashPlan) -> SerialRef {
+    let mut exec = nmt_template(model, plan);
+    let mut opt = optimizer();
+    let mplan = MicrobatchPlan::new(NMT_LANES, NMT_MICRO).expect("plan");
+    let mut fps = Vec::new();
+    let mut replays = Vec::new();
+    for batch in nmt_batches() {
+        let mut leaves: Vec<(Vec<(NodeId, Tensor)>, f32)> = Vec::new();
+        let mut step_replays = 0u64;
+        for micro in mplan.cut_nmt(&batch) {
+            let stats = exec
+                .train_step(
+                    &model.bindings(&micro),
+                    model.loss,
+                    ExecOptions::default(),
+                    None,
+                )
+                .expect("serial nmt step");
+            step_replays += stats.replays;
+            leaves.push((exec.export_grads(), stats.loss.expect("loss")));
+        }
+        while leaves.len() > 1 {
+            let mut next = Vec::with_capacity(leaves.len() / 2);
+            let mut pairs = leaves.into_iter();
+            while let (Some((mut lg, ll)), Some((rg, rl))) = (pairs.next(), pairs.next()) {
+                for ((_, grad), (_, incoming)) in lg.iter_mut().zip(&rg) {
+                    grad.axpy(1.0, incoming).expect("fold");
+                }
+                next.push((lg, ll + rl));
+            }
+            leaves = next;
+        }
+        let (mut grads, mut loss) = leaves.pop().expect("non-empty");
+        let scale = 1.0 / mplan.micro() as f32;
+        for (_, grad) in &mut grads {
+            grad.scale_inplace(scale);
+        }
+        loss *= scale;
+        exec.import_grads(&grads);
+        let grad_norm = opt.apply(&mut exec);
+        fps.push((loss.to_bits(), grad_norm.to_bits()));
+        replays.push(step_replays);
+    }
+    SerialRef {
+        fps,
+        replays,
+        params: param_bits(&exec.export_params()),
+    }
+}
+
+#[test]
+fn nmt_pipeline_matches_serial_across_replicas() {
+    let model = Arc::new(nmt_model());
+    let binding_shapes: HashMap<NodeId, Shape> = model
+        .symbolic_bindings(NMT_LANES / NMT_MICRO)
+        .iter()
+        .map(|(&id, t)| (id, t.shape().clone()))
+        .collect();
+    let gir = Gir::from_graph(
+        Arc::clone(&model.graph),
+        &binding_shapes,
+        &model.param_shapes(),
+        &[model.loss],
+    )
+    .expect("gir");
+    let partition = partition_stages(&gir, 2).expect("nmt partition");
+    for (plan_name, plan) in nmt_plans(&model) {
+        let canonical = serial_nmt_run(&model, &plan);
+        let normalized = serial_nmt_run(&model, &partition.normalized_plan(&plan));
+        assert_eq!(
+            normalized.fps, canonical.fps,
+            "{plan_name}: normalized NMT plan diverged serially"
+        );
+        if plan_name == "echo-on" {
+            assert!(
+                canonical.replays.iter().sum::<u64>() > 0,
+                "echo NMT plan produced no replays"
+            );
+        }
+        for replicas in [1usize, 2] {
+            let bind_model = Arc::clone(&model);
+            let cut_plan = MicrobatchPlan::new(NMT_LANES, NMT_MICRO).expect("plan");
+            let mut trainer = PipelineTrainer::new(
+                nmt_template(&model, &plan),
+                &partition,
+                &plan,
+                NMT_LANES,
+                &PipelineOptions::new(replicas, NMT_MICRO),
+                Box::new(optimizer()),
+                Arc::new(move |batch: &NmtBatch| bind_model.bindings(batch)),
+                Arc::new(move |batch: &NmtBatch| cut_plan.cut_nmt(batch)),
+                model.loss,
+            )
+            .expect("nmt pipeline trainer");
+            for (step, batch) in nmt_batches().iter().enumerate() {
+                let report = trainer.train_step(batch).expect("nmt pipeline step");
+                assert_eq!(
+                    (report.loss.to_bits(), report.grad_norm.to_bits()),
+                    canonical.fps[step],
+                    "{plan_name}: NMT step {step} diverged at K={replicas}"
+                );
+                assert_eq!(
+                    report.total_replays(),
+                    normalized.replays[step],
+                    "{plan_name}: NMT K={replicas} replay count drifted"
+                );
+            }
+            assert_eq!(
+                param_bits(&trainer.export_params()),
+                canonical.params,
+                "{plan_name}: NMT K={replicas} final parameters diverged"
+            );
+        }
+    }
+}
