@@ -1,27 +1,49 @@
-//! Serving benchmark: latency percentiles and throughput vs batch size.
+//! Serving benchmark: closed-loop batch scaling, then an open-loop load
+//! generator gating continuous batching against the wave baseline.
 //!
-//! Drives the `echo-serve` engine with a fixed word-LM workload — eight
-//! concurrent sessions, each streaming tokens wave by wave — at
-//! `max_batch` ∈ {1, 2, 4, 8}, and reports per-request p50/p95/p99
-//! latency plus end-to-end tokens/s for each setting. Writes
-//! `BENCH_serve.json` at the repo root so every future PR can be compared
-//! against this baseline.
+//! **Closed-loop** (the PR-4 section, unchanged contract): sixteen
+//! concurrent sessions stream single-step requests wave by wave at
+//! `max_batch` ∈ {1, 2, 4, 8}, reporting per-request p50/p95/p99 latency
+//! and tokens/s per setting, gated on B=8 scaling ≥ 3× single-request.
+//!
+//! **Open-loop**: a seeded arrival schedule — bursty Poisson arrivals
+//! (exponential inter-arrivals, rate modulated by a burst phase) of
+//! generation requests with heavy-tailed (bounded-Pareto) lengths — is
+//! replayed *identically* against a wave engine and a continuous engine
+//! at a fixed offered load calibrated above the wave engine's measured
+//! capacity. Arrivals do not wait for the system (that is what "open
+//! loop" means): a rejected request is lost goodput, not a retry.
+//! Reported per mode: offered vs achieved tokens/s (goodput),
+//! completion/rejection counts, p50/p95/p99 request latency, and the
+//! continuous scheduler's occupancy and lane-churn rate. The gate
+//! requires continuous goodput strictly above wave goodput and
+//! continuous p99 at or below wave p99, at the same offered load.
 //!
 //! Flags:
 //!
-//! * `--quick` — fewer waves (the CI configuration);
-//! * `--gate`  — exit non-zero unless B=8 throughput is at least 3× the
-//!   single-request (B=1) throughput, and unless every batched
-//!   configuration reproduced the B=1 logits bit-for-bit.
+//! * `--quick` — smaller schedule / fewer waves (the CI configuration);
+//! * `--gate`  — exit non-zero unless every gate above holds, and unless
+//!   every configuration reproduced the reference logits bit-for-bit.
 //!
-//! Like `bench_kernels`, every run re-checks numerics: the argmax token
-//! streams of all four configurations must be identical, because batching
-//! is not allowed to change a single bit of any session's logits.
+//! Like `bench_kernels`, every run re-checks numerics: closed-loop
+//! argmax streams must agree across batch sizes, and open-loop argmax
+//! streams must agree across *schedulers* for every session both modes
+//! completed — batching, lane churn and scheduler choice are not allowed
+//! to change a single bit of any session's logits.
+//!
+//! Writes `BENCH_serve.json` at the repo root so every future PR can be
+//! compared against this baseline.
 
 use echo_models::WordLmHyper;
 use echo_rnn::LstmBackend;
-use echo_serve::{Engine, ServeConfig, ServeError, Ticket};
+use echo_serve::{
+    BatchMode, Engine, GenRequest, Popped, ServeConfig, ServeError, StreamEvent, StreamTicket,
+    Ticket,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde_json::json;
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 const SEED: u64 = 23;
@@ -53,6 +75,8 @@ fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     sorted_us[idx]
 }
 
+// ───────────────────────── closed-loop section ─────────────────────────
+
 struct RunResult {
     batch: usize,
     p50_us: f64,
@@ -65,7 +89,7 @@ struct RunResult {
     argmax_streams: Vec<Vec<u32>>,
 }
 
-/// One benchmark run against an engine capped at `max_batch`. With
+/// One closed-loop run against a wave engine capped at `max_batch`. With
 /// `pipelined`, every session submits one token per wave before any reply
 /// is awaited (the concurrent-clients load batching feeds on); without
 /// it, exactly one request is in flight at a time — the request-at-a-time
@@ -81,6 +105,7 @@ fn run(max_batch: usize, waves: usize, pipelined: bool) -> RunResult {
             queue_capacity: 256,
             workers: 1,
             session_capacity: 64,
+            mode: BatchMode::Wave,
             ..ServeConfig::default()
         },
     )
@@ -177,13 +202,208 @@ fn run_best(configs: &[(usize, bool)], waves: usize, repeats: usize) -> Vec<RunR
         .collect()
 }
 
+// ────────────────────────── open-loop section ──────────────────────────
+
+/// One scheduled request of the open-loop workload.
+struct Arrival {
+    /// Offset from the run's start at which this request arrives.
+    at: Duration,
+    session: u64,
+    prompt: Vec<u32>,
+    max_new: usize,
+}
+
+/// A seeded bursty-Poisson / heavy-tailed arrival schedule. Inter-arrival
+/// gaps are exponential with the instantaneous rate swinging between
+/// `0.4×` and `2.2×` the mean through a burst phase (two full bursts over
+/// the schedule), and generation lengths follow a bounded Pareto
+/// (`α = 1.4`) — most requests are short, a heavy tail is not. The same
+/// schedule is replayed verbatim against every engine under test.
+fn build_schedule(requests: usize, offered_tokens_per_s: f64, seed: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab = hyper().vocab as u32;
+    const LEN_MIN: f64 = 4.0;
+    const LEN_MAX: f64 = 48.0;
+    const ALPHA: f64 = 1.4;
+
+    // Draw lengths first so the arrival rate can be set in *requests*/s
+    // from the schedule's actual mean length.
+    let lengths: Vec<usize> = (0..requests)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            // Bounded Pareto via inverse transform.
+            let h = (LEN_MIN / LEN_MAX).powf(ALPHA);
+            let x = LEN_MIN / (1.0 - u * (1.0 - h)).powf(1.0 / ALPHA);
+            x.floor().clamp(LEN_MIN, LEN_MAX) as usize
+        })
+        .collect();
+    let mean_len = lengths.iter().sum::<usize>() as f64 / requests as f64;
+    let mean_rate = offered_tokens_per_s / mean_len; // requests per second
+
+    let mut at = 0.0f64;
+    let mut arrivals = Vec::with_capacity(requests);
+    for (i, &len) in lengths.iter().enumerate() {
+        // Burst modulation: rate swings through two full sine periods
+        // over the schedule, clamped well away from zero.
+        let phase = i as f64 / requests as f64 * 2.0 * std::f64::consts::TAU;
+        let rate = mean_rate * (1.3 + 0.9 * phase.sin()).max(0.4);
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        at += -u.ln() / rate; // exponential inter-arrival
+        let prompt_len = rng.gen_range(1usize..=3);
+        let prompt: Vec<u32> = (0..prompt_len).map(|_| rng.gen_range(0..vocab)).collect();
+        arrivals.push(Arrival {
+            at: Duration::from_secs_f64(at),
+            // One fresh session per request: both schedulers start it
+            // from zero state, so cross-mode streams are comparable.
+            session: i as u64,
+            prompt,
+            max_new: len,
+        });
+    }
+    arrivals
+}
+
+struct OpenLoopResult {
+    mode: &'static str,
+    offered_tokens_per_s: f64,
+    goodput_tokens_per_s: f64,
+    completed: u64,
+    rejected: u64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    occupancy: f64,
+    churn_per_step: f64,
+    mean_batch: f64,
+    /// argmax stream per completed session — the cross-mode fingerprint.
+    streams: HashMap<u64, Vec<u32>>,
+}
+
+/// Replays `schedule` against a fresh engine in `mode`, open loop: one
+/// driver thread submits each arrival at its scheduled time (never
+/// earlier, never waiting for capacity) and polls all live streams
+/// non-blockingly in between. Goodput counts only tokens that actually
+/// reached a client.
+fn run_open_loop(
+    mode: BatchMode,
+    mode_name: &'static str,
+    schedule: &[Arrival],
+    offered_tokens_per_s: f64,
+) -> OpenLoopResult {
+    let mut engine = Engine::start(
+        hyper(),
+        SEED,
+        ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 256,
+            workers: 1,
+            session_capacity: 64,
+            mode,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("engine start");
+
+    let mut live: Vec<(u64, StreamTicket)> = Vec::new();
+    let mut streams: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut latencies_us: Vec<f64> = Vec::new();
+    let mut emitted_tokens = 0u64;
+    let mut completed = 0u64;
+    let mut rejected = 0u64;
+    let mut next_arrival = 0usize;
+
+    let start = Instant::now();
+    loop {
+        // Submit every arrival whose time has come. Open loop: the
+        // schedule does not slow down for the engine, and a rejection
+        // (queue full) is lost goodput, not a retry.
+        while next_arrival < schedule.len() && start.elapsed() >= schedule[next_arrival].at {
+            let a = &schedule[next_arrival];
+            next_arrival += 1;
+            match engine.generate(GenRequest::new(a.session, a.prompt.clone(), a.max_new)) {
+                Ok(ticket) => live.push((a.session, ticket)),
+                Err(ServeError::Overloaded { .. }) => rejected += 1,
+                Err(e) => panic!("generate failed: {e}"),
+            }
+        }
+
+        // Drain whatever every live stream has ready, without blocking:
+        // one thread drives thousands of concurrent streams.
+        let mut made_progress = false;
+        let mut i = 0;
+        while i < live.len() {
+            let mut finished = false;
+            loop {
+                match live[i].1.poll() {
+                    Popped::Item(StreamEvent::Token { token, .. }) => {
+                        made_progress = true;
+                        emitted_tokens += 1;
+                        streams.entry(live[i].0).or_default().push(token);
+                    }
+                    Popped::Item(StreamEvent::Done { latency, .. }) => {
+                        made_progress = true;
+                        completed += 1;
+                        latencies_us.push(latency.as_secs_f64() * 1e6);
+                        finished = true;
+                        break;
+                    }
+                    Popped::Item(StreamEvent::Error(e)) => {
+                        panic!("stream for session {} errored: {e}", live[i].0)
+                    }
+                    Popped::TimedOut => break, // momentarily idle
+                    Popped::Closed => {
+                        finished = true;
+                        break;
+                    }
+                }
+            }
+            if finished {
+                live.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+
+        if next_arrival == schedule.len() && live.is_empty() {
+            break;
+        }
+        if !made_progress {
+            // Nothing ready: yield briefly instead of spinning hot.
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    engine.shutdown();
+    let stats = engine.stats();
+    assert_eq!(stats.rejected, rejected, "engine agrees on rejections");
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    OpenLoopResult {
+        mode: mode_name,
+        offered_tokens_per_s,
+        goodput_tokens_per_s: emitted_tokens as f64 / wall_s,
+        completed,
+        rejected,
+        p50_us: percentile(&latencies_us, 50.0),
+        p95_us: percentile(&latencies_us, 95.0),
+        p99_us: percentile(&latencies_us, 99.0),
+        occupancy: stats.occupancy(),
+        churn_per_step: stats.churn_per_step(),
+        mean_batch: stats.mean_batch(),
+        streams,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let gate = args.iter().any(|a| a == "--gate");
     let waves = if quick { 150 } else { 500 };
+    let open_requests = if quick { 250 } else { 800 };
     let repeats = 3;
 
+    // ── Closed loop: wave-mode batch scaling (the PR-4 gate) ──────────
     // The gate baseline: a request-at-a-time server (no batching, one
     // request in flight), then the pipelined configurations batching
     // feeds on.
@@ -223,7 +443,7 @@ fn main() {
         })
         .collect();
     echo_repro::print_table(
-        "serving latency/throughput (word-LM decode)",
+        "closed-loop serving latency/throughput (wave scheduler)",
         &[
             "max_batch",
             "p50 us",
@@ -240,6 +460,94 @@ fn main() {
     let scaling = tput_8 / tput_single;
     println!("throughput scaling B=8 vs single-request: {scaling:.2}x");
 
+    // ── Open loop: continuous vs wave at fixed offered load ───────────
+    // The offered load is calibrated *above* the wave engine's measured
+    // closed-loop capacity at B=8, so the schedule genuinely stresses
+    // both schedulers: the wave engine must shed or queue, while the
+    // continuous engine's higher service rate keeps the backlog bounded.
+    let offered_tokens_per_s = tput_8 * 1.25;
+    let schedule = build_schedule(open_requests, offered_tokens_per_s, SEED ^ 0x5eed);
+    let offered_tokens: usize = schedule.iter().map(|a| a.max_new).sum();
+    let horizon = schedule.last().expect("non-empty schedule").at;
+
+    let wave = run_open_loop(BatchMode::Wave, "wave", &schedule, offered_tokens_per_s);
+    let continuous = run_open_loop(
+        BatchMode::Continuous,
+        "continuous",
+        &schedule,
+        offered_tokens_per_s,
+    );
+
+    // Cross-scheduler numerics: every session completed by both modes
+    // must have decoded the identical argmax stream — the scheduler is
+    // not allowed to change bits any more than the batch size is.
+    let mut cross_checked = 0usize;
+    for (session, wave_stream) in &wave.streams {
+        if let Some(cont_stream) = continuous.streams.get(session) {
+            assert_eq!(
+                wave_stream, cont_stream,
+                "session {session}: wave and continuous decoded different streams"
+            );
+            cross_checked += 1;
+        }
+    }
+    assert!(
+        cross_checked > 0,
+        "no session completed under both schedulers — nothing was cross-checked"
+    );
+
+    let open_rows: Vec<Vec<String>> = [&wave, &continuous]
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                format!("{:.0}", r.offered_tokens_per_s),
+                format!("{:.0}", r.goodput_tokens_per_s),
+                format!("{}", r.completed),
+                format!("{}", r.rejected),
+                format!("{:.0}", r.p50_us),
+                format!("{:.0}", r.p99_us),
+                format!("{:.2}", r.occupancy),
+                format!("{:.2}", r.churn_per_step),
+            ]
+        })
+        .collect();
+    echo_repro::print_table(
+        "open-loop offered load vs goodput (same schedule, both schedulers)",
+        &[
+            "scheduler",
+            "offered tok/s",
+            "goodput tok/s",
+            "done",
+            "shed",
+            "p50 us",
+            "p99 us",
+            "occupancy",
+            "churn/step",
+        ],
+        &open_rows,
+    );
+    let goodput_ratio = continuous.goodput_tokens_per_s / wave.goodput_tokens_per_s;
+    println!(
+        "continuous vs wave goodput at {:.0} offered tokens/s: {goodput_ratio:.2}x \
+         (cross-checked {cross_checked} sessions bit-exact)",
+        offered_tokens_per_s
+    );
+
+    let open_json = |r: &OpenLoopResult| {
+        json!({
+            "mode": r.mode,
+            "goodput_tokens_per_s": r.goodput_tokens_per_s,
+            "completed": r.completed,
+            "rejected_requests": r.rejected,
+            "p50_us": r.p50_us,
+            "p95_us": r.p95_us,
+            "p99_us": r.p99_us,
+            "occupancy": r.occupancy,
+            "churn_per_step": r.churn_per_step,
+            "mean_batch": r.mean_batch,
+        })
+    };
     let out = json!({
         "harness": "bench_serve",
         "quick": quick,
@@ -268,6 +576,17 @@ fn main() {
             "mean_batch": r.mean_batch,
             "pool_reuse_hits": r.pool_reuse_hits,
         })).collect::<Vec<_>>(),
+        "open_loop": json!({
+            "requests": open_requests,
+            "offered_tokens": offered_tokens,
+            "offered_tokens_per_s": offered_tokens_per_s,
+            "schedule_horizon_s": horizon.as_secs_f64(),
+            "bitexact_across_schedulers": true,
+            "cross_checked_sessions": cross_checked,
+            "continuous_vs_wave_goodput": goodput_ratio,
+            "wave": open_json(&wave),
+            "continuous": open_json(&continuous),
+        }),
     });
 
     // BENCH_serve.json lives at the repo root (not $ECHO_RESULTS_DIR):
@@ -286,6 +605,22 @@ fn main() {
             scaling >= 3.0,
             "serve gate: B=8 throughput is only {scaling:.2}x single-request (need >= 3x)"
         );
-        println!("serve gate passed: {scaling:.2}x >= 3x and bit-exact across batch sizes");
+        assert!(
+            continuous.goodput_tokens_per_s > wave.goodput_tokens_per_s,
+            "serve gate: continuous goodput {:.0} tok/s must beat wave {:.0} tok/s \
+             at the same offered load",
+            continuous.goodput_tokens_per_s,
+            wave.goodput_tokens_per_s
+        );
+        assert!(
+            continuous.p99_us <= wave.p99_us,
+            "serve gate: continuous p99 {:.0}us must not exceed wave p99 {:.0}us",
+            continuous.p99_us,
+            wave.p99_us
+        );
+        println!(
+            "serve gate passed: {scaling:.2}x >= 3x closed-loop, continuous beats wave \
+             {goodput_ratio:.2}x open-loop, bit-exact everywhere"
+        );
     }
 }

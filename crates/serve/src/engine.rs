@@ -1,9 +1,9 @@
 //! The serving engine: bounded admission, worker threads, planned decode.
 //!
 //! ```text
-//! submit(session, token) ──try_push──▶ worker queue ──collect_batch──▶
-//!   resolve states (cache hit | re-warm from history) ──▶
-//!   set plans[B] ──infer_step──▶ per-lane logits + next states ──▶ Ticket
+//! generate(session, prompt, n) ──try_push──▶ worker queue ──scheduler──▶
+//!   join running batch ──▶ per-step lane compaction ──infer_step──▶
+//!   streamed tokens ──▶ leave on completion ──▶ Done
 //! ```
 //!
 //! Sessions are partitioned across workers by session-id hash, so all
@@ -15,15 +15,24 @@
 //! [`ExecPlan`] per batch size `1..=max_batch` from the prototype and all
 //! replicas share them.
 //!
+//! Two schedulers drive the decode loop ([`BatchMode`]):
+//!
+//! * **Continuous** (the default, [`crate::scheduler`]) — sessions join
+//!   and leave a *running* batch between decode steps; the batch never
+//!   drains to admit a newcomer and never waits to fill.
+//! * **Wave** (the PR-4 baseline, [`crate::batcher`]) — coalesce a
+//!   micro-batch, run it to completion, repeat. Kept as the measured
+//!   baseline the open-loop benchmark gates continuous batching against.
+//!
 //! Because the decode path is batch-invariant (see
 //! [`echo_models::infer`]), none of these mechanics change a single bit
-//! of any session's logits: batching, eviction + re-warm, and plan-driven
-//! vs legacy execution are all transparent.
+//! of any session's logits: batching, lane churn, eviction + re-warm, and
+//! plan-driven vs legacy execution are all transparent.
 
 use crate::batcher::{collect_batch, BatchPolicy};
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::{BoundedQueue, Popped, PushError};
+use crate::scheduler::{Job, Reply};
 use crate::session::SessionCache;
-use crossbeam::channel;
 use echo_graph::{ExecPlan, Executor, StashPlan};
 use echo_memory::{DeviceMemory, TensorPoolStats};
 use echo_models::{LmState, WordLmDecoder, WordLmHyper};
@@ -32,14 +41,30 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Which scheduler runs the decode loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Continuous in-flight batching: sessions join and leave a running
+    /// batch between decode steps (lane compaction over the pre-built
+    /// per-batch-size plans). The production default.
+    #[default]
+    Continuous,
+    /// Wave batching: coalesce, run, repeat (the PR-4 scheduler). Kept
+    /// as the baseline the serving benchmark gates continuous against.
+    Wave,
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// Largest micro-batch; plans are pre-built for every size up to it.
+    /// Largest micro-batch / lane count; plans are pre-built for every
+    /// size up to it.
     pub max_batch: usize,
-    /// How long a batch stays open after its first request.
+    /// Wave mode only: how long a batch stays open after its first
+    /// request. The continuous scheduler never waits — it admits
+    /// whatever is queued between steps.
     pub max_wait: Duration,
     /// Per-worker admission queue depth; pushes beyond it are rejected.
     pub queue_capacity: usize,
@@ -56,6 +81,12 @@ pub struct ServeConfig {
     pub fuse: bool,
     /// Simulated device capacity per replica.
     pub mem_bytes: u64,
+    /// Which scheduler runs the decode loop.
+    pub mode: BatchMode,
+    /// Per-tenant cap on requests in flight (admitted but not finished);
+    /// `0` disables quotas. Admission beyond the cap is rejected with
+    /// [`ServeError::QuotaExceeded`] — reject, never block.
+    pub tenant_inflight_limit: usize,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +100,8 @@ impl Default for ServeConfig {
             plan: true,
             fuse: false,
             mem_bytes: 4 << 30,
+            mode: BatchMode::Continuous,
+            tenant_inflight_limit: 0,
         }
     }
 }
@@ -81,6 +114,19 @@ pub enum ServeError {
         /// The queue depth that was exceeded.
         capacity: usize,
     },
+    /// The tenant already has its full quota of requests in flight.
+    QuotaExceeded {
+        /// The tenant that was refused.
+        tenant: u64,
+        /// Its in-flight cap.
+        limit: usize,
+    },
+    /// The request itself is malformed (empty prompt, out-of-vocabulary
+    /// token, zero-length generation).
+    Invalid(String),
+    /// A bounded wait elapsed before the engine answered
+    /// ([`Ticket::wait_timeout`], [`StreamTicket::next_timeout`]).
+    Timeout,
     /// The engine is shutting down; no new work is accepted.
     ShuttingDown,
     /// The decode step itself failed.
@@ -93,6 +139,11 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded { capacity } => {
                 write!(f, "admission queue full (capacity {capacity})")
             }
+            ServeError::QuotaExceeded { tenant, limit } => {
+                write!(f, "tenant {tenant} already has {limit} requests in flight")
+            }
+            ServeError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::Timeout => write!(f, "timed out waiting for the engine"),
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
             ServeError::Exec(msg) => write!(f, "decode step failed: {msg}"),
         }
@@ -124,10 +175,116 @@ impl StepOutput {
     }
 }
 
-/// A pending response; [`wait`](Ticket::wait) blocks until the worker
-/// executes the request's batch.
+/// A multi-token generation request for [`Engine::generate`].
+///
+/// The engine consumes the whole `prompt` (prefill), then greedily
+/// decodes `max_new_tokens` tokens, feeding each step's argmax back as
+/// the next input. One [`StreamEvent::Token`] is emitted per generated
+/// token, the first carrying the logits right after the prompt.
+#[derive(Debug, Clone)]
+pub struct GenRequest {
+    /// Session this stream extends (state cached across requests).
+    pub session: u64,
+    /// Tenant for admission quotas (`0` = the default tenant).
+    pub tenant: u64,
+    /// Tokens to consume before the first emission; must be non-empty.
+    pub prompt: Vec<u32>,
+    /// Tokens to generate (= [`StreamEvent::Token`] events); minimum 1.
+    pub max_new_tokens: usize,
+}
+
+impl GenRequest {
+    /// A request for the default tenant.
+    pub fn new(session: u64, prompt: Vec<u32>, max_new_tokens: usize) -> GenRequest {
+        GenRequest {
+            session,
+            tenant: 0,
+            prompt,
+            max_new_tokens,
+        }
+    }
+
+    /// Same request on behalf of `tenant`.
+    pub fn with_tenant(mut self, tenant: u64) -> GenRequest {
+        self.tenant = tenant;
+        self
+    }
+}
+
+/// One event on a generation stream.
+#[derive(Debug, Clone)]
+pub enum StreamEvent {
+    /// A generated token (greedy argmax), with its logits.
+    Token {
+        /// Position in the generated stream, `0..max_new_tokens`.
+        index: usize,
+        /// The argmax token.
+        token: u32,
+        /// The full next-token logits the argmax came from.
+        logits: Vec<f32>,
+        /// Lanes in the decode step that produced this token
+        /// (observability only — never changes the bits).
+        batch: usize,
+    },
+    /// The stream finished; no further events follow.
+    Done {
+        /// Tokens generated (equals the request's `max_new_tokens`
+        /// unless the stream errored).
+        generated: usize,
+        /// Submit-to-done wall time.
+        latency: Duration,
+    },
+    /// The stream failed; no further events follow.
+    Error(ServeError),
+}
+
+/// A pending generation stream; events arrive in order and end with
+/// [`StreamEvent::Done`] or [`StreamEvent::Error`].
+pub struct StreamTicket {
+    pub(crate) rx: BoundedQueue<StreamEvent>,
+}
+
+impl fmt::Debug for StreamTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamTicket").finish_non_exhaustive()
+    }
+}
+
+impl StreamTicket {
+    /// Blocks for the next event; `None` once the stream is exhausted
+    /// (or the engine dropped it mid-shutdown).
+    pub fn next(&self) -> Option<StreamEvent> {
+        self.rx.pop_wait()
+    }
+
+    /// Blocks at most `timeout` for the next event.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Timeout`] if nothing arrived in time — the caller
+    /// keeps the ticket and may retry or abandon the stream (a wedged
+    /// worker must never wedge a front-end handler with it).
+    pub fn next_timeout(&self, timeout: Duration) -> Result<Option<StreamEvent>, ServeError> {
+        match self.rx.pop_deadline(Instant::now() + timeout) {
+            Popped::Item(ev) => Ok(Some(ev)),
+            Popped::Closed => Ok(None),
+            Popped::TimedOut => Err(ServeError::Timeout),
+        }
+    }
+
+    /// Non-blocking poll: an event if one is ready, [`Popped::TimedOut`]
+    /// when the stream is momentarily idle, [`Popped::Closed`] when it is
+    /// exhausted. Load generators juggle thousands of streams on one
+    /// thread with this.
+    pub fn poll(&self) -> Popped<StreamEvent> {
+        self.rx.try_pop()
+    }
+}
+
+/// A pending single-step response; [`wait`](Ticket::wait) blocks until
+/// the worker executes the request's batch.
 pub struct Ticket {
-    rx: channel::Receiver<Result<StepOutput, ServeError>>,
+    pub(crate) rx: BoundedQueue<Result<StepOutput, ServeError>>,
 }
 
 impl fmt::Debug for Ticket {
@@ -145,31 +302,142 @@ impl Ticket {
     /// [`ServeError::ShuttingDown`] if the engine dropped the request's
     /// reply channel without answering.
     pub fn wait(self) -> Result<StepOutput, ServeError> {
-        match self.rx.recv() {
-            Ok(result) => result,
-            Err(_) => Err(ServeError::ShuttingDown),
+        match self.rx.pop_wait() {
+            Some(result) => result,
+            None => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Blocks at most `timeout` for the answer.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Timeout`] if the engine has not answered in time —
+    /// the ticket is consumed and the (eventual) reply discarded, so a
+    /// wedged worker can never wedge a front-end handler.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<StepOutput, ServeError> {
+        match self.rx.pop_deadline(Instant::now() + timeout) {
+            Popped::Item(result) => result,
+            Popped::Closed => Err(ServeError::ShuttingDown),
+            Popped::TimedOut => Err(ServeError::Timeout),
+        }
+    }
+
+    /// Non-blocking poll: `Some` once the engine has answered.
+    pub fn try_wait(&self) -> Option<Result<StepOutput, ServeError>> {
+        match self.rx.try_pop() {
+            Popped::Item(result) => Some(result),
+            Popped::Closed => Some(Err(ServeError::ShuttingDown)),
+            Popped::TimedOut => None,
         }
     }
 }
 
-struct Request {
-    session: u64,
-    token: u32,
-    reply: channel::Sender<Result<StepOutput, ServeError>>,
+/// Per-tenant in-flight accounting behind [`Engine::generate`]'s
+/// admission check. `limit == 0` disables quotas entirely.
+pub(crate) struct TenantLedger {
+    limit: usize,
+    inflight: Mutex<HashMap<u64, usize>>,
 }
 
-/// Per-worker counters, published after every batch.
+impl TenantLedger {
+    fn new(limit: usize) -> TenantLedger {
+        TenantLedger {
+            limit,
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Reserves one in-flight slot for `tenant`, or refuses.
+    fn try_admit(&self, tenant: u64) -> bool {
+        if self.limit == 0 {
+            return true;
+        }
+        let mut map = self.inflight.lock().unwrap();
+        let n = map.entry(tenant).or_insert(0);
+        if *n >= self.limit {
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    /// Returns `tenant`'s slot; called by workers when a request
+    /// finishes (done or failed).
+    pub(crate) fn release(&self, tenant: u64) {
+        if self.limit == 0 {
+            return;
+        }
+        let mut map = self.inflight.lock().unwrap();
+        if let Some(n) = map.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                map.remove(&tenant);
+            }
+        }
+    }
+}
+
+/// A bounded reservoir of request completion latencies (submit → done),
+/// in microseconds. Percentiles are computed over the most recent
+/// `CAP` completions — a sliding window, which is what a live `STATS`
+/// endpoint wants anyway.
+pub(crate) struct LatencyRecorder {
+    samples: Mutex<(Vec<u64>, usize)>,
+}
+
+const LATENCY_CAP: usize = 8192;
+
+impl LatencyRecorder {
+    fn new() -> LatencyRecorder {
+        LatencyRecorder {
+            samples: Mutex::new((Vec::new(), 0)),
+        }
+    }
+
+    pub(crate) fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut guard = self.samples.lock().unwrap();
+        let (ring, next) = &mut *guard;
+        if ring.len() < LATENCY_CAP {
+            ring.push(us);
+        } else {
+            ring[*next] = us;
+            *next = (*next + 1) % LATENCY_CAP;
+        }
+    }
+
+    /// `(p50, p95, p99)` in microseconds over the current window.
+    fn percentiles(&self) -> (f64, f64, f64) {
+        let mut snapshot = self.samples.lock().unwrap().0.clone();
+        if snapshot.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        snapshot.sort_unstable();
+        let pick = |p: f64| {
+            let idx = ((p / 100.0) * (snapshot.len() - 1) as f64).round() as usize;
+            snapshot[idx] as f64
+        };
+        (pick(50.0), pick(95.0), pick(99.0))
+    }
+}
+
+/// Per-worker counters, published after every batch / decode step.
 #[derive(Debug, Clone, Copy, Default)]
-struct WorkerMetrics {
-    completed: u64,
-    batches: u64,
-    max_batch: usize,
-    cache_hits: u64,
-    cache_misses: u64,
-    evictions: u64,
-    rewarms: u64,
-    rewarm_tokens: u64,
-    pool: TensorPoolStats,
+pub(crate) struct WorkerMetrics {
+    pub(crate) completed: u64,
+    pub(crate) batches: u64,
+    pub(crate) max_batch: usize,
+    pub(crate) steps: u64,
+    pub(crate) lanes_stepped: u64,
+    pub(crate) joins: u64,
+    pub(crate) leaves: u64,
+    pub(crate) cache_hits: u64,
+    pub(crate) cache_misses: u64,
+    pub(crate) evictions: u64,
+    pub(crate) rewarms: u64,
+    pub(crate) rewarm_tokens: u64,
+    pub(crate) pool: TensorPoolStats,
 }
 
 /// Point-in-time engine counters from [`Engine::stats`].
@@ -179,12 +447,25 @@ pub struct EngineStats {
     pub submitted: u64,
     /// Requests refused at admission (queue full).
     pub rejected: u64,
-    /// Requests answered with logits.
+    /// Requests refused at admission (tenant over quota).
+    pub quota_rejected: u64,
+    /// Requests answered in full (single steps and whole generation
+    /// streams each count once).
     pub completed: u64,
-    /// Micro-batches executed.
+    /// Micro-batches executed (wave scheduler).
     pub batches: u64,
-    /// Largest micro-batch observed.
+    /// Largest lane count observed in any step.
     pub max_batch_observed: usize,
+    /// Decode steps executed (continuous scheduler).
+    pub steps: u64,
+    /// Total lanes across all decode steps; `/ steps` = occupancy.
+    pub lanes_stepped: u64,
+    /// Sessions that joined a running batch.
+    pub joins: u64,
+    /// Sessions that left a running batch.
+    pub leaves: u64,
+    /// Requests currently waiting in admission queues.
+    pub queue_depth: usize,
     /// Session-state cache hits across workers.
     pub cache_hits: u64,
     /// Session-state cache misses (new or evicted sessions).
@@ -200,15 +481,50 @@ pub struct EngineStats {
     /// Pool takes served without allocating (storage recycled across
     /// requests).
     pub pool_reuse_hits: u64,
+    /// p50 of request completion latency, microseconds (sliding window).
+    pub p50_us: f64,
+    /// p95 of request completion latency, microseconds.
+    pub p95_us: f64,
+    /// p99 of request completion latency, microseconds.
+    pub p99_us: f64,
 }
 
 impl EngineStats {
-    /// Mean lanes per executed batch.
+    /// Mean lanes per executed wave batch.
     pub fn mean_batch(&self) -> f64 {
         if self.batches == 0 {
             0.0
         } else {
             self.completed as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean lanes per continuous decode step — the occupancy the memory
+    /// savings bought.
+    pub fn occupancy(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.lanes_stepped as f64 / self.steps as f64
+        }
+    }
+
+    /// Lane joins + leaves per decode step — how hard the batch churns.
+    pub fn churn_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            (self.joins + self.leaves) as f64 / self.steps as f64
+        }
+    }
+
+    /// Session-cache hit rate over all lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
         }
     }
 }
@@ -217,12 +533,16 @@ impl EngineStats {
 /// request path.
 pub struct Engine {
     decoder: Arc<WordLmDecoder>,
-    queues: Vec<BoundedQueue<Request>>,
+    queues: Vec<BoundedQueue<Job>>,
     workers: Vec<JoinHandle<()>>,
     submitted: AtomicU64,
     rejected: AtomicU64,
+    quota_rejected: AtomicU64,
     metrics: Arc<Vec<Mutex<WorkerMetrics>>>,
+    ledger: Arc<TenantLedger>,
+    latency: Arc<LatencyRecorder>,
     plans: Vec<Arc<ExecPlan>>,
+    vocab: usize,
 }
 
 impl fmt::Debug for Engine {
@@ -270,7 +590,7 @@ impl Engine {
         }
 
         let workers = config.workers.max(1);
-        let queues: Vec<BoundedQueue<Request>> = (0..workers)
+        let queues: Vec<BoundedQueue<Job>> = (0..workers)
             .map(|_| BoundedQueue::new(config.queue_capacity))
             .collect();
         let metrics: Arc<Vec<Mutex<WorkerMetrics>>> = Arc::new(
@@ -278,6 +598,8 @@ impl Engine {
                 .map(|_| Mutex::new(WorkerMetrics::default()))
                 .collect(),
         );
+        let ledger = Arc::new(TenantLedger::new(config.tenant_inflight_limit));
+        let latency = Arc::new(LatencyRecorder::new());
         let mut handles = Vec::new();
         for (i, queue) in queues.iter().enumerate() {
             let exec = proto.clone_replica(mem()).map_err(exec_err)?;
@@ -292,13 +614,19 @@ impl Engine {
                     max_wait: config.max_wait,
                 },
                 metrics: Arc::clone(&metrics),
+                ledger: Arc::clone(&ledger),
+                latency: Arc::clone(&latency),
                 slot: i,
                 exec,
             };
+            let mode = config.mode;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("echo-serve-{i}"))
-                    .spawn(move || worker.run())
+                    .spawn(move || match mode {
+                        BatchMode::Wave => worker.run_wave(),
+                        BatchMode::Continuous => worker.run_continuous(),
+                    })
                     .expect("spawn worker thread"),
             );
         }
@@ -309,8 +637,12 @@ impl Engine {
             workers: handles,
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            quota_rejected: AtomicU64::new(0),
             metrics,
+            ledger,
+            latency,
             plans,
+            vocab: hyper.vocab,
         })
     }
 
@@ -325,9 +657,47 @@ impl Engine {
         &self.plans
     }
 
+    /// Submits a generation stream: prefill `prompt`, then greedily
+    /// decode `max_new_tokens` tokens, streaming each one. Requests of
+    /// one session are answered in submission order; under the
+    /// continuous scheduler the stream's session occupies one lane of
+    /// the running batch until it finishes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Invalid`] for a malformed request,
+    /// [`ServeError::QuotaExceeded`] when the tenant is at its in-flight
+    /// cap, [`ServeError::Overloaded`] when the session's worker queue
+    /// is full, [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn generate(&self, request: GenRequest) -> Result<StreamTicket, ServeError> {
+        if request.prompt.is_empty() {
+            return Err(ServeError::Invalid("empty prompt".to_string()));
+        }
+        if request.max_new_tokens == 0 {
+            return Err(ServeError::Invalid("max_new_tokens must be >= 1".into()));
+        }
+        if let Some(&bad) = request.prompt.iter().find(|&&t| t as usize >= self.vocab) {
+            return Err(ServeError::Invalid(format!(
+                "token {bad} out of vocabulary ({})",
+                self.vocab
+            )));
+        }
+        let rx = BoundedQueue::unbounded();
+        let job = Job {
+            session: request.session,
+            tenant: request.tenant,
+            prompt: request.prompt,
+            max_new: request.max_new_tokens,
+            reply: Reply::Stream(rx.clone()),
+            submitted: Instant::now(),
+        };
+        self.enqueue(job)?;
+        Ok(StreamTicket { rx })
+    }
+
     /// Submits one token for `session` and returns a [`Ticket`] for the
-    /// response. Requests of one session are answered in submission
-    /// order.
+    /// response (a single-step request on the default tenant). Requests
+    /// of one session are answered in submission order.
     ///
     /// # Errors
     ///
@@ -335,25 +705,45 @@ impl Engine {
     /// (backpressure by rejection — never by blocking), or
     /// [`ServeError::ShuttingDown`] after [`Engine::shutdown`] began.
     pub fn submit(&self, session: u64, token: u32) -> Result<Ticket, ServeError> {
-        let queue = &self.queues[self.worker_of(session)];
-        let (tx, rx) = channel::unbounded();
-        let request = Request {
+        let rx = BoundedQueue::unbounded();
+        let job = Job {
             session,
-            token,
-            reply: tx,
+            tenant: 0,
+            prompt: vec![token],
+            max_new: 1,
+            reply: Reply::Step(rx.clone()),
+            submitted: Instant::now(),
         };
-        match queue.try_push(request) {
+        self.enqueue(job)?;
+        Ok(Ticket { rx })
+    }
+
+    fn enqueue(&self, job: Job) -> Result<(), ServeError> {
+        let tenant = job.tenant;
+        if !self.ledger.try_admit(tenant) {
+            self.quota_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QuotaExceeded {
+                tenant,
+                limit: self.ledger.limit,
+            });
+        }
+        let queue = &self.queues[self.worker_of(job.session)];
+        match queue.try_push(job) {
             Ok(()) => {
                 self.submitted.fetch_add(1, Ordering::Relaxed);
-                Ok(Ticket { rx })
+                Ok(())
             }
             Err((_, PushError::Full)) => {
+                self.ledger.release(tenant);
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(ServeError::Overloaded {
                     capacity: queue.capacity(),
                 })
             }
-            Err((_, PushError::Closed)) => Err(ServeError::ShuttingDown),
+            Err((_, PushError::Closed)) => {
+                self.ledger.release(tenant);
+                Err(ServeError::ShuttingDown)
+            }
         }
     }
 
@@ -374,15 +764,25 @@ impl Engine {
 
     /// Aggregated engine counters.
     pub fn stats(&self) -> EngineStats {
+        let (p50, p95, p99) = self.latency.percentiles();
         let mut stats = EngineStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            quota_rejected: self.quota_rejected.load(Ordering::Relaxed),
+            queue_depth: self.queues.iter().map(BoundedQueue::len).sum(),
+            p50_us: p50,
+            p95_us: p95,
+            p99_us: p99,
             ..EngineStats::default()
         };
         for slot in self.metrics.iter() {
             let m = slot.lock().unwrap();
             stats.batches += m.batches;
             stats.max_batch_observed = stats.max_batch_observed.max(m.max_batch);
+            stats.steps += m.steps;
+            stats.lanes_stepped += m.lanes_stepped;
+            stats.joins += m.joins;
+            stats.leaves += m.leaves;
             stats.cache_hits += m.cache_hits;
             stats.cache_misses += m.cache_misses;
             stats.evictions += m.evictions;
@@ -413,88 +813,162 @@ impl Drop for Engine {
     }
 }
 
-struct Worker {
-    decoder: Arc<WordLmDecoder>,
-    plans: Vec<Arc<ExecPlan>>,
-    queue: BoundedQueue<Request>,
-    cache: SessionCache,
-    history: HashMap<u64, Vec<u32>>,
-    policy: BatchPolicy,
-    metrics: Arc<Vec<Mutex<WorkerMetrics>>>,
-    slot: usize,
-    exec: Executor,
+pub(crate) struct Worker {
+    pub(crate) decoder: Arc<WordLmDecoder>,
+    pub(crate) plans: Vec<Arc<ExecPlan>>,
+    pub(crate) queue: BoundedQueue<Job>,
+    pub(crate) cache: SessionCache,
+    pub(crate) history: HashMap<u64, Vec<u32>>,
+    pub(crate) policy: BatchPolicy,
+    pub(crate) metrics: Arc<Vec<Mutex<WorkerMetrics>>>,
+    pub(crate) ledger: Arc<TenantLedger>,
+    pub(crate) latency: Arc<LatencyRecorder>,
+    pub(crate) slot: usize,
+    pub(crate) exec: Executor,
 }
 
 impl Worker {
-    fn run(mut self) {
+    /// The wave scheduler: coalesce a micro-batch, run it, repeat.
+    fn run_wave(mut self) {
         let mut carryover = VecDeque::new();
         let mut local = WorkerMetrics::default();
         while let Some(batch) =
-            collect_batch(&self.queue, &mut carryover, &self.policy, |r: &Request| {
-                r.session
+            collect_batch(&self.queue, &mut carryover, &self.policy, |j: &Job| {
+                j.session
             })
         {
             if batch.is_empty() {
                 continue;
             }
-            self.execute(batch, &mut local);
-            local.pool = self.exec.tensor_pool_stats();
-            local.cache_hits = self.cache.hits();
-            local.cache_misses = self.cache.misses();
-            local.evictions = self.cache.evictions();
-            *self.metrics[self.slot].lock().unwrap() = local;
+            self.execute_wave(batch, &mut local);
+            self.publish(&mut local);
         }
     }
 
-    /// Runs one micro-batch: resolve every lane's state, decode, reply.
-    fn execute(&mut self, batch: Vec<Request>, local: &mut WorkerMetrics) {
-        let mut lanes = Vec::with_capacity(batch.len());
-        for request in batch {
-            match self.resolve_state(request.session, local) {
-                Ok(state) => lanes.push((request, state)),
-                Err(e) => {
-                    let _ = request.reply.send(Err(e));
+    /// Copies cache / pool gauges into `local` and publishes it.
+    pub(crate) fn publish(&mut self, local: &mut WorkerMetrics) {
+        local.pool = self.exec.tensor_pool_stats();
+        local.cache_hits = self.cache.hits();
+        local.cache_misses = self.cache.misses();
+        local.evictions = self.cache.evictions();
+        *self.metrics[self.slot].lock().unwrap() = *local;
+    }
+
+    /// Runs one wave micro-batch. Single-step jobs (the common wave
+    /// workload) coalesce into one batched decode; multi-token
+    /// generation jobs run alone at `B = 1` — the wave scheduler has no
+    /// notion of a lane outliving a batch, which is exactly the gap the
+    /// continuous scheduler closes.
+    fn execute_wave(&mut self, batch: Vec<Job>, local: &mut WorkerMetrics) {
+        let (singles, longs): (Vec<Job>, Vec<Job>) = batch
+            .into_iter()
+            .partition(|j| j.prompt.len() == 1 && j.max_new == 1);
+
+        if !singles.is_empty() {
+            let mut lanes = Vec::with_capacity(singles.len());
+            for job in singles {
+                match self.resolve_state(job.session, local) {
+                    Ok(state) => lanes.push((job, state)),
+                    Err(e) => {
+                        self.ledger.release(job.tenant);
+                        job.reply.fail(e);
+                    }
                 }
             }
-        }
-        if lanes.is_empty() {
-            return;
+            if !lanes.is_empty() {
+                let b = lanes.len();
+                let tokens: Vec<u32> = lanes.iter().map(|(j, _)| j.prompt[0]).collect();
+                let (jobs, states): (Vec<Job>, Vec<LmState>) = lanes.into_iter().unzip();
+                self.install_plan(b);
+                match self.decoder.infer_step(&mut self.exec, &tokens, &states) {
+                    Ok((logits, next)) => {
+                        local.batches += 1;
+                        local.max_batch = local.max_batch.max(b);
+                        for ((job, lane_logits), state) in jobs.into_iter().zip(logits).zip(next) {
+                            self.cache.put(job.session, state);
+                            self.history
+                                .entry(job.session)
+                                .or_default()
+                                .push(job.prompt[0]);
+                            local.completed += 1;
+                            self.ledger.release(job.tenant);
+                            self.latency.record(job.submitted.elapsed());
+                            job.reply.token(0, lane_logits, b);
+                            job.reply.done(1, job.submitted.elapsed());
+                        }
+                    }
+                    Err(e) => {
+                        let err = ServeError::Exec(e.to_string());
+                        for job in jobs {
+                            self.ledger.release(job.tenant);
+                            job.reply.fail(err.clone());
+                        }
+                    }
+                }
+            }
         }
 
-        let b = lanes.len();
-        let tokens: Vec<u32> = lanes.iter().map(|(r, _)| r.token).collect();
-        let (requests, states): (Vec<Request>, Vec<LmState>) = lanes.into_iter().unzip();
-        self.install_plan(b);
-        match self.decoder.infer_step(&mut self.exec, &tokens, &states) {
-            Ok((logits, next)) => {
-                local.batches += 1;
-                local.max_batch = local.max_batch.max(b);
-                local.completed += b as u64;
-                for ((request, lane_logits), state) in requests.into_iter().zip(logits).zip(next) {
-                    self.cache.put(request.session, state);
-                    self.history
-                        .entry(request.session)
-                        .or_default()
-                        .push(request.token);
-                    let _ = request.reply.send(Ok(StepOutput {
-                        logits: lane_logits,
-                        batch_size: b,
-                    }));
-                }
-            }
+        for job in longs {
+            self.execute_alone(job, local);
+        }
+    }
+
+    /// Runs one generation stream to completion at `B = 1` (wave mode's
+    /// only option for multi-token jobs).
+    fn execute_alone(&mut self, job: Job, local: &mut WorkerMetrics) {
+        let mut state = match self.resolve_state(job.session, local) {
+            Ok(state) => state,
             Err(e) => {
-                let err = ServeError::Exec(e.to_string());
-                for request in requests {
-                    let _ = request.reply.send(Err(err.clone()));
+                self.ledger.release(job.tenant);
+                job.reply.fail(e);
+                return;
+            }
+        };
+        self.install_plan(1);
+        let mut pending: VecDeque<u32> = job.prompt.iter().copied().collect();
+        let mut next = pending.pop_front().expect("validated non-empty");
+        let mut emitted = 0usize;
+        loop {
+            match self
+                .decoder
+                .infer_step(&mut self.exec, &[next], std::slice::from_ref(&state))
+            {
+                Ok((mut logits, mut states)) => {
+                    self.history.entry(job.session).or_default().push(next);
+                    state = states.pop().expect("one lane");
+                    local.batches += 1;
+                    local.max_batch = local.max_batch.max(1);
+                    if let Some(p) = pending.pop_front() {
+                        next = p; // still prefilling
+                        continue;
+                    }
+                    let lane_logits = logits.pop().expect("one lane");
+                    let token = argmax(&lane_logits);
+                    job.reply.token(emitted, lane_logits, 1);
+                    emitted += 1;
+                    if emitted == job.max_new {
+                        break;
+                    }
+                    next = token;
+                }
+                Err(e) => {
+                    self.ledger.release(job.tenant);
+                    job.reply.fail(ServeError::Exec(e.to_string()));
+                    return;
                 }
             }
         }
+        self.cache.put(job.session, state);
+        local.completed += 1;
+        self.ledger.release(job.tenant);
+        self.latency.record(job.submitted.elapsed());
+        job.reply.done(emitted, job.submitted.elapsed());
     }
 
     /// A session's current state: cache hit, or transparent re-warm by
     /// replaying its token history from zero (bit-identical to never
     /// having been evicted, by batch invariance).
-    fn resolve_state(
+    pub(crate) fn resolve_state(
         &mut self,
         session: u64,
         local: &mut WorkerMetrics,
@@ -523,9 +997,87 @@ impl Worker {
     /// Installs the pre-built plan for batch size `b` (no-op when
     /// planning is disabled; sizes beyond `max_batch` fall back to the
     /// legacy interpreter bit-identically).
-    fn install_plan(&mut self, b: usize) {
+    pub(crate) fn install_plan(&mut self, b: usize) {
         if let Some(plan) = self.plans.get(b - 1) {
             let _ = self.exec.set_exec_plan(Arc::clone(plan));
         }
+    }
+}
+
+/// Greedy decoding's next token for a logits row.
+pub(crate) fn argmax(logits: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > logits[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The stalled-engine fixture: a ticket whose worker never answers.
+    /// `wait_timeout` must hand control back instead of wedging the
+    /// caller — the property the front end's handlers rely on.
+    #[test]
+    fn wait_timeout_returns_on_a_stalled_worker() {
+        let stalled = Ticket {
+            rx: BoundedQueue::unbounded(),
+        };
+        let t0 = Instant::now();
+        match stalled.wait_timeout(Duration::from_millis(30)) {
+            Err(ServeError::Timeout) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+
+        let stream = StreamTicket {
+            rx: BoundedQueue::unbounded(),
+        };
+        match stream.next_timeout(Duration::from_millis(10)) {
+            Err(ServeError::Timeout) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        // A stalled stream polls as momentarily idle, not exhausted.
+        assert!(matches!(stream.poll(), Popped::TimedOut));
+    }
+
+    #[test]
+    fn wait_timeout_delivers_an_answered_reply() {
+        let rx = BoundedQueue::unbounded();
+        rx.try_push(Ok(StepOutput {
+            logits: vec![0.0, 2.0, 1.0],
+            batch_size: 3,
+        }))
+        .unwrap();
+        let ticket = Ticket { rx };
+        let out = ticket.wait_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(out.argmax(), 1);
+        assert_eq!(out.batch_size, 3);
+    }
+
+    #[test]
+    fn tenant_ledger_admits_up_to_the_limit() {
+        let ledger = TenantLedger::new(2);
+        assert!(ledger.try_admit(7));
+        assert!(ledger.try_admit(7));
+        assert!(!ledger.try_admit(7), "third in-flight request refused");
+        assert!(ledger.try_admit(8), "other tenants unaffected");
+        ledger.release(7);
+        assert!(ledger.try_admit(7), "slot freed on release");
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let rec = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            rec.record(Duration::from_micros(i));
+        }
+        let (p50, p95, p99) = rec.percentiles();
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!((p50 - 50.0).abs() <= 2.0, "p50 ~ 50us, got {p50}");
     }
 }

@@ -1,4 +1,4 @@
-//! `echo-serve`: a dynamic-batching inference engine for the word-LM
+//! `echo-serve`: a continuous-batching inference service for the word-LM
 //! decode path.
 //!
 //! Training and serving want opposite things from the executor. Training
@@ -18,37 +18,54 @@
 //!    ([`echo_models::WordLmDecoder::infer_step`]) — stacking B requests
 //!    into one `[1, B]` step is bit-identical, lane for lane, to B
 //!    separate `[1, 1]` steps, for every matmul backend. This is the
-//!    license to batch: the scheduler can coalesce whatever arrives
-//!    together without changing anyone's logits.
+//!    license to batch — and to *re*-batch: the continuous scheduler can
+//!    admit and retire lanes between decode steps without changing
+//!    anyone's logits.
 //! 3. **Per-session recurrent state** ([`echo_models::LmState`]) carried
 //!    across calls in a capacity-bounded LRU [`SessionCache`]; evicted
 //!    sessions are transparently re-warmed by replaying their token
 //!    history from zero — bit-identical to never having been evicted,
 //!    again by batch invariance.
 //!
-//! The engine itself ([`Engine`]) is a synchronous core behind bounded
-//! per-worker queues: [`Engine::submit`] either accepts a request and
-//! returns a [`Ticket`], or rejects immediately
-//! ([`ServeError::Overloaded`]) — backpressure by rejection, never by
-//! blocking the caller. Workers coalesce compatible requests into
-//! micro-batches under a max-batch / max-wait policy ([`BatchPolicy`]),
-//! with at most one request per session per batch so state threading
-//! stays causal.
+//! The engine ([`Engine`]) is a synchronous core behind bounded
+//! per-worker queues: [`Engine::generate`] either accepts a generation
+//! stream and returns a [`StreamTicket`], or rejects immediately
+//! ([`ServeError::Overloaded`], [`ServeError::QuotaExceeded`]) —
+//! backpressure by rejection, never by blocking the caller. By default
+//! workers run the **continuous in-flight scheduler** ([`scheduler`]):
+//! sessions join and leave a running batch between decode steps, with
+//! per-step lane compaction over the pre-built per-batch-size plans. The
+//! PR-4 wave batcher ([`batcher`]) remains available as
+//! [`BatchMode::Wave`], and is the baseline the serving benchmark gates
+//! continuous batching against.
+//!
+//! A production front end ([`Frontend`]) wraps the engine in a threaded
+//! newline-delimited-JSON TCP server: streaming token output, per-tenant
+//! admission quotas, bounded reply waits ([`Ticket::wait_timeout`]), and
+//! a `STATS` endpoint surfacing queue depth, batch occupancy, lane-churn
+//! rate, latency percentiles and session-cache hit rate from
+//! [`EngineStats`].
 //!
 //! ```
 //! use echo_models::WordLmHyper;
 //! use echo_rnn::LstmBackend;
-//! use echo_serve::{Engine, ServeConfig};
+//! use echo_serve::{Engine, GenRequest, ServeConfig, StreamEvent};
 //!
 //! let engine = Engine::start(
 //!     WordLmHyper::tiny(50, LstmBackend::Default),
 //!     7,
 //!     ServeConfig::default(),
 //! )?;
-//! let out = engine.step(/* session */ 1, /* token */ 12)?;
-//! assert_eq!(out.logits.len(), 50);
-//! let next = engine.step(1, out.argmax())?; // state carried over
-//! assert_eq!(next.logits.len(), 50);
+//! let stream = engine.generate(GenRequest::new(1, vec![12, 3], 4))?;
+//! let mut generated = Vec::new();
+//! while let Some(event) = stream.next() {
+//!     match event {
+//!         StreamEvent::Token { token, .. } => generated.push(token),
+//!         StreamEvent::Done { .. } => break,
+//!         StreamEvent::Error(e) => return Err(e),
+//!     }
+//! }
+//! assert_eq!(generated.len(), 4);
 //! # Ok::<(), echo_serve::ServeError>(())
 //! ```
 
@@ -56,10 +73,18 @@
 
 pub mod batcher;
 pub mod engine;
+pub mod frontend;
 pub mod queue;
+pub mod scheduler;
 pub mod session;
+pub mod wire;
 
 pub use batcher::BatchPolicy;
-pub use engine::{Engine, EngineStats, ServeConfig, ServeError, StepOutput, Ticket};
+pub use engine::{
+    BatchMode, Engine, EngineStats, GenRequest, ServeConfig, ServeError, StepOutput, StreamEvent,
+    StreamTicket, Ticket,
+};
+pub use frontend::{Frontend, FrontendConfig};
 pub use queue::{BoundedQueue, Popped, PushError};
 pub use session::SessionCache;
+pub use wire::JsonValue;

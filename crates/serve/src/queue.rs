@@ -72,6 +72,14 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// A queue that never rejects for capacity — the reply side of a
+    /// request: the producer is the engine itself, which sends exactly
+    /// one event per decode step, so boundedness adds nothing but a
+    /// failure mode.
+    pub fn unbounded() -> Self {
+        BoundedQueue::new(usize::MAX)
+    }
+
     /// The capacity this queue rejects beyond.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -105,6 +113,19 @@ impl<T> BoundedQueue<T> {
                 return None;
             }
             st = self.inner.available.wait(st).unwrap();
+        }
+    }
+
+    /// Non-blocking pop: an item if one is ready, [`Popped::TimedOut`]
+    /// if the queue is momentarily empty, [`Popped::Closed`] once it is
+    /// closed *and* drained. The continuous scheduler polls with this
+    /// between decode steps — a running batch never waits for joiners.
+    pub fn try_pop(&self) -> Popped<T> {
+        let mut st = self.inner.state.lock().unwrap();
+        match st.items.pop_front() {
+            Some(item) => Popped::Item(item),
+            None if st.closed => Popped::Closed,
+            None => Popped::TimedOut,
         }
     }
 
@@ -179,6 +200,16 @@ mod tests {
         assert_eq!(q.try_push(8).unwrap_err().1, PushError::Closed);
         assert_eq!(q.pop_wait(), Some(7));
         assert_eq!(q.pop_wait(), None);
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let q = BoundedQueue::new(2);
+        assert!(matches!(q.try_pop(), Popped::TimedOut));
+        q.try_push(9).unwrap();
+        assert!(matches!(q.try_pop(), Popped::Item(9)));
+        q.close();
+        assert!(matches!(q.try_pop(), Popped::Closed));
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! The line-protocol front end, end to end over real TCP: request
+//! framing, streamed token events, wire-exact logits, the `STATS`
+//! endpoint, per-tenant admission quotas, and the connection cap.
+
+use echo_models::WordLmHyper;
+use echo_rnn::LstmBackend;
+use echo_serve::{
+    Engine, Frontend, FrontendConfig, GenRequest, JsonValue, ServeConfig, StreamEvent,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 47;
+const VOCAB: usize = 41;
+
+fn hyper() -> WordLmHyper {
+    WordLmHyper::tiny(VOCAB, LstmBackend::Default)
+}
+
+fn start(config: ServeConfig) -> (Arc<Engine>, Frontend) {
+    let engine = Arc::new(Engine::start(hyper(), SEED, config).unwrap());
+    let frontend = Frontend::start(Arc::clone(&engine), FrontendConfig::default()).unwrap();
+    (engine, frontend)
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(frontend: &Frontend) -> Client {
+        let writer = TcpStream::connect(frontend.local_addr()).unwrap();
+        writer
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(writer.try_clone().unwrap());
+        Client { writer, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").unwrap();
+    }
+
+    fn recv(&mut self) -> JsonValue {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        assert!(!line.is_empty(), "server closed mid-conversation");
+        JsonValue::parse(line.trim()).unwrap_or_else(|e| panic!("bad frame {line:?}: {e}"))
+    }
+
+    fn event(v: &JsonValue) -> &str {
+        v.get("event").and_then(JsonValue::as_str).unwrap()
+    }
+}
+
+#[test]
+fn generate_streams_wire_exact_tokens_and_logits() {
+    let (engine, frontend) = start(ServeConfig::default());
+
+    // The same request straight through the engine, on a different
+    // session (fresh state, same model) — the TCP stream must match it
+    // token for token and logit for logit.
+    let prompt = vec![5u32, 17, 2];
+    let max_new = 6usize;
+    let direct = engine
+        .generate(GenRequest::new(1001, prompt.clone(), max_new))
+        .unwrap();
+    let mut want_tokens = Vec::new();
+    let mut want_logits = Vec::new();
+    while let Some(event) = direct.next() {
+        match event {
+            StreamEvent::Token { token, logits, .. } => {
+                want_tokens.push(token);
+                want_logits.push(logits);
+            }
+            StreamEvent::Done { .. } => break,
+            StreamEvent::Error(e) => panic!("direct stream errored: {e}"),
+        }
+    }
+    assert_eq!(want_tokens.len(), max_new);
+
+    let mut client = Client::connect(&frontend);
+    client.send(
+        "{\"op\":\"generate\",\"session\":7,\"prompt\":[5,17,2],\
+         \"max_new_tokens\":6,\"logits\":true}",
+    );
+    let mut got_tokens = Vec::new();
+    let mut got_logits: Vec<Vec<f32>> = Vec::new();
+    loop {
+        let frame = client.recv();
+        match Client::event(&frame) {
+            "token" => {
+                let index = frame.get("index").and_then(JsonValue::as_u64).unwrap();
+                assert_eq!(index as usize, got_tokens.len(), "in-order delivery");
+                assert_eq!(
+                    frame.get("session").and_then(JsonValue::as_u64),
+                    Some(7),
+                    "events carry their session"
+                );
+                got_tokens.push(frame.get("token").and_then(JsonValue::as_u64).unwrap() as u32);
+                let row = match frame.get("logits") {
+                    Some(JsonValue::Arr(xs)) => xs
+                        .iter()
+                        .map(|x| x.as_f64().expect("numeric logit") as f32)
+                        .collect::<Vec<f32>>(),
+                    other => panic!("logits missing: {other:?}"),
+                };
+                got_logits.push(row);
+            }
+            "done" => {
+                assert_eq!(
+                    frame.get("generated").and_then(JsonValue::as_u64),
+                    Some(max_new as u64)
+                );
+                break;
+            }
+            other => panic!("unexpected event {other}"),
+        }
+    }
+    assert_eq!(got_tokens, want_tokens, "argmax stream matches the engine");
+    // Shortest-roundtrip float formatting makes the wire bit-exact.
+    for (step, (got, want)) in got_logits.iter().zip(&want_logits).enumerate() {
+        assert_eq!(
+            got, want,
+            "token {step}: logits must round-trip bit-exactly"
+        );
+    }
+
+    // A single step on the same connection continues the session.
+    client.send("{\"op\":\"step\",\"session\":7,\"token\":3}");
+    let frame = client.recv();
+    assert_eq!(Client::event(&frame), "token");
+    assert_eq!(frame.get("index").and_then(JsonValue::as_u64), Some(0));
+}
+
+#[test]
+fn stats_endpoint_reports_service_counters() {
+    let (engine, frontend) = start(ServeConfig::default());
+    let mut client = Client::connect(&frontend);
+
+    client.send("{\"op\":\"ping\"}");
+    assert_eq!(Client::event(&client.recv()), "pong");
+
+    client.send("{\"op\":\"generate\",\"session\":3,\"prompt\":[1,2],\"max_new_tokens\":4}");
+    let mut frames = 0;
+    loop {
+        let frame = client.recv();
+        if Client::event(&frame) == "done" {
+            break;
+        }
+        frames += 1;
+    }
+    assert_eq!(frames, 4);
+
+    // Bare `STATS` line and the JSON op must both answer.
+    client.send("STATS");
+    let stats = client.recv();
+    assert_eq!(Client::event(&stats), "stats");
+    for key in [
+        "submitted",
+        "completed",
+        "queue_depth",
+        "steps",
+        "occupancy",
+        "joins",
+        "leaves",
+        "churn_per_step",
+        "cache_hit_rate",
+        "evictions",
+        "pool_reuse_hits",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+    ] {
+        assert!(stats.get(key).is_some(), "STATS is missing {key}");
+    }
+    assert!(stats.get("completed").and_then(JsonValue::as_u64) >= Some(1));
+    assert!(stats.get("joins").and_then(JsonValue::as_u64) >= Some(1));
+    assert!(stats.get("p99_us").and_then(JsonValue::as_f64).unwrap() > 0.0);
+
+    client.send("{\"op\":\"stats\"}");
+    assert_eq!(Client::event(&client.recv()), "stats");
+
+    // Malformed and unknown requests answer with errors, and the
+    // connection survives them.
+    client.send("{not json");
+    let err = client.recv();
+    assert_eq!(Client::event(&err), "error");
+    assert_eq!(err.get("code").and_then(JsonValue::as_str), Some("invalid"));
+    client.send("{\"op\":\"warp\"}");
+    assert_eq!(
+        client.recv().get("code").and_then(JsonValue::as_str),
+        Some("invalid")
+    );
+    client.send("{\"op\":\"generate\",\"session\":3,\"prompt\":[]}");
+    assert_eq!(
+        client.recv().get("code").and_then(JsonValue::as_str),
+        Some("invalid")
+    );
+    client.send("{\"op\":\"ping\"}");
+    assert_eq!(Client::event(&client.recv()), "pong");
+    drop(engine);
+}
+
+#[test]
+fn tenant_quota_rejects_over_the_wire() {
+    let (engine, frontend) = start(ServeConfig {
+        tenant_inflight_limit: 1,
+        ..ServeConfig::default()
+    });
+
+    // Fill tenant 9's single in-flight slot with a long generation. The
+    // ledger slot is taken synchronously at admission, so until this
+    // stream finishes the tenant is at its cap.
+    let long = engine
+        .generate(GenRequest::new(500, vec![1], 2000).with_tenant(9))
+        .unwrap();
+
+    let mut client = Client::connect(&frontend);
+    client.send(
+        "{\"op\":\"generate\",\"session\":501,\"prompt\":[2],\
+         \"max_new_tokens\":1,\"tenant\":9}",
+    );
+    let frame = client.recv();
+    assert_eq!(Client::event(&frame), "error");
+    assert_eq!(frame.get("code").and_then(JsonValue::as_str), Some("quota"));
+
+    // Another tenant is unaffected.
+    client.send(
+        "{\"op\":\"generate\",\"session\":502,\"prompt\":[2],\
+         \"max_new_tokens\":1,\"tenant\":8}",
+    );
+    assert_eq!(Client::event(&client.recv()), "token");
+    assert_eq!(Client::event(&client.recv()), "done");
+
+    while let Some(event) = long.next() {
+        if matches!(event, StreamEvent::Done { .. }) {
+            break;
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.quota_rejected, 1);
+}
+
+#[test]
+fn connection_cap_rejects_not_blocks() {
+    let engine = Arc::new(Engine::start(hyper(), SEED, ServeConfig::default()).unwrap());
+    let frontend = Frontend::start(
+        Arc::clone(&engine),
+        FrontendConfig {
+            max_connections: 0,
+            ..FrontendConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(&frontend);
+    let frame = client.recv();
+    assert_eq!(Client::event(&frame), "error");
+    assert_eq!(
+        frame.get("code").and_then(JsonValue::as_str),
+        Some("overloaded")
+    );
+}

@@ -11,7 +11,7 @@ use echo_graph::{Executor, StashPlan};
 use echo_memory::DeviceMemory;
 use echo_models::{LmState, WordLmDecoder, WordLmHyper};
 use echo_rnn::LstmBackend;
-use echo_serve::{Engine, ServeConfig, ServeError, Ticket};
+use echo_serve::{BatchMode, Engine, ServeConfig, ServeError, Ticket};
 use echo_tensor::policy::{set_matmul_policy, MatmulBackend, MatmulPolicy};
 use std::sync::Arc;
 use std::time::Duration;
@@ -71,6 +71,10 @@ fn batched_serving_is_bit_identical_for_every_matmul_policy() {
                 max_wait: Duration::from_millis(100),
                 queue_capacity: 256,
                 workers: 1,
+                // Pin the wave scheduler: this file is the wave
+                // baseline's regression test; the continuous scheduler
+                // has its own sweep in continuous_bitexact.rs.
+                mode: BatchMode::Wave,
                 ..ServeConfig::default()
             },
         )

@@ -67,6 +67,31 @@ fn evicted_sessions_rewarm_bit_identically() {
     );
     assert!(stats.rewarm_tokens >= stats.rewarms);
 
+    // The cache counters must account for every request exactly once:
+    // each step resolves its session's state with one lookup, and every
+    // miss is either a brand-new session (the first SESSIONS lookups) or
+    // an eviction re-warm.
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        SESSIONS * ROUNDS as u64,
+        "one cache lookup per served step"
+    );
+    assert_eq!(
+        stats.cache_misses,
+        SESSIONS + stats.rewarms,
+        "every miss is a fresh session or a re-warmed eviction"
+    );
+    // Round-robin over K + 1 sessions against a capacity-K LRU is the
+    // pathological thrash pattern: by the time a session returns, the
+    // others have pushed it out, so *every* lookup misses.
+    assert_eq!(stats.cache_hits, 0, "K + 1 round-robin thrashes the LRU");
+    assert!(stats.cache_hit_rate() == 0.0);
+    assert_eq!(
+        stats.evictions,
+        SESSIONS * ROUNDS as u64 - CAPACITY as u64,
+        "every put beyond the first CAPACITY evicts exactly one state"
+    );
+
     // An uninterrupted replay of each session (fresh plan-less executor,
     // same seed, state threaded the whole way, never evicted) must match
     // every served step bit for bit.

@@ -1,32 +1,41 @@
-//! Serving quickstart: dynamic batching with per-session state.
+//! Serving quickstart: the continuous-batching engine behind the
+//! line-protocol front end.
 //!
-//! Starts an [`echo_serve::Engine`], drives a handful of concurrent
-//! "conversations" (each greedily decoding from its own prompt), and
-//! prints the engine's coalescing / cache / pool counters. Run with:
+//! Starts an [`echo_serve::Engine`] (continuous in-flight scheduler),
+//! wraps it in the newline-delimited-JSON TCP [`echo_serve::Frontend`],
+//! then plays both roles of the wire: a handful of concurrent TCP
+//! clients stream generations while the main thread polls `STATS`.
+//! Run with:
 //!
 //! ```text
 //! cargo run --release -p echo-serve --example serve_demo
 //! ```
+//!
+//! Everything printed under `session N:` travelled through the real
+//! protocol — connect with `nc <addr>` while this runs and type
+//! `{"op":"generate","session":99,"prompt":[3,1],"max_new_tokens":8}`
+//! to join in.
 
 use echo_models::WordLmHyper;
 use echo_rnn::LstmBackend;
-use echo_serve::{Engine, ServeConfig, ServeError};
-use std::time::Duration;
+use echo_serve::{Engine, Frontend, FrontendConfig, JsonValue, ServeConfig, ServeError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
 
-fn main() -> Result<(), ServeError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vocab = 50;
-    let engine = Engine::start(
+    let engine = Arc::new(Engine::start(
         WordLmHyper::tiny(vocab, LstmBackend::Default),
         42,
         ServeConfig {
             max_batch: 4,
-            max_wait: Duration::from_millis(5),
             queue_capacity: 64,
             workers: 2,
             session_capacity: 8,
             ..ServeConfig::default()
         },
-    )?;
+    )?);
     println!(
         "engine up: {} inference plans (B = 1..={}), arena bytes per plan: {:?}",
         engine.plans().len(),
@@ -38,47 +47,75 @@ fn main() -> Result<(), ServeError> {
             .collect::<Vec<_>>(),
     );
 
-    // Four concurrent sessions, each greedily decoding 12 tokens from its
-    // own prompt. Threads share the engine by reference; the engine
-    // batches whatever arrives inside the wait window.
+    let frontend = Frontend::start(Arc::clone(&engine), FrontendConfig::default())?;
+    let addr = frontend.local_addr();
+    println!("frontend listening on {addr} (newline-delimited JSON)");
+
+    // Four concurrent TCP clients, each streaming a 12-token generation
+    // from its own prompt. Their sessions overlap in time, so they share
+    // decode steps: watch the `batch` field climb as neighbors join.
     let decode_len = 12;
-    std::thread::scope(|scope| {
-        let engine = &engine;
+    std::thread::scope(|scope| -> Result<(), ServeError> {
         for session in 0..4u64 {
             scope.spawn(move || {
-                let mut token = (session * 13 % vocab as u64) as u32;
-                let mut decoded = vec![token];
-                for _ in 0..decode_len {
-                    let out = loop {
-                        match engine.step(session, token) {
-                            Ok(out) => break out,
-                            Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
-                            Err(e) => panic!("decode failed: {e}"),
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let prompt = (session * 13 % vocab as u64) as u32;
+                writeln!(
+                    writer,
+                    "{{\"op\":\"generate\",\"session\":{session},\
+                     \"prompt\":[{prompt}],\"max_new_tokens\":{decode_len}}}"
+                )
+                .expect("send");
+                let mut decoded = vec![prompt];
+                let mut batches = Vec::new();
+                loop {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("recv");
+                    let frame = JsonValue::parse(line.trim()).expect("frame");
+                    match frame.get("event").and_then(JsonValue::as_str) {
+                        Some("token") => {
+                            decoded.push(
+                                frame.get("token").and_then(JsonValue::as_u64).unwrap() as u32
+                            );
+                            batches.push(frame.get("batch").and_then(JsonValue::as_u64).unwrap());
                         }
-                    };
-                    token = out.argmax();
-                    decoded.push(token);
+                        Some("done") => break,
+                        other => panic!("unexpected event {other:?}: {line}"),
+                    }
                 }
-                println!("session {session}: {decoded:?}");
+                println!("session {session}: {decoded:?} (lane counts {batches:?})");
             });
         }
-    });
+        Ok(())
+    })?;
 
-    let stats = engine.stats();
+    // The same STATS endpoint an operator would scrape, over the wire.
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "STATS")?;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let stats = JsonValue::parse(line.trim()).map_err(ServeError::Invalid)?;
+    let num = |key: &str| stats.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
     println!(
-        "served {} tokens in {} batches (mean batch {:.2}, max {}); \
-         cache {} hits / {} misses, {} evictions, {} re-warms; \
-         pool {} takes / {} reuse hits",
-        stats.completed,
-        stats.batches,
-        stats.mean_batch(),
-        stats.max_batch_observed,
-        stats.cache_hits,
-        stats.cache_misses,
-        stats.evictions,
-        stats.rewarms,
-        stats.pool_takes,
-        stats.pool_reuse_hits,
+        "STATS: {} tokens over {} decode steps (occupancy {:.2}, churn {:.2}/step, \
+         max batch {}); cache hit rate {:.2}, {} evictions, {} re-warms; \
+         p50/p95/p99 latency {:.0}/{:.0}/{:.0} us; pool reuse hits {}",
+        num("completed"),
+        num("steps"),
+        num("occupancy"),
+        num("churn_per_step"),
+        num("max_batch_observed"),
+        num("cache_hit_rate"),
+        num("evictions"),
+        num("rewarms"),
+        num("p50_us"),
+        num("p95_us"),
+        num("p99_us"),
+        num("pool_reuse_hits"),
     );
     Ok(())
 }
